@@ -1,0 +1,38 @@
+"""Figure 18: non-bonded interaction partners vs cutoff radius.
+
+Regenerates pCnt_max / pCnt_avg for the synthetic SOD molecule over
+the paper's cutoff range and checks the published characteristics:
+cubic growth, and max/avg ratios in the 2.4-3.6 band at the evaluated
+cutoffs (the paper reports 3.35 / 2.69 / 2.67 / 2.95).
+"""
+
+from conftest import once
+
+from repro.eval import figure18, format_figure18
+
+#: Figure 18's reference points (cutoff -> (pCnt_max, pCnt_avg)).
+PAPER = {4.0: (33, 9.86), 8.0: (216, 80.3), 12.0: (648, 243.0), 16.0: (1504, 510.0)}
+
+
+def test_bench_figure18(benchmark, write_result):
+    rows = once(benchmark, figure18, tuple(range(2, 21, 2)))
+
+    by_cutoff = {row["cutoff"]: row for row in rows}
+
+    # cubic growth: avg(2c) / avg(c) ~ 8
+    for small, large in ((4.0, 8.0), (8.0, 16.0)):
+        growth = by_cutoff[large]["avg"] / by_cutoff[small]["avg"]
+        assert 4.0 < growth < 14.0, f"cubic growth violated: {growth}"
+
+    # magnitudes within ~25% of the paper, ratios in band
+    lines = [format_figure18(rows), "", "cutoff   ours(max/avg)    paper(max/avg)"]
+    for cutoff, (p_max, p_avg) in PAPER.items():
+        row = by_cutoff[cutoff]
+        assert abs(row["max"] - p_max) / p_max < 0.30, (cutoff, row["max"], p_max)
+        assert abs(row["avg"] - p_avg) / p_avg < 0.30, (cutoff, row["avg"], p_avg)
+        assert 2.0 < row["ratio"] < 4.0
+        lines.append(
+            f"{cutoff:>5.0f}A  {row['max']:>6d}/{row['avg']:>7.1f}   "
+            f"{p_max:>6d}/{p_avg:>7.1f}"
+        )
+    write_result("figure_18_pair_counts", "\n".join(lines))

@@ -1,0 +1,40 @@
+"""Section 5.3's Nmax observation.
+
+"Doubling Nmax (and therefore doubling maxLrs) ... results not only in
+doubling execution time of the L_u^2 version on both machines, but on
+the CM-2, it also doubles running time of the L_u^l version; on the
+DECmpp, the L_u^l time increases by about 5%.  The running time of
+L_f is independent of Nmax on both machines."
+"""
+
+from conftest import once
+
+from repro.eval import nmax_sensitivity
+
+
+def test_bench_nmax_sensitivity(benchmark, write_result):
+    rows = once(benchmark, nmax_sensitivity)
+
+    by_machine = {}
+    for row in rows:
+        by_machine.setdefault(row["machine"], {})[row["nmax"]] = row
+
+    lines = ["growth factors when Nmax doubles 8192 -> 16384 (paper in parens):"]
+    expectations = {
+        "CM-2": {"Lu_l": (1.8, 2.2, "x2"), "Lu_2": (1.8, 2.2, "x2"),
+                 "L_f": (0.95, 1.1, "x1")},
+        "DECmpp 12000": {"Lu_l": (1.0, 1.35, "~+5%"), "Lu_2": (1.8, 2.2, "x2"),
+                         "L_f": (0.95, 1.1, "x1")},
+    }
+    for machine, data in by_machine.items():
+        small, large = data[8192], data[16384]
+        lines.append(f"[{machine}]")
+        for version in ("Lu_l", "Lu_2", "L_f"):
+            if small[version] is None or large[version] is None:
+                lines.append(f"  {version}: did not run (memory)")
+                continue
+            growth = large[version] / small[version]
+            lo, hi, paper = expectations[machine][version]
+            assert lo <= growth <= hi, (machine, version, growth)
+            lines.append(f"  {version}: x{growth:.2f}  (paper: {paper})")
+    write_result("section_5_3_nmax_sensitivity", "\n".join(lines))

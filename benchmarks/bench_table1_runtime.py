@@ -1,0 +1,109 @@
+"""Table 1: NBFORCE running times on the CM-2 and the DECmpp 12000,
+plus the Section 5.5 Sparc 2 reference.
+
+Regenerates every cell (8 machine configs × 4 cutoffs × 3 loop
+versions, with memory-overflow blanks) and asserts the paper's shape:
+
+* L_f beats both unflattened versions wherever Gran < N;
+* at Gran = N (DECmpp 8192/8192) the three versions converge;
+* on the CM-2, L_u^2 beats L_u^l (the hardware sweeps all layers, so
+  explicit selection only adds checking overhead);
+* on the DECmpp, L_u^l wins while Lrs < maxLrs and loses when the
+  layer saving vanishes;
+* speedups with P are roughly linear (Figure 19's slope);
+* unflattened versions blow the CM-2 memory budget exactly where the
+  flattened one still runs.
+"""
+
+from conftest import once
+
+from repro.eval import format_table1, sparc_reference
+
+PAPER_TABLE1 = """\
+paper Table 1 (seconds):
+[CM-2]        4A: Lul/Lu2/Lf        8A                    12A          16A
+1024/128       -     -    3.89 |    -     -   27.03 |    (all -)   | (all -)
+2048/256      6.57  3.86  2.13 |  42.91 25.13 14.72 |    (all -)   | (all -)
+4096/512      3.22  1.83  1.11 |  21.02 11.95  7.65 |   - - 24.78  | (all -)
+8192/1024     1.72  0.99  0.64 |  11.19  6.46  4.57 |   - - 13.31  | - - 27.17
+[DECmpp]
+1024/1024     0.910 0.934 0.390 |  5.36  5.85  2.81 | 15.91 17.45 8.19 | 36.86 40.45 16.84
+2048/2048     0.638 0.481 0.266 |  3.35  3.00  1.69 |  9.96  8.95 4.98 | 23.07 20.71 10.68
+4096/4096     0.352 0.269 0.157 |  1.86  1.55  1.05 |  5.18  4.59 3.14 | 11.96 10.58  6.51
+8192/8192     0.145 0.129 0.104 | 0.683 0.715 0.671 |  1.92  2.09 2.00 |  4.42  4.82  4.66
+Sparc 2: 3.86 s (4A), 31.43 s (8A)"""
+
+
+def test_bench_table1(benchmark, write_result, table1_rows):
+    rows = once(benchmark, lambda: table1_rows)
+
+    cm2_rows = [r for r in rows if r.machine == "CM-2"]
+    dec_rows = [r for r in rows if r.machine.startswith("DECmpp")]
+
+    # --- flattening wins whenever Gran < N -------------------------------
+    for row in rows:
+        for cutoff in (4.0, 8.0, 12.0, 16.0):
+            flat = row.cell(cutoff, "L_f")
+            lu2 = row.cell(cutoff, "Lu_2")
+            if flat.ran and lu2.ran and row.gran < 6968:
+                assert flat.seconds < lu2.seconds, (row.machine, row.gran, cutoff)
+
+    # --- Gran = N convergence (DECmpp 8192/8192) -------------------------
+    corner = next(r for r in dec_rows if r.gran == 8192)
+    for cutoff in (4.0, 8.0, 16.0):
+        flat = corner.cell(cutoff, "L_f").seconds
+        lu2 = corner.cell(cutoff, "Lu_2").seconds
+        assert 0.6 < flat / lu2 < 1.6, "versions must converge at Gran=N"
+
+    # --- CM-2: layer selection hurts; DECmpp: helps while Lrs < maxLrs ---
+    for row in cm2_rows:
+        lul = row.cell(4.0, "Lu_l")
+        lu2 = row.cell(4.0, "Lu_2")
+        if lul.ran and lu2.ran:
+            assert lul.seconds > lu2.seconds
+    dec_1024 = next(r for r in dec_rows if r.gran == 1024)
+    assert (
+        dec_1024.cell(4.0, "Lu_l").seconds < dec_1024.cell(4.0, "Lu_2").seconds
+    ), "DECmpp Lrs=7 < maxLrs=8: selection should win"
+    dec_2048 = next(r for r in dec_rows if r.gran == 2048)
+    assert (
+        dec_2048.cell(4.0, "Lu_l").seconds > dec_2048.cell(4.0, "Lu_2").seconds
+    ), "DECmpp Lrs = maxLrs: selection is pure overhead"
+
+    # --- roughly linear speedup with P (Figure 19's slope) ----------------
+    for rows_of, versions in ((cm2_rows, ("L_f",)), (dec_rows, ("L_f", "Lu_2"))):
+        ordered = sorted(rows_of, key=lambda r: r.physical_pes)
+        for version in versions:
+            t_small = ordered[0].cell(8.0, version)
+            t_big = ordered[-1].cell(8.0, version)
+            if t_small.ran and t_big.ran:
+                p_ratio = ordered[-1].physical_pes / ordered[0].physical_pes
+                speedup = t_small.seconds / t_big.seconds
+                assert speedup > 0.4 * p_ratio, (version, speedup, p_ratio)
+
+    # --- CM-2 memory blanks: L_f runs where L_u cannot --------------------
+    cm2_128 = next(r for r in cm2_rows if r.gran == 128)
+    assert cm2_128.cell(8.0, "L_f").ran
+    assert not cm2_128.cell(8.0, "Lu_l").ran
+    assert not cm2_128.cell(8.0, "Lu_2").ran
+    assert not cm2_128.cell(12.0, "L_f").ran  # 12A blows even L_f at Gran=128
+    cm2_1024 = next(r for r in cm2_rows if r.gran == 1024)
+    assert cm2_1024.cell(16.0, "L_f").ran
+    assert not cm2_1024.cell(16.0, "Lu_2").ran
+
+    text = format_table1(rows) + "\n\n" + PAPER_TABLE1
+    write_result("table_1_runtimes", text)
+
+
+def test_bench_sparc_reference(benchmark, write_result):
+    rows = once(benchmark, sparc_reference)
+    by_cutoff = {row["cutoff"]: row["seconds"] for row in rows}
+    # paper: 3.86 s and 31.43 s — within 35% given the synthetic pairlist
+    assert abs(by_cutoff[4.0] - 3.86) / 3.86 < 0.35
+    assert abs(by_cutoff[8.0] - 31.43) / 31.43 < 0.35
+    text = "\n".join(
+        f"Sparc 2 at {c:.0f}A: measured {s:.2f} s (paper: "
+        f"{'3.86' if c == 4.0 else '31.43'} s)"
+        for c, s in sorted(by_cutoff.items())
+    )
+    write_result("section_5_5_sparc_reference", text)

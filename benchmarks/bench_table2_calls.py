@@ -1,0 +1,52 @@
+"""Table 2: number of Force-routine calls, flattened vs unflattened.
+
+Regenerates the full granularity × cutoff grid and asserts the
+published shape: ratios decrease monotonically with Gran, are bounded
+by pCnt_max/pCnt_avg, and collapse to exactly 1 at Gran = N.
+"""
+
+from conftest import once
+
+from repro.eval import TABLE2_GRANS, format_table2, table2
+from repro.md.gromos import sod_workload
+
+PAPER_TABLE2 = """\
+paper Table 2 (Lu / Lf / ratio):
+Gran    4A                 8A                  12A                  16A
+ 128      -  722    -  |     -  5076    -   |        (blank)     |      (blank)
+ 256    924  397  2.327 |  6048  2754  2.196 |        (blank)     |      (blank)
+ 512    462  224  2.063 |  3024  1559  1.940 |  4649 (Lu only)    |      (blank)
+1024    231  125  1.848 |  1512   906  1.669 |  4536  2642  1.717 | 10528  5436 1.937
+2048    132   86  1.535 |   864   545  1.585 |  2592  1606  1.614 |  6016  3434 1.752
+4096     66   51  1.210 |   432   357  1.210 |  1296  1069  1.212 |  3008  2222 1.354
+8192     33   33  1     |   216   216  1     |   648   648  1     |  1504  1504 1"""
+
+
+def test_bench_table2(benchmark, write_result):
+    counts = once(benchmark, table2)
+
+    cutoffs = (4.0, 8.0, 12.0, 16.0)
+    for cutoff in cutoffs:
+        workload = sod_workload(cutoff)
+        bound = workload.pairlist.max_pcnt / workload.pairlist.avg_pcnt
+        ratios = [counts[(gran, cutoff)].ratio for gran in TABLE2_GRANS]
+        # monotone decrease with granularity
+        assert all(a >= b - 1e-9 for a, b in zip(ratios, ratios[1:])), ratios
+        # bounded by pCnt_max / pCnt_avg (the paper's Eq. 1''/2'' bound)
+        assert all(r <= bound + 1e-9 for r in ratios)
+        # exact collapse at Gran >= N
+        assert counts[(8192, cutoff)].ratio == 1.0
+        # the unflattened count is exactly maxPCnt x Lrs
+        for gran in TABLE2_GRANS:
+            wc = counts[(gran, cutoff)]
+            assert wc.unflattened == workload.pairlist.max_pcnt * wc.lrs
+
+    # magnitudes near the paper's L_f column (within ~12%)
+    paper_lf = {(256, 4.0): 397, (1024, 4.0): 125, (1024, 8.0): 906,
+                (1024, 16.0): 5436, (2048, 8.0): 545}
+    for key, value in paper_lf.items():
+        ours = counts[key].flattened
+        assert abs(ours - value) / value < 0.15, (key, ours, value)
+
+    text = format_table2(counts) + "\n\n" + PAPER_TABLE2
+    write_result("table_2_force_calls", text)

@@ -1,0 +1,31 @@
+"""Figures 4 and 6: the EXAMPLE execution traces.
+
+Regenerates both traces and asserts the paper's headline step counts:
+8 MIMD steps (Eq. 1), 12 naive-SIMD steps (Eq. 2), 8 flattened steps.
+"""
+
+from conftest import once
+
+from repro.eval import example_traces
+
+
+def test_bench_example_traces(benchmark, write_result):
+    traces = once(benchmark, example_traces)
+
+    assert traces.mimd_steps == 8, "Figure 4: MIMD takes 8 steps"
+    assert traces.naive_steps == 12, "Figure 6: naive SIMD takes 12 steps"
+    assert traces.flattened_steps == 8, "flattened SIMD regains the MIMD bound"
+
+    text = "\n".join(
+        [
+            "=== Figure 4: MIMD execution trace (paper: 8 steps) ===",
+            traces.mimd.format(),
+            "",
+            "=== Figure 6: unflattened SIMD trace (paper: 12 steps) ===",
+            traces.naive_simd.format(),
+            "",
+            "=== flattened SIMD trace (paper: 8 steps, Figure 4 again) ===",
+            traces.flattened_simd.format(),
+        ]
+    )
+    write_result("figures_4_and_6_traces", text)

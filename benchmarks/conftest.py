@@ -1,0 +1,44 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each benchmark regenerates one of the paper's exhibits and writes the
+rendered text (with the paper's numbers alongside) to
+``benchmarks/results/``.  Heavy experiment data (Table 1) is computed
+once per session and shared.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_result(results_dir):
+    """Write one exhibit's rendered text to benchmarks/results/."""
+
+    def writer(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return writer
+
+
+@pytest.fixture(scope="session")
+def table1_rows():
+    """Table 1's full measurement set, computed once per session."""
+    from repro.eval import table1
+
+    return table1()
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a heavy driver exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Machine-model tour: why the same program behaves differently on the
+CM-2 and the DECmpp (Sections 5.2-5.3).
+
+Demonstrates, at a reduced problem size, the three machine-specific
+effects the paper reports:
+
+1. layer cycling — explicit ``1:Lrs`` sections (L_u^l) help on the
+   DECmpp but not on the CM-2, which sweeps all allocated layers;
+2. the Nmax effect — doubling the allocated problem size doubles the
+   unflattened versions' time but leaves the flattened kernel alone;
+3. granularity — at Gran = N flattening cannot help (one atom per
+   slot), and the indirect-addressing overhead makes L_f slightly
+   slower: the paper's Table 1 bottom-right corner.
+
+Run:  python examples/machine_comparison.py
+"""
+
+import numpy as np
+
+from repro.kernels.nbforce import run_flat_kernel, run_unflat_kernel
+from repro.md import build_pairlist, synthetic_sod
+from repro.simd import DataDistribution, cm2, decmpp
+
+N_ATOMS = 1200
+CUTOFF = 8.0
+
+
+def price(machine, counters, dist, version):
+    if version == "L_f":
+        return machine.seconds(counters)
+    if version == "Lu_l":
+        return machine.seconds(
+            counters,
+            touched_layers=dist.lrs,
+            alloc_layers=dist.max_lrs,
+            explicit_sections=True,
+        )
+    return machine.seconds(counters, alloc_layers=dist.max_lrs)
+
+
+def run_all(molecule, pairlist, machine, gran, nmax):
+    dist = DataDistribution(n=molecule.n_atoms, gran=gran, nmax=nmax, scheme="cyclic")
+    out = {}
+    _, c = run_unflat_kernel(molecule, pairlist, dist, select_layers=True)
+    out["Lu_l"] = price(machine, c, dist, "Lu_l")
+    _, c = run_unflat_kernel(molecule, pairlist, dist, select_layers=False)
+    out["Lu_2"] = price(machine, c, dist, "Lu_2")
+    _, c = run_flat_kernel(molecule, pairlist, dist)
+    out["L_f"] = price(machine, c, dist, "L_f")
+    return out, dist
+
+
+def main():
+    molecule = synthetic_sod(n_atoms=N_ATOMS)
+    pairlist = build_pairlist(molecule, CUTOFF)
+
+    print("=== 1. layer cycling: L_u^l vs L_u^2 ===")
+    for machine in (cm2(1024), decmpp(128)):
+        times, dist = run_all(molecule, pairlist, machine, machine.gran, nmax=2048)
+        verdict = "helps" if times["Lu_l"] < times["Lu_2"] else "hurts"
+        print(
+            f"{machine.name:14s} (Lrs={dist.lrs}/{dist.max_lrs}): "
+            f"Lu_l={times['Lu_l']:.2f}s  Lu_2={times['Lu_2']:.2f}s  "
+            f"-> explicit layer selection {verdict}"
+        )
+
+    print("\n=== 2. the Nmax effect (Section 5.3) ===")
+    for machine in (cm2(1024), decmpp(128)):
+        small, _ = run_all(molecule, pairlist, machine, machine.gran, nmax=2048)
+        large, _ = run_all(molecule, pairlist, machine, machine.gran, nmax=4096)
+        print(f"{machine.name} — doubling Nmax (2048 -> 4096):")
+        for version in ("Lu_l", "Lu_2", "L_f"):
+            growth = large[version] / small[version]
+            print(f"   {version:5s}: x{growth:.2f}")
+
+    print("\n=== 3. granularity sweep on the DECmpp (Nmax = N) ===")
+    print(f"{'Gran':>6s} {'Lrs':>4s} {'Lu_2 (s)':>10s} {'L_f (s)':>10s} {'speedup':>8s}")
+    for gran in (64, 128, 256, 600, N_ATOMS):
+        machine = decmpp(gran)
+        times, dist = run_all(molecule, pairlist, machine, gran, nmax=N_ATOMS)
+        print(
+            f"{gran:>6d} {dist.lrs:>4d} {times['Lu_2']:>10.3f} "
+            f"{times['L_f']:>10.3f} {times['Lu_2'] / times['L_f']:>7.2f}x"
+        )
+    print(
+        "\nAt Gran = N (one atom per slot) the three versions converge —\n"
+        "flattening has nothing left to absorb, and its indirect\n"
+        "addressing makes it slightly slower: the paper's bottom row."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""A full MD trajectory around the NBFORCE kernel (Section 5.1).
+
+Runs velocity-Verlet dynamics over the LJ+Coulomb forces with the
+pairlist rebuilt every k = 10 steps (the paper's "one common value"),
+and accounts for what a SIMD machine would spend on the force sweeps
+of the whole trajectory under each loop discipline — the kernel is
+"about 90% of the overall simulation cost", so this is the number the
+transformation actually moves.
+
+Run:  python examples/md_trajectory.py [n_side] [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.md import (
+    VerletIntegrator,
+    lattice_box,
+    temperature,
+    workload_counts,
+)
+from repro.simd import DataDistribution, decmpp
+
+
+def main(n_side: int = 9, steps: int = 30):
+    # A physically integrable system: atoms on a perturbed lattice.
+    # (The synthetic SOD reproduces the paper's *pairlist statistics*
+    # but is not relaxed, so dynamics would blow up its LJ cores.)
+    molecule = lattice_box(n_side=n_side, spacing=4.0, seed=7)
+    n_atoms = molecule.n_atoms
+    integ = VerletIntegrator(
+        molecule,
+        cutoff=8.0,
+        dt=5e-4,
+        rebuild_every=10,
+        temperature_init=300.0,
+        seed=7,
+    )
+    print(
+        f"simulating {n_atoms} atoms for {steps} steps "
+        f"(dt=0.5 fs, pairlist every 10 steps) ..."
+    )
+    gran = max(32, n_atoms // 8)
+    machine = decmpp(gran)
+    dist = DataDistribution(n=n_atoms, gran=gran, nmax=2 * n_atoms, scheme="cyclic")
+
+    flat_sweeps = 0
+    unflat_sweeps = 0
+    checkpoint = max(1, steps // 5)
+    for block in range(0, steps, checkpoint):
+        todo = min(checkpoint, steps - block)
+        integ.run(todo)
+        counts = workload_counts(integ.pairlist, dist)
+        flat_sweeps += counts.flattened * todo
+        unflat_sweeps += counts.unflattened * todo
+        print(
+            f"  step {integ.state.step:4d}: T = {temperature(integ.state):6.1f} K, "
+            f"pairs = {integ.pairlist.total_pairs}, "
+            f"pairlist builds = {integ.state.pairlist_builds}"
+        )
+
+    print(f"\ntrajectory totals ({machine.name}, Gran={gran}):")
+    per_sweep = machine.call_cost["force"]
+    print(
+        f"  unflattened force sweeps: {unflat_sweeps:8d} "
+        f"(~{unflat_sweeps * per_sweep:7.1f} simulated seconds)"
+    )
+    print(
+        f"  flattened   force sweeps: {flat_sweeps:8d} "
+        f"(~{flat_sweeps * per_sweep:7.1f} simulated seconds)"
+    )
+    print(
+        f"  loop flattening saves {1 - flat_sweeps / unflat_sweeps:.0%} of the "
+        "kernel's machine time over the whole trajectory."
+    )
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    n_side = int(args[0]) if args else 9
+    steps = int(args[1]) if len(args) > 1 else 30
+    main(n_side, steps)

@@ -1,0 +1,90 @@
+"""repro — loop flattening for SIMD control flow, reproduced.
+
+A working implementation of
+
+    Reinhard v. Hanxleden and Ken Kennedy,
+    "Relaxing SIMD Control Flow Constraints using Loop
+    Transformations", PLDI 1992.
+
+The package contains everything the paper's pipeline needs:
+
+* :mod:`repro.lang` — MiniF, the pseudo-Fortran dialect of the paper
+  (F77 control flow + F90simd WHERE/FORALL + Fortran-D directives);
+* :mod:`repro.analysis` — loop nests, CFG/dataflow, dependence
+  testing, and the Section 6 applicability/profitability/safety report;
+* :mod:`repro.transform` — loop normalization, **loop flattening**
+  (Figures 10/11/12), SIMDizing (Section 3), SPMD partitioning, and
+  the loop-coalescing baseline;
+* :mod:`repro.exec` — sequential, MIMD, and lockstep SIMD
+  interpreters with execution-event accounting;
+* :mod:`repro.simd` — data layouts/granularity, CM-2 / DECmpp /
+  Sparc 2 cost models, trace recording;
+* :mod:`repro.md` — the GROMOS-style molecular-dynamics substrate
+  (synthetic SOD, pairlists, forces);
+* :mod:`repro.kernels` — the paper's EXAMPLE and NBFORCE programs
+  plus Mandelbrot / region-growing / SpMV workloads;
+* :mod:`repro.eval` — drivers regenerating every table and figure.
+
+Quick start::
+
+    from repro import parse_source, flatten_program, run_simd_program
+
+    tree = parse_source(F77_TEXT)
+    flat = flatten_program(tree, variant="auto", simd=True)
+    env, counters = run_simd_program(flat, nproc=64, bindings={...})
+    print(counters.total_steps)
+"""
+
+from .analysis import evaluate_flattening
+from .exec import (
+    ExecutionCounters,
+    MIMDSimulator,
+    ScalarInterpreter,
+    SIMDInterpreter,
+    run_mimd_program,
+    run_program,
+    run_simd_program,
+)
+from .lang import (
+    check_source,
+    format_source,
+    parse_source,
+)
+from .simd import DataDistribution, cm2, decmpp, sparc2
+from .transform import (
+    coalesce_nest,
+    flatten_loop_nest,
+    flatten_program,
+    naive_simd_program,
+    simdize_nest,
+    simdize_structured,
+)
+from .transform.parallel import flatten_spmd
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "parse_source",
+    "format_source",
+    "check_source",
+    "evaluate_flattening",
+    "flatten_loop_nest",
+    "flatten_program",
+    "flatten_spmd",
+    "simdize_structured",
+    "simdize_nest",
+    "naive_simd_program",
+    "coalesce_nest",
+    "ScalarInterpreter",
+    "SIMDInterpreter",
+    "MIMDSimulator",
+    "run_program",
+    "run_simd_program",
+    "run_mimd_program",
+    "ExecutionCounters",
+    "DataDistribution",
+    "cm2",
+    "decmpp",
+    "sparc2",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""Program analyses backing the transformation decisions of Section 6."""
+
+from .applicability import FlatteningCost, FlatteningReport, evaluate_flattening
+from .cfg import CFGNode, ControlFlowGraph, build_cfg
+from .dataflow import (
+    Liveness,
+    ReachingDefinitions,
+    live_variables,
+    reaching_definitions,
+    stmt_defs,
+    stmt_uses,
+)
+from .dependence import (
+    AffineTerm,
+    ParallelismReport,
+    analyze_outer_parallelism,
+    parse_affine,
+)
+from .loopnest import (
+    LoopNode,
+    build_loop_tree,
+    flattenable_nests,
+    loop_tree_of,
+    max_nest_depth,
+)
+from .sideeffects import (
+    assigned_names,
+    referenced_names,
+    stmts_have_side_effects,
+    subscripts_depending_on,
+)
+
+__all__ = [
+    "build_cfg",
+    "ControlFlowGraph",
+    "CFGNode",
+    "reaching_definitions",
+    "ReachingDefinitions",
+    "live_variables",
+    "Liveness",
+    "stmt_defs",
+    "stmt_uses",
+    "analyze_outer_parallelism",
+    "ParallelismReport",
+    "parse_affine",
+    "AffineTerm",
+    "evaluate_flattening",
+    "FlatteningReport",
+    "FlatteningCost",
+    "loop_tree_of",
+    "build_loop_tree",
+    "flattenable_nests",
+    "max_nest_depth",
+    "LoopNode",
+    "stmts_have_side_effects",
+    "assigned_names",
+    "referenced_names",
+    "subscripts_depending_on",
+]

@@ -1,0 +1,160 @@
+"""Dataflow analyses over the statement-level CFG.
+
+Classic worklist implementations of reaching definitions and live
+variables.  They back two users:
+
+* the dependence test's scalar reasoning (a scalar carried across
+  outer iterations blocks parallelization, hence flattening safety);
+* dead-guard detection when cleaning up transformed code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import ast
+from .cfg import CFGNode, ControlFlowGraph
+
+
+def stmt_defs(stmt: ast.Stmt | None) -> set[str]:
+    """Names the statement itself defines (not nested bodies)."""
+    if stmt is None:
+        return set()
+    if isinstance(stmt, ast.Assign):
+        target = stmt.target
+        if isinstance(target, (ast.Var, ast.ArrayRef)):
+            return {target.name}
+        return set()
+    if isinstance(stmt, (ast.Do, ast.Forall)):
+        return {stmt.var}
+    if isinstance(stmt, ast.CallStmt):
+        return {
+            arg.name for arg in stmt.args if isinstance(arg, (ast.Var, ast.ArrayRef))
+        }
+    return set()
+
+
+def _expr_uses(expr: ast.Expr | None) -> set[str]:
+    if expr is None:
+        return set()
+    return {
+        node.name
+        for node in ast.walk(expr)
+        if isinstance(node, (ast.Var, ast.ArrayRef))
+    }
+
+
+def stmt_uses(stmt: ast.Stmt | None) -> set[str]:
+    """Names the statement itself reads (headers only, not bodies)."""
+    if stmt is None:
+        return set()
+    if isinstance(stmt, ast.Assign):
+        uses = _expr_uses(stmt.value)
+        if isinstance(stmt.target, ast.ArrayRef):
+            for sub in stmt.target.subs:
+                uses |= _expr_uses(sub)
+            uses.add(stmt.target.name)  # partial update reads the array
+        return uses
+    if isinstance(stmt, ast.Do):
+        uses = _expr_uses(stmt.lo) | _expr_uses(stmt.hi)
+        if stmt.stride is not None:
+            uses |= _expr_uses(stmt.stride)
+        return uses
+    if isinstance(stmt, (ast.DoWhile, ast.While)):
+        return _expr_uses(stmt.cond)
+    if isinstance(stmt, ast.If):
+        return _expr_uses(stmt.cond)
+    if isinstance(stmt, ast.Where):
+        return _expr_uses(stmt.mask)
+    if isinstance(stmt, ast.Forall):
+        uses = _expr_uses(stmt.lo) | _expr_uses(stmt.hi)
+        if stmt.mask is not None:
+            uses |= _expr_uses(stmt.mask)
+        return uses
+    if isinstance(stmt, ast.CallStmt):
+        out: set[str] = set()
+        for arg in stmt.args:
+            out |= _expr_uses(arg)
+        return out
+    return set()
+
+
+@dataclass
+class ReachingDefinitions:
+    """Result of reaching-definitions analysis.
+
+    ``in_sets[n]`` / ``out_sets[n]`` hold ``(name, def_node)`` pairs
+    reaching the entry / exit of CFG node ``n``.
+    """
+
+    cfg: ControlFlowGraph
+    in_sets: list[set[tuple[str, int]]]
+    out_sets: list[set[tuple[str, int]]]
+
+    def defs_reaching(self, node_index: int, name: str) -> set[int]:
+        """CFG nodes whose definition of ``name`` reaches ``node_index``."""
+        return {
+            def_node
+            for def_name, def_node in self.in_sets[node_index]
+            if def_name == name
+        }
+
+
+def reaching_definitions(cfg: ControlFlowGraph) -> ReachingDefinitions:
+    """Forward may-analysis: which definitions reach each node."""
+    count = len(cfg.nodes)
+    gen: list[set[tuple[str, int]]] = [set() for _ in range(count)]
+    kill_names: list[set[str]] = [set() for _ in range(count)]
+    for node in cfg.nodes:
+        for name in stmt_defs(node.stmt):
+            gen[node.index].add((name, node.index))
+            kill_names[node.index].add(name)
+    in_sets: list[set[tuple[str, int]]] = [set() for _ in range(count)]
+    out_sets: list[set[tuple[str, int]]] = [set(gen[i]) for i in range(count)]
+    worklist = list(range(count))
+    while worklist:
+        index = worklist.pop()
+        node = cfg.nodes[index]
+        new_in: set[tuple[str, int]] = set()
+        for pred in node.preds:
+            new_in |= out_sets[pred]
+        survivors = {
+            (name, where) for name, where in new_in if name not in kill_names[index]
+        }
+        new_out = gen[index] | survivors
+        if new_in != in_sets[index] or new_out != out_sets[index]:
+            in_sets[index] = new_in
+            out_sets[index] = new_out
+            worklist.extend(node.succs)
+    return ReachingDefinitions(cfg, in_sets, out_sets)
+
+
+@dataclass
+class Liveness:
+    """Result of live-variables analysis (names live at node entry/exit)."""
+
+    cfg: ControlFlowGraph
+    live_in: list[set[str]]
+    live_out: list[set[str]]
+
+
+def live_variables(cfg: ControlFlowGraph) -> Liveness:
+    """Backward may-analysis: which names are live at each node."""
+    count = len(cfg.nodes)
+    uses = [stmt_uses(node.stmt) for node in cfg.nodes]
+    defs = [stmt_defs(node.stmt) for node in cfg.nodes]
+    live_in: list[set[str]] = [set() for _ in range(count)]
+    live_out: list[set[str]] = [set() for _ in range(count)]
+    worklist = list(range(count))
+    while worklist:
+        index = worklist.pop()
+        node = cfg.nodes[index]
+        new_out: set[str] = set()
+        for succ in node.succs:
+            new_out |= live_in[succ]
+        new_in = uses[index] | (new_out - defs[index])
+        if new_in != live_in[index] or new_out != live_out[index]:
+            live_in[index] = new_in
+            live_out[index] = new_out
+            worklist.extend(node.preds)
+    return Liveness(cfg, live_in, live_out)

@@ -1,0 +1,90 @@
+"""Loop-nest structure analysis.
+
+Builds the loop tree of a routine and answers the paper's structural
+applicability question (Section 6): "applicability is ensured whenever
+there are multiple loops fully contained in each other, i.e., there
+are not several loops on the same nesting level" — easily derived from
+the abstract syntax tree, which is what this module does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang import ast
+from ..transform.normalize import is_loop
+
+
+@dataclass
+class LoopNode:
+    """One loop in the loop tree.
+
+    Attributes:
+        stmt: The loop statement.
+        depth: Nesting depth (outermost loops have depth 1).
+        children: Loops directly contained in this loop's body.
+        body_stmts: Number of non-loop statements in the immediate body.
+    """
+
+    stmt: ast.Stmt
+    depth: int
+    children: list["LoopNode"] = field(default_factory=list)
+    body_stmts: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def height(self) -> int:
+        """Levels of loops below (and including) this one."""
+        if not self.children:
+            return 1
+        return 1 + max(child.height() for child in self.children)
+
+    def singly_nested(self) -> bool:
+        """True when no level below this loop has sibling loops."""
+        if not self.children:
+            return True
+        return len(self.children) == 1 and self.children[0].singly_nested()
+
+
+def _bodies_of(stmt: ast.Stmt) -> list[list[ast.Stmt]]:
+    return ast.sub_bodies(stmt)
+
+
+def build_loop_tree(body: list[ast.Stmt], depth: int = 1) -> list[LoopNode]:
+    """Build the forest of loops contained in a statement list."""
+    nodes: list[LoopNode] = []
+    for stmt in body:
+        if is_loop(stmt):
+            node = LoopNode(stmt, depth)
+            for sub in _bodies_of(stmt):
+                node.children.extend(build_loop_tree(sub, depth + 1))
+                node.body_stmts += sum(1 for s in sub if not is_loop(s))
+            nodes.append(node)
+        else:
+            # Loops hidden under IF/WHERE still belong to this level.
+            for sub in _bodies_of(stmt):
+                nodes.extend(build_loop_tree(sub, depth))
+    return nodes
+
+
+def loop_tree_of(routine: ast.Routine) -> list[LoopNode]:
+    """The loop forest of a routine body."""
+    return build_loop_tree(routine.body)
+
+
+def flattenable_nests(routine: ast.Routine) -> list[LoopNode]:
+    """Outermost loops whose whole subtree is singly nested and at
+    least two levels deep — the structurally flattenable nests."""
+    return [
+        node
+        for node in loop_tree_of(routine)
+        if node.height() >= 2 and node.singly_nested()
+    ]
+
+
+def max_nest_depth(routine: ast.Routine) -> int:
+    """Deepest loop nesting in the routine (0 when loop-free)."""
+    forest = loop_tree_of(routine)
+    return max((node.height() for node in forest), default=0)

@@ -1,0 +1,267 @@
+"""Command-line driver for the loop-flattening toolchain.
+
+Usage::
+
+    python -m repro check FILE            # parse + semantic check
+    python -m repro report FILE           # Section 6 verdicts per nest
+    python -m repro flatten FILE          # print the flattened program
+    python -m repro simdize FILE -p 8     # naive SIMDization baseline
+    python -m repro run FILE -p 8 --bind l=4,1,2,1  # execute, show counters
+    python -m repro paper traces          # regenerate a paper exhibit
+
+Array bindings are comma-separated numbers; scalars are plain numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import __version__
+from .analysis import evaluate_flattening
+from .exec import run_program, run_simd_program
+from .lang import check_source, format_source, parse_source
+from .lang.errors import MiniFError
+from .transform import (
+    find_nest_sites,
+    flatten_program,
+    naive_simd_program,
+    simplify_program,
+    structurize_program,
+)
+from .transform.parallel import flatten_spmd
+
+
+def _load(path: str):
+    with open(path) as handle:
+        return parse_source(handle.read(), filename=path)
+
+
+def _parse_binding(text: str):
+    name, _, value = text.partition("=")
+    if not name or not value:
+        raise argparse.ArgumentTypeError(
+            f"binding must look like name=1,2,3 — got {text!r}"
+        )
+    parts = value.split(",")
+
+    def number(token: str):
+        token = token.strip()
+        return float(token) if ("." in token or "e" in token.lower()) else int(token)
+
+    if len(parts) == 1:
+        return name.lower(), number(parts[0])
+    return name.lower(), np.array([number(p) for p in parts])
+
+
+def cmd_check(args) -> int:
+    tree = _load(args.file)
+    check_source(tree, externals=set(args.external or []))
+    print(f"{args.file}: OK ({len(tree.units)} unit(s))")
+    return 0
+
+
+def cmd_report(args) -> int:
+    tree = structurize_program(_load(args.file))
+    sites = find_nest_sites(tree)
+    if not sites:
+        print("no flattenable loop nests found")
+        return 1
+    for index, site in enumerate(sites):
+        report = evaluate_flattening(
+            site.stmt,
+            assume_parallel=args.assume_parallel,
+            assume_min_trips=args.assume_min_trips,
+        )
+        print(f"nest #{index} in {site.routine}:")
+        for reason in report.reasons:
+            print("  *", reason)
+        print(f"  => flatten? {report.recommended}  (cost: {report.cost})")
+    return 0
+
+
+def cmd_flatten(args) -> int:
+    tree = _load(args.file)
+    if args.nproc:
+        structured = structurize_program(tree)
+        sites = find_nest_sites(structured)
+        if not sites:
+            print("no flattenable loop nest found", file=sys.stderr)
+            return 1
+        site = sites[args.nest]
+        replacement = flatten_spmd(
+            site.stmt,
+            nproc=args.nproc,
+            layout=args.layout,
+            variant=args.variant,
+            assume_min_trips=args.assume_min_trips,
+            simd=not args.no_simd,
+        )
+        unit = structured.unit(site.routine)
+        unit.body[site.index:site.index + 1] = replacement
+        if args.simplify:
+            structured = simplify_program(structured)
+        print(format_source(structured), end="")
+        return 0
+    out = flatten_program(
+        tree,
+        variant=args.variant,
+        assume_min_trips=args.assume_min_trips,
+        simd=not args.no_simd,
+        nest_index=args.nest,
+    )
+    if args.simplify:
+        out = simplify_program(out)
+    print(format_source(out), end="")
+    return 0
+
+
+def cmd_simdize(args) -> int:
+    out = naive_simd_program(
+        _load(args.file), nproc=args.nproc, layout=args.layout, nest_index=args.nest
+    )
+    if args.simplify:
+        out = simplify_program(out)
+    print(format_source(out), end="")
+    return 0
+
+
+def cmd_run(args) -> int:
+    tree = _load(args.file)
+    bindings = dict(args.bind or [])
+    if args.nproc and args.nproc > 0:
+        if args.engine == "vm":
+            from .vm import run_bytecode
+
+            env, counters = run_bytecode(tree, args.nproc, bindings=bindings)
+            print(f"ran on {args.nproc} lockstep PEs (bytecode VM)")
+        else:
+            env, counters = run_simd_program(tree, args.nproc, bindings=bindings)
+            print(f"ran on {args.nproc} lockstep PEs")
+    else:
+        env, counters = run_program(tree, bindings=bindings)
+        print("ran sequentially")
+    summary = counters.summary()
+    print(f"lockstep steps : {summary['total_steps']}")
+    print(f"vector instrs  : {summary['vector_instructions']}")
+    if summary["calls"]:
+        print(f"external calls : {summary['calls']}")
+    print(f"mean utilization: {summary['mean_utilization']:.1%}")
+    if args.show:
+        for name in args.show:
+            value = env.get(name.lower())
+            data = getattr(value, "data", value)
+            print(f"{name} = {data}")
+    return 0
+
+
+def cmd_paper(args) -> int:
+    from . import eval as evaluation
+
+    exhibit = args.exhibit
+    if exhibit == "traces":
+        traces = evaluation.example_traces()
+        print("Figure 4 (MIMD):")
+        print(traces.mimd.format())
+        print("\nFigure 6 (naive SIMD):")
+        print(traces.naive_simd.format())
+        print("\nFlattened SIMD:")
+        print(traces.flattened_simd.format())
+    elif exhibit == "fig18":
+        print(evaluation.format_figure18(evaluation.figure18()))
+    elif exhibit == "table1":
+        print(evaluation.format_table1(evaluation.table1()))
+    elif exhibit == "table2":
+        print(evaluation.format_table2(evaluation.table2()))
+    elif exhibit == "fig19":
+        print(evaluation.format_figure19(evaluation.figure19_series()))
+    elif exhibit == "sparc":
+        for row in evaluation.sparc_reference():
+            print(f"Sparc 2 at {row['cutoff']:.0f}A: {row['seconds']:.2f}s")
+    else:
+        print(f"unknown exhibit '{exhibit}'", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Loop flattening for SIMD control flow (PLDI '92 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="parse and semantically check a MiniF file")
+    p.add_argument("file")
+    p.add_argument("--external", action="append", help="known external subroutine")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("report", help="Section 6 applicability report per nest")
+    p.add_argument("file")
+    p.add_argument("--assume-parallel", action="store_true")
+    p.add_argument("--assume-min-trips", action="store_true")
+    p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser("flatten", help="flatten a loop nest and print the program")
+    p.add_argument("file")
+    p.add_argument("--variant", default="auto",
+                   choices=["auto", "general", "optimized", "done"])
+    p.add_argument("--assume-min-trips", action="store_true")
+    p.add_argument("--no-simd", action="store_true",
+                   help="emit the F77 form instead of the F90simd form")
+    p.add_argument("--nest", type=int, default=0, help="which nest (default first)")
+    p.add_argument("-p", "--nproc", type=int, default=0,
+                   help="also partition the outer loop over P PEs")
+    p.add_argument("--layout", default="cyclic", choices=["block", "cyclic"])
+    p.add_argument("--simplify", action="store_true",
+                   help="constant-fold and clean up the generated code")
+    p.set_defaults(fn=cmd_flatten)
+
+    p = sub.add_parser("simdize", help="naive SIMDization (the Section 3 baseline)")
+    p.add_argument("file")
+    p.add_argument("-p", "--nproc", type=int, required=True)
+    p.add_argument("--layout", default="block", choices=["block", "cyclic"])
+    p.add_argument("--nest", type=int, default=0)
+    p.add_argument("--simplify", action="store_true",
+                   help="constant-fold and clean up the generated code")
+    p.set_defaults(fn=cmd_simdize)
+
+    p = sub.add_parser("run", help="execute a MiniF program")
+    p.add_argument("file")
+    p.add_argument("-p", "--nproc", type=int, default=0,
+                   help="run on a lockstep SIMD machine with P PEs "
+                        "(omit for sequential execution)")
+    p.add_argument("--bind", action="append", type=_parse_binding,
+                   metavar="NAME=V[,V...]", help="initial variable binding")
+    p.add_argument("--show", action="append", metavar="NAME",
+                   help="print a variable after the run")
+    p.add_argument("--engine", default="interp", choices=["interp", "vm"],
+                   help="SIMD execution engine: tree-walking interpreter "
+                        "or the bytecode VM")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("paper", help="regenerate a paper exhibit")
+    p.add_argument("exhibit",
+                   choices=["traces", "fig18", "table1", "table2", "fig19", "sparc"])
+    p.set_defaults(fn=cmd_paper)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except MiniFError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Evaluation harness: time-bound formulas, experiment drivers, and
+table renderers for every exhibit in the paper."""
+
+from .experiments import (
+    TABLE2_GRANS,
+    VERSIONS,
+    ExampleTraces,
+    Table1Cell,
+    Table1Row,
+    example_traces,
+    figure18,
+    figure19_series,
+    flattening_overhead,
+    nmax_sensitivity,
+    sparc_reference,
+    table1,
+    table2,
+    utilization_sweep,
+)
+from .tables import format_figure18, format_figure19, format_table1, format_table2
+from .timing import (
+    improvement_bound,
+    nbforce_bounds,
+    time_mimd,
+    time_simd_flattened,
+    time_simd_naive,
+)
+
+__all__ = [
+    "time_mimd",
+    "time_simd_naive",
+    "time_simd_flattened",
+    "improvement_bound",
+    "nbforce_bounds",
+    "example_traces",
+    "ExampleTraces",
+    "figure18",
+    "table1",
+    "Table1Row",
+    "Table1Cell",
+    "sparc_reference",
+    "table2",
+    "TABLE2_GRANS",
+    "figure19_series",
+    "nmax_sensitivity",
+    "flattening_overhead",
+    "utilization_sweep",
+    "VERSIONS",
+    "format_table1",
+    "format_table2",
+    "format_figure18",
+    "format_figure19",
+]

@@ -1,0 +1,85 @@
+"""Text rendering of the paper's tables and figure data.
+
+Produces the same row/column structure the paper prints, so a
+side-by-side comparison with the original is a diff, not a puzzle.
+"""
+
+from __future__ import annotations
+
+from .experiments import Table1Row, WorkloadCounts
+
+
+def _fmt_seconds(value: float | None) -> str:
+    if value is None:
+        return ""
+    if value < 1.0:
+        return f"{value:.3f}"
+    return f"{value:.2f}"
+
+
+def format_table1(rows: list[Table1Row], cutoffs=(4.0, 8.0, 12.0, 16.0)) -> str:
+    """Render Table 1: running times per config, cutoff and version."""
+    header_parts = ["P/Gran".ljust(12)]
+    for cutoff in cutoffs:
+        header_parts.append(f"| {int(cutoff):>2d}A: Lu_l   Lu_2    L_f  ")
+    lines = ["".join(header_parts)]
+    lines.append("-" * len(lines[0]))
+    current_machine = None
+    for row in rows:
+        if row.machine != current_machine:
+            lines.append(f"[{row.machine}]")
+            current_machine = row.machine
+        parts = [f"{row.physical_pes}/{row.gran}".ljust(12)]
+        for cutoff in cutoffs:
+            cells = [
+                _fmt_seconds(row.cell(cutoff, version).seconds)
+                for version in ("Lu_l", "Lu_2", "L_f")
+            ]
+            parts.append("| " + " ".join(c.rjust(6) for c in cells) + " ")
+        lines.append("".join(parts))
+    return "\n".join(lines)
+
+
+def format_table2(
+    counts: dict[tuple[int, float], WorkloadCounts],
+    cutoffs=(4.0, 8.0, 12.0, 16.0),
+) -> str:
+    """Render Table 2: force-call counts and L_u/L_f ratios."""
+    grans = sorted({gran for gran, _ in counts})
+    header = "Gran".ljust(6) + "".join(
+        f"| {int(c):>2d}A: Lu     Lf    Lu/Lf " for c in cutoffs
+    )
+    lines = [header, "-" * len(header)]
+    for gran in grans:
+        parts = [str(gran).ljust(6)]
+        for cutoff in cutoffs:
+            wc = counts.get((gran, float(cutoff)))
+            if wc is None:
+                parts.append("| " + " " * 24)
+            else:
+                parts.append(
+                    f"| {wc.unflattened:>6d} {wc.flattened:>6d} {wc.ratio:>6.3f} "
+                )
+        lines.append("".join(parts))
+    return "\n".join(lines)
+
+
+def format_figure18(rows: list[dict]) -> str:
+    """Render Figure 18's data: pair counts per cutoff."""
+    lines = ["cutoff(A)  pCnt_max  pCnt_avg  max/avg"]
+    for row in rows:
+        lines.append(
+            f"{row['cutoff']:>8.1f}  {row['max']:>8d}  {row['avg']:>8.2f}  "
+            f"{row['ratio']:>7.3f}"
+        )
+    return "\n".join(lines)
+
+
+def format_figure19(series: dict) -> str:
+    """Render Figure 19's series as aligned text (log-log in spirit)."""
+    lines = []
+    for (machine, cutoff, version), points in sorted(series.items()):
+        tag = f"{machine:14s} {int(cutoff):>2d}A {version:<5s}"
+        path = "  ".join(f"P={p}: {s:8.3f}s" for p, s in points)
+        lines.append(f"{tag} | {path}")
+    return "\n".join(lines)

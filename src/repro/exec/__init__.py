@@ -1,0 +1,27 @@
+"""Execution engines: sequential (F77), MIMD, and lockstep SIMD.
+
+The three interpreters implement the three execution levels of the
+paper's Section 2 language family and share one value model, one
+intrinsic registry, and one event-accounting scheme.
+"""
+
+from .counters import EVENT_KINDS, ExecutionCounters
+from .intrinsics import call_intrinsic
+from .mimd import MIMDResult, MIMDSimulator, run_mimd_program
+from .scalar import ScalarInterpreter, run_program
+from .simd import SIMDInterpreter, run_simd_program
+from .values import FArray
+
+__all__ = [
+    "ExecutionCounters",
+    "EVENT_KINDS",
+    "FArray",
+    "call_intrinsic",
+    "ScalarInterpreter",
+    "run_program",
+    "SIMDInterpreter",
+    "run_simd_program",
+    "MIMDSimulator",
+    "MIMDResult",
+    "run_mimd_program",
+]

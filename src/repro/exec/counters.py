@@ -1,0 +1,167 @@
+"""Operation accounting shared by the interpreters.
+
+Interpreters do not know about machines; they record *events*
+(vector instructions, broken down by kind, lane width, serial memory
+layers and activity mask).  Machine cost models
+(:mod:`repro.simd.cost`) later price the events into cycles and
+seconds.
+
+Event kinds:
+
+===========  ================================================================
+``int_op``   elementwise integer arithmetic / comparison
+``real_op``  elementwise floating-point arithmetic / comparison
+``logical``  elementwise boolean operation
+``store``    assignment store
+``gather``   indirect load (vector-subscripted read)
+``scatter``  indirect store (vector-subscripted write)
+``reduce``   cross-processor reduction (ANY, MAXVAL, ...)
+``mask``     WHERE mask manipulation
+``acu``      scalar control work on the front end / array control unit
+``call``     subroutine call overhead
+===========  ================================================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+#: All event kinds an interpreter may record.
+EVENT_KINDS = (
+    "int_op",
+    "real_op",
+    "logical",
+    "store",
+    "gather",
+    "scatter",
+    "reduce",
+    "mask",
+    "acu",
+    "call",
+)
+
+
+class ExecutionCounters:
+    """Accumulates execution events for one program run.
+
+    Attributes:
+        nproc: Lane count (1 for the sequential interpreter).
+        events: vector-instruction count per kind.
+        layer_steps: vector instructions weighted by serial layers —
+            the lockstep *step* count of the run.
+        element_ops: total scalar elements processed per kind.
+        active_elements: elements on *active* lanes per kind (useful work).
+        calls: per external-routine vector call count.
+        call_layer_steps: per-routine calls weighted by layers.
+        lane_active_steps: per-lane count of steps in which the lane
+            was active (for utilization plots).
+    """
+
+    def __init__(self, nproc: int = 1):
+        self.nproc = nproc
+        self.events: Counter[str] = Counter()
+        self.layer_steps: Counter[str] = Counter()
+        self.element_ops: Counter[str] = Counter()
+        self.active_elements: Counter[str] = Counter()
+        self.calls: Counter[str] = Counter()
+        self.call_layer_steps: Counter[str] = Counter()
+        self.section_events: Counter[str] = Counter()
+        self.section_layer_steps: Counter[str] = Counter()
+        self.lane_active_steps = np.zeros(nproc, dtype=np.int64)
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, kind: str, width: int = 1, layers: int = 1, mask=None) -> None:
+        """Record one vector instruction.
+
+        Args:
+            kind: One of :data:`EVENT_KINDS`.
+            width: Lane width of the instruction (P for vector ops, 1
+                for front-end scalar work).
+            layers: Serial memory layers the instruction sweeps; a
+                section op over ``k`` layers counts as ``k`` lockstep steps.
+            mask: Current activity mask (bool array of ``nproc``), or
+                None when all lanes are active / activity is unknown.
+        """
+        self.events[kind] += 1
+        self.layer_steps[kind] += layers
+        self.element_ops[kind] += width * layers
+        if layers > 1:
+            self.section_events[kind] += 1
+            self.section_layer_steps[kind] += layers
+        if mask is None:
+            active = width
+        else:
+            active = int(np.count_nonzero(mask))
+        self.active_elements[kind] += active * layers
+        if mask is not None and kind != "acu":
+            self.lane_active_steps += np.asarray(mask, dtype=np.int64) * layers
+
+    def record_call(self, name: str, layers: int = 1, mask=None) -> None:
+        """Record one (vector) call of an external routine such as Force."""
+        self.calls[name] += 1
+        self.call_layer_steps[name] += layers
+        self.record("call", width=self.nproc, layers=layers, mask=mask)
+
+    def call_sections(self, name: str) -> tuple[int, int]:
+        """(section call count, section layer steps) for routine ``name``.
+
+        A call is a *section* call when it swept more than one memory
+        layer; the pair mirrors :attr:`section_events` /
+        :attr:`section_layer_steps` for the ``call`` kind but broken
+        down by routine.
+        """
+        calls = self.calls.get(name, 0)
+        layer_steps = self.call_layer_steps.get(name, 0)
+        if layer_steps > calls:
+            return calls, layer_steps
+        return 0, 0
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def total_steps(self) -> int:
+        """Total lockstep steps (vector instructions × layers)."""
+        return sum(self.layer_steps.values())
+
+    @property
+    def total_vector_instructions(self) -> int:
+        return sum(self.events.values())
+
+    def utilization(self) -> np.ndarray:
+        """Fraction of steps each lane was active (zeros if nothing ran)."""
+        steps = self.total_steps
+        if steps == 0:
+            return np.zeros(self.nproc)
+        return self.lane_active_steps / steps
+
+    def mean_utilization(self) -> float:
+        """Average activity fraction across lanes."""
+        return float(self.utilization().mean())
+
+    def merge(self, other: "ExecutionCounters") -> None:
+        """Fold another counter set into this one (same lane count)."""
+        self.events.update(other.events)
+        self.layer_steps.update(other.layer_steps)
+        self.element_ops.update(other.element_ops)
+        self.active_elements.update(other.active_elements)
+        self.calls.update(other.calls)
+        self.call_layer_steps.update(other.call_layer_steps)
+        self.section_events.update(other.section_events)
+        self.section_layer_steps.update(other.section_layer_steps)
+        if other.nproc == self.nproc:
+            self.lane_active_steps += other.lane_active_steps
+
+    def summary(self) -> dict:
+        """A plain-dict snapshot (handy for reports and tests)."""
+        return {
+            "total_steps": self.total_steps,
+            "vector_instructions": self.total_vector_instructions,
+            "events": dict(self.events),
+            "layer_steps": dict(self.layer_steps),
+            "calls": dict(self.calls),
+            "call_layer_steps": dict(self.call_layer_steps),
+            "mean_utilization": self.mean_utilization(),
+        }

@@ -1,0 +1,419 @@
+"""Sequential (F77) interpreter for MiniF.
+
+Executes a program the way the paper's Sparc 2 reference runs: one
+thread of control, ordinary loop semantics.  Execution events are
+recorded into :class:`~repro.exec.counters.ExecutionCounters` so a
+scalar machine model can price the run.
+
+The interpreter is dynamically typed (ints, floats, bools,
+:class:`~repro.exec.values.FArray`); whole-array assignments and array
+sections are supported Fortran-90 style.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lang import ast
+from ..lang.errors import InterpreterError
+from ..lang.symbols import implicit_type
+from .counters import ExecutionCounters
+from .intrinsics import call_intrinsic, coerce
+from .ops import apply_binop, apply_unop, op_event_kind, value_event_kind
+from .signals import (
+    GotoSignal,
+    LoopCycle,
+    LoopExit,
+    ReturnSignal,
+    StopSignal,
+)
+from .values import FArray, as_bool_scalar, as_int_scalar
+
+
+class ScalarInterpreter:
+    """Tree-walking sequential interpreter.
+
+    Args:
+        source: Parsed program (may contain subroutines).
+        externals: Mapping from subroutine name to a Python callable
+            ``fn(interp, arg_exprs, arg_values, env)`` implementing it.
+        counters: Event accumulator (created fresh when omitted).
+        statement_hook: Optional callable ``hook(stmt, env)`` invoked
+            before each executed statement — used by trace recorders.
+        max_statements: Safety bound on executed statements.
+    """
+
+    def __init__(
+        self,
+        source: ast.SourceFile,
+        externals: dict | None = None,
+        counters: ExecutionCounters | None = None,
+        statement_hook=None,
+        max_statements: int = 20_000_000,
+    ):
+        self.source = source
+        self.externals = externals or {}
+        self.counters = counters if counters is not None else ExecutionCounters(1)
+        self.statement_hook = statement_hook
+        self.max_statements = max_statements
+        self.executed_statements = 0
+        self._routines = {unit.name: unit for unit in source.units}
+
+    # -- entry points -----------------------------------------------------------
+
+    def run(self, routine_name: str | None = None, bindings: dict | None = None) -> dict:
+        """Execute a routine (the main PROGRAM by default); return its env."""
+        routine = (
+            self.source.main if routine_name is None else self._routines[routine_name]
+        )
+        env: dict = dict(bindings or {})
+        try:
+            self.exec_body(routine.body, env)
+        except (ReturnSignal, StopSignal):
+            pass
+        return env
+
+    # -- statements --------------------------------------------------------------
+
+    def exec_body(self, body: list[ast.Stmt], env: dict) -> None:
+        """Execute a statement list, honoring GOTO to labels it contains."""
+        labels = {
+            stmt.label: index
+            for index, stmt in enumerate(body)
+            if stmt.label is not None
+        }
+        pc = 0
+        while pc < len(body):
+            try:
+                self.exec_stmt(body[pc], env)
+            except GotoSignal as signal:
+                if signal.target in labels:
+                    pc = labels[signal.target]
+                    continue
+                raise
+            pc += 1
+
+    def exec_stmt(self, stmt: ast.Stmt, env: dict) -> None:
+        self.executed_statements += 1
+        if self.executed_statements > self.max_statements:
+            raise InterpreterError(
+                f"statement budget exceeded ({self.max_statements}); "
+                "suspected infinite loop",
+                stmt.loc,
+            )
+        if self.statement_hook is not None:
+            self.statement_hook(stmt, env)
+        method = getattr(self, f"_exec_{type(stmt).__name__.lower()}", None)
+        if method is None:
+            raise InterpreterError(
+                f"statement {type(stmt).__name__} not supported here", stmt.loc
+            )
+        method(stmt, env)
+
+    # individual statements ------------------------------------------------------
+
+    def _exec_decl(self, stmt: ast.Decl, env: dict) -> None:
+        for entity in stmt.entities:
+            base = (
+                stmt.base_type
+                if stmt.base_type != "dimension"
+                else implicit_type(entity.name)
+            )
+            if entity.dims:
+                existing = env.get(entity.name)
+                if isinstance(existing, FArray):
+                    continue
+                shape = tuple(
+                    as_int_scalar(self.eval(d, env), f"extent of {entity.name}")
+                    for d in entity.dims
+                )
+                array = FArray(entity.name, shape, base)
+                if isinstance(existing, np.ndarray):
+                    if existing.size != array.size:
+                        raise InterpreterError(
+                            f"binding for '{entity.name}' has {existing.size} "
+                            f"elements, declared {array.size}",
+                            stmt.loc,
+                        )
+                    array.data[...] = existing.reshape(array.shape)
+                elif existing is not None:
+                    array.data[...] = existing
+                env[entity.name] = array
+
+    def _exec_paramdecl(self, stmt: ast.ParamDecl, env: dict) -> None:
+        for name, value in zip(stmt.names, stmt.values):
+            env[name] = self.eval(value, env)
+
+    def _exec_decomposition(self, stmt, env) -> None:
+        pass
+
+    def _exec_align(self, stmt, env) -> None:
+        pass
+
+    def _exec_distribute(self, stmt, env) -> None:
+        pass
+
+    def _exec_assign(self, stmt: ast.Assign, env: dict) -> None:
+        value = self.eval(stmt.value, env)
+        self.assign_to(stmt.target, value, env)
+
+    def _exec_do(self, stmt: ast.Do, env: dict) -> None:
+        lo = as_int_scalar(self.eval(stmt.lo, env), "DO lower bound")
+        hi = as_int_scalar(self.eval(stmt.hi, env), "DO upper bound")
+        stride = (
+            as_int_scalar(self.eval(stmt.stride, env), "DO stride")
+            if stmt.stride is not None
+            else 1
+        )
+        if stride == 0:
+            raise InterpreterError("DO stride is zero", stmt.loc)
+        trips = max(0, (hi - lo + stride) // stride)
+        env[stmt.var] = lo
+        value = lo
+        for _ in range(trips):
+            env[stmt.var] = value
+            self.counters.record("acu")
+            try:
+                self.exec_body(stmt.body, env)
+            except LoopExit:
+                break
+            except LoopCycle:
+                pass
+            value += stride
+        else:
+            env[stmt.var] = value
+
+    def _exec_dowhile(self, stmt: ast.DoWhile, env: dict) -> None:
+        while True:
+            cond = as_bool_scalar(self.eval(stmt.cond, env), "DO WHILE condition")
+            self.counters.record("acu")
+            if not cond:
+                return
+            try:
+                self.exec_body(stmt.body, env)
+            except LoopExit:
+                return
+            except LoopCycle:
+                continue
+
+    def _exec_while(self, stmt: ast.While, env: dict) -> None:
+        while True:
+            cond = as_bool_scalar(self.eval(stmt.cond, env), "WHILE condition")
+            self.counters.record("acu")
+            if not cond:
+                return
+            try:
+                self.exec_body(stmt.body, env)
+            except LoopExit:
+                return
+            except LoopCycle:
+                continue
+
+    def _exec_if(self, stmt: ast.If, env: dict) -> None:
+        cond = as_bool_scalar(self.eval(stmt.cond, env), "IF condition")
+        self.counters.record("acu")
+        if cond:
+            self.exec_body(stmt.then_body, env)
+        else:
+            self.exec_body(stmt.else_body, env)
+
+    def _exec_where(self, stmt: ast.Where, env: dict) -> None:
+        # In sequential execution a WHERE behaves like an IF over the
+        # (scalar or uniform) mask.
+        mask = self.eval(stmt.mask, env)
+        self.counters.record("mask")
+        if as_bool_scalar(mask, "WHERE mask"):
+            self.exec_body(stmt.then_body, env)
+        else:
+            self.exec_body(stmt.else_body, env)
+
+    def _exec_forall(self, stmt: ast.Forall, env: dict) -> None:
+        lo = as_int_scalar(self.eval(stmt.lo, env), "FORALL lower bound")
+        hi = as_int_scalar(self.eval(stmt.hi, env), "FORALL upper bound")
+        for value in range(lo, hi + 1):
+            env[stmt.var] = value
+            if stmt.mask is not None and not as_bool_scalar(
+                self.eval(stmt.mask, env), "FORALL mask"
+            ):
+                continue
+            self.exec_body(stmt.body, env)
+
+    def _exec_goto(self, stmt: ast.Goto, env: dict) -> None:
+        self.counters.record("acu")
+        raise GotoSignal(stmt.target)
+
+    def _exec_continue(self, stmt, env) -> None:
+        pass
+
+    def _exec_exitstmt(self, stmt, env) -> None:
+        raise LoopExit()
+
+    def _exec_cyclestmt(self, stmt, env) -> None:
+        raise LoopCycle()
+
+    def _exec_return(self, stmt, env) -> None:
+        raise ReturnSignal()
+
+    def _exec_stop(self, stmt, env) -> None:
+        raise StopSignal()
+
+    def _exec_callstmt(self, stmt: ast.CallStmt, env: dict) -> None:
+        external = self.externals.get(stmt.name)
+        if external is not None:
+            # Output arguments may be unset before the call — pass None.
+            args = [
+                env.get(arg.name)
+                if isinstance(arg, ast.Var) and arg.name not in env
+                else self.eval(arg, env)
+                for arg in stmt.args
+            ]
+            self.counters.record_call(stmt.name)
+            external(self, stmt.args, args, env)
+            return
+        routine = self._routines.get(stmt.name)
+        if routine is None:
+            raise InterpreterError(f"CALL to unknown subroutine '{stmt.name}'", stmt.loc)
+        if len(routine.params) != len(stmt.args):
+            raise InterpreterError(
+                f"CALL {stmt.name}: arity mismatch", stmt.loc
+            )
+        self.counters.record("acu")
+        callee_env: dict = {}
+        writeback: list[tuple[str, ast.Expr]] = []
+        for param, arg in zip(routine.params, stmt.args):
+            value = self.eval(arg, env)
+            callee_env[param] = value
+            if not isinstance(value, FArray) and isinstance(
+                arg, (ast.Var, ast.ArrayRef)
+            ):
+                writeback.append((param, arg))
+        try:
+            self.exec_body(routine.body, callee_env)
+        except ReturnSignal:
+            pass
+        for param, arg in writeback:
+            self.assign_to(arg, callee_env[param], env)
+
+    # -- assignment ----------------------------------------------------------------
+
+    def assign_to(self, target: ast.Expr, value, env: dict) -> None:
+        """Store ``value`` into a Var or ArrayRef target."""
+        self.counters.record("store")
+        if isinstance(target, ast.Var):
+            existing = env.get(target.name)
+            if isinstance(existing, FArray):
+                existing.data[...] = coerce(value)
+            else:
+                env[target.name] = self._scalarize(value)
+            return
+        if isinstance(target, ast.ArrayRef):
+            array = env.get(target.name)
+            if not isinstance(array, FArray):
+                raise InterpreterError(
+                    f"'{target.name}' is not an array", target.loc
+                )
+            index = array.np_index([self._eval_subscript(s, env) for s in target.subs])
+            array.data[index] = coerce(value)
+            return
+        raise InterpreterError("invalid assignment target", target.loc)
+
+    @staticmethod
+    def _scalarize(value):
+        if isinstance(value, np.ndarray) and value.ndim == 0:
+            return value.item()
+        if isinstance(value, np.generic):
+            return value.item()
+        return value
+
+    # -- expressions -----------------------------------------------------------------
+
+    def eval(self, expr: ast.Expr, env: dict):
+        """Evaluate an expression to a runtime value."""
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.RealLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return expr.value
+        if isinstance(expr, ast.StringLit):
+            return expr.value
+        if isinstance(expr, ast.Var):
+            if expr.name not in env:
+                raise InterpreterError(f"'{expr.name}' used before assignment", expr.loc)
+            return env[expr.name]
+        if isinstance(expr, ast.ArrayRef):
+            return self._eval_arrayref(expr, env)
+        if isinstance(expr, ast.Call):
+            args = [self.eval(arg, env) for arg in expr.args]
+            self.counters.record("reduce" if len(args) == 1 else "int_op")
+            return call_intrinsic(expr.name, args)
+        if isinstance(expr, ast.BinOp):
+            left = self.eval(expr.left, env)
+            right = self.eval(expr.right, env)
+            result = apply_binop(expr.op, left, right)
+            self.counters.record(op_event_kind(expr.op, result))
+            return self._scalarize(result)
+        if isinstance(expr, ast.UnOp):
+            operand = self.eval(expr.operand, env)
+            result = apply_unop(expr.op, operand)
+            self.counters.record(op_event_kind(expr.op, result))
+            return self._scalarize(result)
+        if isinstance(expr, ast.VectorLit):
+            return np.array([self.eval(item, env) for item in expr.items])
+        if isinstance(expr, ast.RangeVec):
+            lo = as_int_scalar(self.eval(expr.lo, env), "range lower bound")
+            hi = as_int_scalar(self.eval(expr.hi, env), "range upper bound")
+            return np.arange(lo, hi + 1, dtype=np.int64)
+        raise InterpreterError(
+            f"cannot evaluate {type(expr).__name__} here", expr.loc
+        )
+
+    def _eval_subscript(self, sub: ast.Expr, env: dict):
+        if isinstance(sub, ast.Slice):
+            lo = (
+                as_int_scalar(self.eval(sub.lo, env), "section lower bound")
+                if sub.lo is not None
+                else 1
+            )
+            hi = self.eval(sub.hi, env) if sub.hi is not None else None
+            hi_int = as_int_scalar(hi, "section upper bound") if hi is not None else None
+            return slice(lo - 1, hi_int)
+        value = self.eval(sub, env)
+        if isinstance(value, np.ndarray):
+            return value
+        return as_int_scalar(value, "subscript")
+
+    def _eval_arrayref(self, expr: ast.ArrayRef, env: dict):
+        array = env.get(expr.name)
+        if isinstance(array, FArray):
+            index = array.np_index([self._eval_subscript(s, env) for s in expr.subs])
+            result = array.data[index]
+            if isinstance(result, np.ndarray):
+                return result.copy()
+            return self._scalarize(result)
+        if isinstance(array, np.ndarray):
+            subs = [self._eval_subscript(s, env) for s in expr.subs]
+            if len(subs) != array.ndim:
+                raise InterpreterError(
+                    f"'{expr.name}' subscript rank mismatch", expr.loc
+                )
+            index = tuple(
+                s if isinstance(s, slice) else np.asarray(s) - 1 for s in subs
+            )
+            result = array[index]
+            if isinstance(result, np.ndarray) and result.ndim == 0:
+                return result.item()
+            return result
+        raise InterpreterError(f"'{expr.name}' is not an array", expr.loc)
+
+
+def run_program(
+    source: ast.SourceFile,
+    bindings: dict | None = None,
+    externals: dict | None = None,
+    statement_hook=None,
+) -> tuple[dict, ExecutionCounters]:
+    """Run a program sequentially; return (final env, counters)."""
+    interp = ScalarInterpreter(source, externals, statement_hook=statement_hook)
+    env = interp.run(bindings=bindings)
+    return env, interp.counters

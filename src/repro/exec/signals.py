@@ -1,0 +1,31 @@
+"""Control-flow signals used internally by the interpreters."""
+
+from __future__ import annotations
+
+
+class ControlSignal(Exception):
+    """Base class for non-error control transfers."""
+
+
+class GotoSignal(ControlSignal):
+    """Raised by GOTO; caught by the statement list holding the label."""
+
+    def __init__(self, target: int):
+        super().__init__(f"goto {target}")
+        self.target = target
+
+
+class LoopExit(ControlSignal):
+    """Raised by EXIT; caught by the innermost loop."""
+
+
+class LoopCycle(ControlSignal):
+    """Raised by CYCLE; caught by the innermost loop."""
+
+
+class ReturnSignal(ControlSignal):
+    """Raised by RETURN; caught by the routine invocation."""
+
+
+class StopSignal(ControlSignal):
+    """Raised by STOP; terminates the program run."""

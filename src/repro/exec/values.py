@@ -1,0 +1,147 @@
+"""Runtime value model shared by the MiniF interpreters.
+
+Values are:
+
+* Python/numpy scalars — host (front-end / ACU) values;
+* 1-D numpy arrays of length ``P`` — per-processor replicated values
+  in the SIMD interpreter (the paper's default for F90simd scalars);
+* 2-D numpy arrays of shape ``(P, k)`` — sections of arrays whose
+  trailing dimension is laid out serially in PE memory (the paper's
+  "memory layers");
+* :class:`FArray` — a declared Fortran array with 1-based indexing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lang.errors import InterpreterError
+
+#: numpy dtypes for the MiniF base types.
+DTYPES = {
+    "integer": np.int64,
+    "real": np.float64,
+    "logical": np.bool_,
+}
+
+
+def dtype_for(base_type: str):
+    """The numpy dtype for a MiniF base type name."""
+    try:
+        return DTYPES[base_type]
+    except KeyError:
+        raise InterpreterError(f"unknown base type '{base_type}'") from None
+
+
+class FArray:
+    """A Fortran array: 1-based indexing over a fixed shape.
+
+    The underlying storage is a numpy array of the same shape; helper
+    methods translate Fortran subscripts (scalars, vectors of lane
+    indices, or slices) into numpy indexing.
+    """
+
+    __slots__ = ("name", "shape", "data")
+
+    def __init__(self, name: str, shape: tuple[int, ...], base_type: str = "real"):
+        for extent in shape:
+            if extent < 0:
+                raise InterpreterError(f"array '{name}' has negative extent {extent}")
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+        self.data = np.zeros(self.shape, dtype=dtype_for(base_type))
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape)) if self.shape else 1
+
+    def check_subscript(self, dim: int, index) -> None:
+        """Bounds-check a (scalar or vector) 1-based subscript."""
+        extent = self.shape[dim]
+        idx = np.asarray(index)
+        if idx.size == 0:
+            return
+        bad = (idx < 1) | (idx > extent)
+        if np.any(bad):
+            offender = int(np.asarray(idx)[np.argmax(bad)]) if idx.ndim else int(idx)
+            raise InterpreterError(
+                f"subscript {offender} out of bounds for dimension "
+                f"{dim + 1} of '{self.name}' (extent {extent})"
+            )
+
+    def np_index(self, subs: list) -> tuple:
+        """Translate checked 1-based subscripts into a numpy index tuple."""
+        if len(subs) != self.rank:
+            raise InterpreterError(
+                f"'{self.name}' has rank {self.rank}, got {len(subs)} subscripts"
+            )
+        out = []
+        for dim, sub in enumerate(subs):
+            if isinstance(sub, slice):
+                out.append(sub)
+            else:
+                self.check_subscript(dim, sub)
+                arr = np.asarray(sub)
+                out.append(arr - 1 if arr.ndim else int(arr) - 1)
+        return tuple(out)
+
+    def __repr__(self) -> str:
+        return f"FArray({self.name!r}, shape={self.shape})"
+
+
+def is_vector(value) -> bool:
+    """True for per-PE vector values (1-D numpy arrays)."""
+    return isinstance(value, np.ndarray) and value.ndim >= 1
+
+
+def as_bool_scalar(value, what: str = "condition"):
+    """Coerce a value to a host boolean; vectors must be uniform.
+
+    Implements the paper's rule that a WHILE may be controlled by an
+    array of booleans only when all elements are guaranteed equal.
+    """
+    if isinstance(value, np.ndarray):
+        if value.size == 0:
+            raise InterpreterError(f"{what} is empty")
+        first = value.flat[0]
+        if not np.all(value == first):
+            raise InterpreterError(
+                f"{what} is vector-valued with differing elements; "
+                "use ANY()/ALL() or a WHERE guard"
+            )
+        return bool(first)
+    return bool(value)
+
+
+def as_int_scalar(value, what: str = "value") -> int:
+    """Coerce to a host integer; vectors must be uniform (ACU requirement)."""
+    if isinstance(value, np.ndarray):
+        first = value.flat[0]
+        if not np.all(value == first):
+            raise InterpreterError(
+                f"{what} must be uniform across processors on a SIMD machine"
+            )
+        return int(first)
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float) and not float(value).is_integer():
+        raise InterpreterError(f"{what} is not an integer: {value}")
+    return int(value)
+
+
+def element_width(value) -> int:
+    """Number of scalar elements an operation over ``value`` touches."""
+    if isinstance(value, np.ndarray):
+        return int(value.size)
+    return 1
+
+
+def serial_layers(value) -> int:
+    """How many serial memory layers a value spans (trailing dims)."""
+    if isinstance(value, np.ndarray) and value.ndim >= 2:
+        return int(np.prod(value.shape[1:]))
+    return 1

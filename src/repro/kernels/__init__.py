@@ -1,0 +1,6 @@
+"""Workload kernels: the paper's EXAMPLE and NBFORCE programs plus the
+related irregular workloads (Mandelbrot, region growing, sparse MV)."""
+
+from . import example, mandelbrot, nbforce, region_growing, spmv
+
+__all__ = ["example", "nbforce", "mandelbrot", "region_growing", "spmv"]

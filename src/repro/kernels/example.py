@@ -1,0 +1,161 @@
+"""The paper's running EXAMPLE (Section 3) in all its versions.
+
+P1–P5 follow Figures 1–7; the module also provides the standard data
+(K = 8, L = [4,1,2,1,1,3,1,3], P = 2) and ready-made loaders.  The
+transformation pipeline can *derive* P4 and P5 from P1 — tested in
+``tests/integration`` — but the verbatim texts are kept here so each
+figure is runnable exactly as printed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lang import ast, parse_source
+
+#: The paper's workload: K = 8 outer iterations with these inner trip counts.
+EXAMPLE_K = 8
+EXAMPLE_L = (4, 1, 2, 1, 1, 3, 1, 3)
+EXAMPLE_P = 2
+
+#: P1 (Figure 1): the original sequential loop nest.
+P1_SEQUENTIAL = """
+C P1 - sequential version (Figure 1)
+PROGRAM example
+  INTEGER i, j, k, l(8), x(8, 4)
+  k = 8
+  DO i = 1, k
+    DO j = 1, l(i)
+      x(i, j) = i * j
+    ENDDO
+  ENDDO
+END
+"""
+
+#: P2 (Figure 2): the Fortran D version with data mapping directives.
+P2_FORTRAN_D = """
+C P2 - Fortran D version (Figure 2)
+PROGRAM example
+  PARAMETER (k = 8, lmax = 4)
+  INTEGER i, j, l(k), x(k, lmax)
+  DECOMPOSITION xd(k, lmax), ld(k)
+  ALIGN x WITH xd
+  ALIGN l WITH ld
+  DISTRIBUTE xd(BLOCK, *)
+  DISTRIBUTE ld(BLOCK)
+  DO i = 1, k
+    DO j = 1, l(i)
+      x(i, j) = i * j
+    ENDDO
+  ENDDO
+END
+"""
+
+#: P3 (Figure 3): the per-processor MIMD text.  ``lloc``/``xloc`` are
+#: the renamed local arrays; ``myproc`` is bound by the simulator.
+P3_MIMD = """
+C P3 - MIMD version (Figure 3)
+PROGRAM example
+  INTEGER i, j, lloc(4), xloc(4, 4)
+  DO i = 1, 4
+    DO j = 1, lloc(i)
+      xloc(i, j) = (i + 4 * (myproc - 1)) * j
+    ENDDO
+  ENDDO
+END
+"""
+
+#: P4 (Figure 5): the naive SIMD version — inner bound max'ed across
+#: the PEs, body under a WHERE.  ``iprime`` is the paper's i'.
+P4_NAIVE_SIMD = """
+C P4 - naive SIMD version (Figure 5)
+PROGRAM example
+  INTEGER i, j, iprime(2), l(8), x(8, 4)
+  DO i = 1, 4
+    iprime = i + [0, 4]
+    DO j = 1, MAX(l(iprime))
+      WHERE (j <= l(iprime))
+        x(iprime, j) = iprime * j
+      ENDWHERE
+    ENDDO
+  ENDDO
+END
+"""
+
+#: P5 (Figure 7): the flattened SIMD version.
+P5_FLATTENED_SIMD = """
+C P5 - flattened SIMD version (Figure 7)
+PROGRAM example
+  INTEGER i(2), k(2), j(2), l(8), x(8, 4)
+  i = [1, 5]
+  k = [4, 8]
+  j = 1
+  WHILE (ANY(i <= k))
+    WHERE (i <= k)
+      x(i, j) = i * j
+      WHERE (j == l(i))
+        i = i + 1
+        j = 1
+      ELSEWHERE
+        j = j + 1
+      ENDWHERE
+    ENDWHERE
+  ENDWHILE
+END
+"""
+
+#: The EXAMPLE as a GOTO "dusty deck" — exercises structurization.
+P1_GOTO = """
+C P1 as an F77 GOTO loop nest
+PROGRAM example
+  INTEGER i, j, k, l(8), x(8, 4)
+  k = 8
+  i = 1
+10 IF (i > k) GOTO 40
+  j = 1
+20 IF (j > l(i)) GOTO 30
+  x(i, j) = i * j
+  j = j + 1
+  GOTO 20
+30 CONTINUE
+  i = i + 1
+  GOTO 10
+40 CONTINUE
+END
+"""
+
+
+def example_bindings() -> dict:
+    """Initial environment: the paper's L array."""
+    return {"l": np.array(EXAMPLE_L, dtype=np.int64)}
+
+
+def mimd_bindings(proc: int) -> dict:
+    """Processor ``proc``'s local slice for P3 (block distribution)."""
+    full = np.array(EXAMPLE_L, dtype=np.int64)
+    chunk = EXAMPLE_K // EXAMPLE_P
+    lo = (proc - 1) * chunk
+    return {"lloc": full[lo : lo + chunk]}
+
+
+def expected_x() -> np.ndarray:
+    """Ground-truth X for the standard workload (zeros where unset)."""
+    out = np.zeros((EXAMPLE_K, max(EXAMPLE_L)), dtype=np.int64)
+    for i, trips in enumerate(EXAMPLE_L, start=1):
+        for j in range(1, trips + 1):
+            out[i - 1, j - 1] = i * j
+    return out
+
+
+def parse_example(text: str) -> ast.SourceFile:
+    """Parse one of the EXAMPLE program texts."""
+    return parse_source(text)
+
+
+def is_body_statement(stmt: ast.Stmt) -> bool:
+    """Predicate selecting BODY (the assignment to X) for tracing."""
+    return (
+        isinstance(stmt, ast.Assign)
+        and isinstance(stmt.target, ast.ArrayRef)
+        and stmt.target.name in ("x", "xloc")
+    )

@@ -1,0 +1,185 @@
+"""The NBFORCE kernels of the case study (Section 5).
+
+Four versions of the non-bonded force calculation:
+
+* :data:`NBFORCE_SEQUENTIAL` — Figure 13, the F77 original (this is
+  also what runs on the Sparc reference and what the transformation
+  pipeline flattens automatically);
+* :data:`NBFORCE_UNFLAT_SELECT` — the L_u^l version (Figure 17 with
+  explicit ``1:Lrs`` layer selection);
+* :data:`NBFORCE_UNFLAT_ALL` — the L_u^2 version (all ``maxLrs``
+  layers, plain ``:`` subscripts);
+* :data:`NBFORCE_FLAT` — the L_f flattened version (Figures 15/16).
+
+The force routine is external (``CALL force(fpair, at1, at2)``); the
+molecular substrate provides it (:mod:`repro.md.forces`).  Runner
+helpers wire kernels, bindings, externals, and counters together.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exec import SIMDInterpreter, run_program
+from ..lang import parse_source
+from ..md.distribution import (
+    flat_kernel_bindings,
+    gather_flat_results,
+    gather_unflat_results,
+    unflat_kernel_bindings,
+)
+from ..md.forces import make_scalar_force_external, make_simd_force_external
+from ..md.molecule import Molecule
+from ..md.pairlist import PairList
+from ..simd.layout import DataDistribution
+
+#: Figure 13: the sequential F77 kernel (owner-computes F, half pairs).
+NBFORCE_SEQUENTIAL = """
+C NBFORCE - sequential version (Figure 13)
+PROGRAM nbforce
+  INTEGER n, maxpcnt, at1, at2, prc
+  INTEGER pcnt(n), partners(n, maxpcnt)
+  REAL f(n), fpair
+  DO at1 = 1, n
+    f(at1) = 0.0
+    DO prc = 1, pcnt(at1)
+      at2 = partners(at1, prc)
+      CALL force(fpair, at1, at2)
+      f(at1) = f(at1) + fpair
+    ENDDO
+  ENDDO
+END
+"""
+
+#: The L_u^l unflattened version: explicit 1:Lrs layer selection
+#: (Figure 17 with the paper's "selecting memory layers" subscripts).
+NBFORCE_UNFLAT_SELECT = """
+C NBFORCE - unflattened, selecting memory layers (L_u^l)
+PROGRAM nbforce
+  INTEGER p, lrs, maxlrs, maxpcnt, pr
+  INTEGER at1(p, maxlrs), at2(p, maxlrs)
+  INTEGER pcnt(p, maxlrs), partners(p, maxlrs, maxpcnt)
+  REAL f(p, maxlrs), fpair(p, maxlrs)
+  f = 0.0
+  DO pr = 1, maxpcnt
+    at2(:, 1:lrs) = partners(:, 1:lrs, pr)
+    CALL force(fpair(:, 1:lrs), at1(:, 1:lrs), at2(:, 1:lrs))
+    WHERE (pcnt(:, 1:lrs) >= pr)
+      f(:, 1:lrs) = f(:, 1:lrs) + fpair(:, 1:lrs)
+    ENDWHERE
+  ENDDO
+END
+"""
+
+#: The L_u^2 unflattened version: all memory layers, plain ':'.
+NBFORCE_UNFLAT_ALL = """
+C NBFORCE - unflattened, using all memory layers (L_u^2)
+PROGRAM nbforce
+  INTEGER p, lrs, maxlrs, maxpcnt, pr
+  INTEGER at1(p, maxlrs), at2(p, maxlrs)
+  INTEGER pcnt(p, maxlrs), partners(p, maxlrs, maxpcnt)
+  REAL f(p, maxlrs), fpair(p, maxlrs)
+  f = 0.0
+  DO pr = 1, maxpcnt
+    at2 = partners(:, :, pr)
+    CALL force(fpair, at1, at2)
+    WHERE (pcnt >= pr)
+      f = f + fpair
+    ENDWHERE
+  ENDDO
+END
+"""
+
+#: The L_f flattened version (Figure 15 / Figure 16; cyclic layout,
+#: takes pCnt(i) >= 1 into account).
+NBFORCE_FLAT = """
+C NBFORCE - flattened version (L_f, Figures 15/16)
+PROGRAM nbforce
+  INTEGER n, p, maxpcnt
+  INTEGER pcnt(n), partners(n, maxpcnt)
+  INTEGER at1(p), at2(p), pr(p)
+  REAL f(n), fpair(p)
+  f = 0.0
+  at1 = [1 : p]
+  pr = 1
+  WHILE (ANY(at1 <= n))
+    WHERE (at1 <= n)
+      at2 = partners(at1, pr)
+      CALL force(fpair, at1, at2)
+      f(at1) = f(at1) + fpair
+      WHERE (pr == pcnt(at1))
+        at1 = at1 + p
+        pr = 1
+      ELSEWHERE
+        pr = pr + 1
+      ENDWHERE
+    ENDWHERE
+  ENDWHILE
+END
+"""
+
+
+def run_flat_kernel(
+    molecule: Molecule, pairlist: PairList, dist: DataDistribution
+):
+    """Run the flattened NBFORCE kernel on a ``dist.gran``-slot machine.
+
+    Returns:
+        ``(per_atom_f, counters)``.
+    """
+    source = parse_source(NBFORCE_FLAT)
+    bindings = flat_kernel_bindings(pairlist, dist)
+    interp = SIMDInterpreter(
+        source,
+        dist.gran,
+        externals={"force": make_simd_force_external(molecule)},
+    )
+    env = interp.run(bindings=bindings)
+    return gather_flat_results(env, pairlist), interp.counters
+
+
+def run_unflat_kernel(
+    molecule: Molecule,
+    pairlist: PairList,
+    dist: DataDistribution,
+    select_layers: bool,
+):
+    """Run an unflattened NBFORCE kernel (L_u^l or L_u^2).
+
+    Args:
+        select_layers: True for the explicit ``1:Lrs`` version (L_u^l).
+
+    Returns:
+        ``(per_atom_f, counters)``.
+    """
+    text = NBFORCE_UNFLAT_SELECT if select_layers else NBFORCE_UNFLAT_ALL
+    source = parse_source(text)
+    bindings = unflat_kernel_bindings(pairlist, dist)
+    interp = SIMDInterpreter(
+        source,
+        dist.gran,
+        externals={"force": make_simd_force_external(molecule)},
+    )
+    env = interp.run(bindings=bindings)
+    return gather_unflat_results(env, pairlist, dist), interp.counters
+
+
+def run_sequential_kernel(molecule: Molecule, pairlist: PairList):
+    """Run the sequential NBFORCE (the Sparc reference path).
+
+    Returns:
+        ``(per_atom_f, counters)``.
+    """
+    source = parse_source(NBFORCE_SEQUENTIAL)
+    bindings = {
+        "n": pairlist.n_atoms,
+        "maxpcnt": int(pairlist.partners.shape[1]),
+        "pcnt": pairlist.pcnt.astype(np.int64),
+        "partners": pairlist.partners.astype(np.int64),
+    }
+    env, counters = run_program(
+        source,
+        bindings=bindings,
+        externals={"force": make_scalar_force_external(molecule)},
+    )
+    return np.asarray(env["f"].data, dtype=float), counters

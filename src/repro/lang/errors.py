@@ -1,0 +1,66 @@
+"""Source-located diagnostics for the MiniF frontend.
+
+Every error raised while lexing, parsing, or checking a MiniF program
+carries a :class:`SourceLocation` so that messages point back at the
+offending line and column of the original source text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in a MiniF source text.
+
+    Attributes:
+        filename: Name used in diagnostics (often ``"<string>"``).
+        line: 1-based line number.
+        column: 1-based column number.
+    """
+
+    filename: str = "<string>"
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+
+#: Location used when no better information is available.
+UNKNOWN_LOCATION = SourceLocation()
+
+
+class MiniFError(Exception):
+    """Base class for all MiniF frontend errors.
+
+    Attributes:
+        message: Human-readable description of the problem.
+        location: Where in the source the problem was detected.
+    """
+
+    def __init__(self, message: str, location: SourceLocation = UNKNOWN_LOCATION):
+        super().__init__(f"{location}: {message}")
+        self.message = message
+        self.location = location
+
+
+class LexError(MiniFError):
+    """Raised when the lexer meets a character sequence it cannot tokenize."""
+
+
+class ParseError(MiniFError):
+    """Raised when the parser meets an unexpected token."""
+
+
+class SemanticError(MiniFError):
+    """Raised by semantic checking (undeclared names, arity mismatches, ...)."""
+
+
+class TransformError(MiniFError):
+    """Raised when a code transformation cannot be applied safely."""
+
+
+class InterpreterError(MiniFError):
+    """Raised when program execution goes wrong (bad subscript, type clash, ...)."""

@@ -1,0 +1,229 @@
+"""Line-oriented lexer for MiniF.
+
+Handles the Fortran-flavored surface details so the parser can work on a
+clean token stream:
+
+* comments — a ``C`` or ``*`` in column one, or ``!`` anywhere;
+* compiler directives (``cmf$ ...``, ``cmpf ...``) are treated as comments;
+* continuation lines — a trailing ``&`` joins the next physical line;
+* dotted operators — ``.LE.``, ``.AND.``, ``.TRUE.`` are normalized;
+* case-insensitivity — keywords are stored uppercase, names lowercase.
+
+The lexer emits an explicit :data:`~repro.lang.tokens.TokenKind.NEWLINE`
+token at the end of every non-empty logical line, which is how the
+line-oriented grammar delimits statements.
+"""
+
+from __future__ import annotations
+
+from .errors import LexError, SourceLocation
+from .tokens import (
+    DOTTED_OPS,
+    KEYWORDS,
+    MULTI_CHAR_OPS,
+    SINGLE_CHAR_OPS,
+    Token,
+    TokenKind,
+)
+
+_DIRECTIVE_PREFIXES = ("cmf$", "cmpf", "!hpf$", "chpf$")
+
+
+def _is_comment_line(raw: str) -> bool:
+    stripped = raw.lstrip()
+    if not stripped:
+        return True
+    if raw[:1] in ("C", "c", "*") and (len(raw) == 1 or not raw[1].isalnum()):
+        return True
+    if stripped.startswith("!"):
+        return True
+    lowered = stripped.lower()
+    return any(lowered.startswith(prefix) for prefix in _DIRECTIVE_PREFIXES)
+
+
+def _strip_inline_comment(line: str) -> str:
+    """Drop a trailing ``!`` comment (MiniF has no ``!`` inside strings we keep)."""
+    in_string = False
+    for i, ch in enumerate(line):
+        if ch == "'":
+            in_string = not in_string
+        elif ch == "!" and not in_string:
+            return line[:i]
+    return line
+
+
+class Lexer:
+    """Tokenizer for a complete MiniF source text."""
+
+    def __init__(self, source: str, filename: str = "<string>"):
+        self.source = source
+        self.filename = filename
+
+    def tokens(self) -> list[Token]:
+        """Lex the whole source and return the token list (ending in EOF)."""
+        out: list[Token] = []
+        for line_no, text in self._logical_lines():
+            start = len(out)
+            self._lex_line(text, line_no, out)
+            if len(out) > start:
+                object.__setattr__(out[start], "first_on_line", True)
+                out.append(
+                    Token(
+                        TokenKind.NEWLINE,
+                        "\n",
+                        SourceLocation(self.filename, line_no, len(text) + 1),
+                    )
+                )
+        out.append(Token(TokenKind.EOF, "", SourceLocation(self.filename, 0, 0)))
+        return out
+
+    def _logical_lines(self):
+        """Yield ``(first_line_number, text)`` with continuations joined."""
+        physical = self.source.splitlines()
+        i = 0
+        while i < len(physical):
+            raw = physical[i]
+            line_no = i + 1
+            i += 1
+            if _is_comment_line(raw):
+                continue
+            text = _strip_inline_comment(raw).rstrip()
+            while text.endswith("&"):
+                text = text[:-1].rstrip()
+                while i < len(physical) and _is_comment_line(physical[i]):
+                    i += 1
+                if i < len(physical):
+                    continuation = _strip_inline_comment(physical[i]).strip()
+                    if continuation.startswith("&"):
+                        continuation = continuation[1:].lstrip()
+                    text = text + " " + continuation.rstrip()
+                    i += 1
+                else:
+                    break
+            if text.strip():
+                yield line_no, text
+
+    def _lex_line(self, text: str, line_no: int, out: list[Token]) -> None:
+        pos = 0
+        n = len(text)
+        while pos < n:
+            ch = text[pos]
+            if ch in " \t":
+                pos += 1
+                continue
+            loc = SourceLocation(self.filename, line_no, pos + 1)
+            if ch.isdigit() or (ch == "." and self._starts_number(text, pos)):
+                pos = self._lex_number(text, pos, loc, out)
+            elif ch.isalpha() or ch == "_":
+                pos = self._lex_word(text, pos, loc, out)
+            elif ch == ".":
+                pos = self._lex_dotted(text, pos, loc, out)
+            elif ch == "'":
+                pos = self._lex_string(text, pos, loc, out)
+            else:
+                pos = self._lex_operator(text, pos, loc, out)
+
+    @staticmethod
+    def _starts_number(text: str, pos: int) -> bool:
+        """Is ``.`` at ``pos`` the start of a real literal like ``.5``?"""
+        return pos + 1 < len(text) and text[pos + 1].isdigit()
+
+    def _lex_number(self, text: str, pos: int, loc: SourceLocation, out: list[Token]) -> int:
+        n = len(text)
+        start = pos
+        is_real = False
+        while pos < n and text[pos].isdigit():
+            pos += 1
+        if pos < n and text[pos] == "." and not self._dot_is_operator(text, pos):
+            is_real = True
+            pos += 1
+            while pos < n and text[pos].isdigit():
+                pos += 1
+        if pos < n and text[pos] in "eEdD":
+            exp = pos + 1
+            if exp < n and text[exp] in "+-":
+                exp += 1
+            if exp < n and text[exp].isdigit():
+                is_real = True
+                pos = exp
+                while pos < n and text[pos].isdigit():
+                    pos += 1
+        literal = text[start:pos]
+        if is_real:
+            out.append(Token(TokenKind.REAL, literal.lower().replace("d", "e"), loc))
+        else:
+            out.append(Token(TokenKind.INT, literal, loc))
+        return pos
+
+    @staticmethod
+    def _dot_is_operator(text: str, pos: int) -> bool:
+        """Return True when the ``.`` at ``pos`` begins a dotted operator.
+
+        Distinguishes ``1.5`` (part of a real literal) from ``1.LE.2``
+        (the ``.LE.`` comparison).
+        """
+        rest = text[pos + 1:]
+        word = ""
+        for ch in rest:
+            if ch.isalpha():
+                word += ch
+            else:
+                break
+        if not word:
+            return False
+        return (
+            word.upper() in DOTTED_OPS
+            and len(rest) > len(word)
+            and rest[len(word)] == "."
+        )
+
+    def _lex_word(self, text: str, pos: int, loc: SourceLocation, out: list[Token]) -> int:
+        n = len(text)
+        start = pos
+        while pos < n and (text[pos].isalnum() or text[pos] == "_"):
+            pos += 1
+        word = text[start:pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            out.append(Token(TokenKind.KEYWORD, upper, loc))
+        else:
+            out.append(Token(TokenKind.NAME, word.lower(), loc))
+        return pos
+
+    def _lex_dotted(self, text: str, pos: int, loc: SourceLocation, out: list[Token]) -> int:
+        n = len(text)
+        end = text.find(".", pos + 1)
+        if end == -1:
+            raise LexError(f"unterminated dotted operator near {text[pos:pos + 6]!r}", loc)
+        word = text[pos + 1:end].upper()
+        if word not in DOTTED_OPS:
+            raise LexError(f"unknown dotted operator '.{word}.'", loc)
+        spelling = DOTTED_OPS[word]
+        if spelling in (".TRUE.", ".FALSE."):
+            out.append(Token(TokenKind.KEYWORD, word, loc))
+        else:
+            out.append(Token(TokenKind.OP, spelling, loc))
+        return end + 1
+
+    def _lex_string(self, text: str, pos: int, loc: SourceLocation, out: list[Token]) -> int:
+        end = text.find("'", pos + 1)
+        if end == -1:
+            raise LexError("unterminated string literal", loc)
+        out.append(Token(TokenKind.STRING, text[pos + 1:end], loc))
+        return end + 1
+
+    def _lex_operator(self, text: str, pos: int, loc: SourceLocation, out: list[Token]) -> int:
+        for op in MULTI_CHAR_OPS:
+            if text.startswith(op, pos):
+                out.append(Token(TokenKind.OP, op, loc))
+                return pos + len(op)
+        ch = text[pos]
+        if ch in SINGLE_CHAR_OPS:
+            out.append(Token(TokenKind.OP, ch, loc))
+            return pos + 1
+        raise LexError(f"unexpected character {ch!r}", loc)
+
+
+def tokenize(source: str, filename: str = "<string>") -> list[Token]:
+    """Convenience wrapper: lex ``source`` and return the token list."""
+    return Lexer(source, filename).tokens()

@@ -1,0 +1,194 @@
+"""Semantic checks for MiniF.
+
+The checker validates a parsed source file before it is interpreted or
+transformed:
+
+* every GOTO targets an existing label in the same routine;
+* no label is defined twice in a routine;
+* array references have the declared rank (full-array references and
+  sections are allowed, Fortran-90 style);
+* CALL statements name a subroutine defined in the same file (or one
+  registered as external) with matching arity;
+* EXIT/CYCLE appear inside loops;
+* DO loop variables are scalars.
+
+The checker is deliberately permissive about types: MiniF interpreters
+are dynamically typed, matching the paper's pseudo-Fortran usage where
+the same program text is read at F77, F77D and F90simd levels.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import SemanticError
+from .symbols import SymbolTable, build_symbol_table
+
+
+class SemanticChecker:
+    """Checks one :class:`~repro.lang.ast.SourceFile`."""
+
+    def __init__(self, source: ast.SourceFile, externals: set[str] | None = None):
+        self.source = source
+        self.externals = externals or set()
+        self.tables: dict[str, SymbolTable] = {}
+        self._subroutines = {
+            unit.name: unit for unit in source.units if unit.kind == "subroutine"
+        }
+
+    def check(self) -> dict[str, SymbolTable]:
+        """Run all checks; returns the per-routine symbol tables."""
+        for unit in self.source.units:
+            self.tables[unit.name] = self._check_routine(unit)
+        return self.tables
+
+    def _check_routine(self, routine: ast.Routine) -> SymbolTable:
+        table = build_symbol_table(routine)
+        labels = self._collect_labels(routine)
+        self._check_body(routine, table, labels, routine.body, loop_depth=0)
+        return table
+
+    @staticmethod
+    def _collect_labels(routine: ast.Routine) -> set[int]:
+        labels: set[int] = set()
+        for node in ast.walk_body(routine.body):
+            if isinstance(node, ast.Stmt) and node.label is not None:
+                if node.label in labels:
+                    raise SemanticError(
+                        f"label {node.label} defined twice in {routine.name}",
+                        node.loc,
+                    )
+                labels.add(node.label)
+        return labels
+
+    def _check_body(self, routine, table, labels, body, loop_depth) -> None:
+        for stmt in body:
+            self._check_stmt(routine, table, labels, stmt, loop_depth)
+
+    def _check_stmt(self, routine, table, labels, stmt, loop_depth) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._check_expr(table, stmt.target, is_target=True)
+            self._check_expr(table, stmt.value)
+        elif isinstance(stmt, ast.Do):
+            symbol = table.lookup(stmt.var)
+            if symbol.is_array:
+                raise SemanticError(
+                    f"DO variable '{stmt.var}' is an array", stmt.loc
+                )
+            self._check_expr(table, stmt.lo)
+            self._check_expr(table, stmt.hi)
+            if stmt.stride is not None:
+                self._check_expr(table, stmt.stride)
+            self._check_body(routine, table, labels, stmt.body, loop_depth + 1)
+        elif isinstance(stmt, (ast.DoWhile, ast.While)):
+            self._check_expr(table, stmt.cond)
+            self._check_body(routine, table, labels, stmt.body, loop_depth + 1)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(table, stmt.cond)
+            self._check_body(routine, table, labels, stmt.then_body, loop_depth)
+            self._check_body(routine, table, labels, stmt.else_body, loop_depth)
+        elif isinstance(stmt, ast.Where):
+            self._check_expr(table, stmt.mask)
+            self._check_body(routine, table, labels, stmt.then_body, loop_depth)
+            self._check_body(routine, table, labels, stmt.else_body, loop_depth)
+        elif isinstance(stmt, ast.Forall):
+            table.lookup(stmt.var)
+            self._check_expr(table, stmt.lo)
+            self._check_expr(table, stmt.hi)
+            if stmt.mask is not None:
+                self._check_expr(table, stmt.mask)
+            self._check_body(routine, table, labels, stmt.body, loop_depth + 1)
+        elif isinstance(stmt, ast.Goto):
+            if stmt.target not in labels:
+                raise SemanticError(
+                    f"GOTO {stmt.target}: no such label in {routine.name}", stmt.loc
+                )
+        elif isinstance(stmt, (ast.ExitStmt, ast.CycleStmt)):
+            if loop_depth == 0:
+                keyword = "EXIT" if isinstance(stmt, ast.ExitStmt) else "CYCLE"
+                raise SemanticError(f"{keyword} outside of a loop", stmt.loc)
+        elif isinstance(stmt, ast.CallStmt):
+            self._check_call(table, stmt)
+        elif isinstance(
+            stmt,
+            (
+                ast.Continue,
+                ast.Return,
+                ast.Stop,
+                ast.Decl,
+                ast.ParamDecl,
+                ast.Decomposition,
+                ast.Align,
+                ast.Distribute,
+            ),
+        ):
+            pass
+        else:
+            raise SemanticError(
+                f"unknown statement {type(stmt).__name__}", stmt.loc
+            )
+
+    def _check_call(self, table: SymbolTable, stmt: ast.CallStmt) -> None:
+        target = self._subroutines.get(stmt.name)
+        if target is None:
+            if stmt.name in self.externals:
+                for arg in stmt.args:
+                    self._check_expr(table, arg)
+                return
+            raise SemanticError(f"CALL to unknown subroutine '{stmt.name}'", stmt.loc)
+        if len(target.params) != len(stmt.args):
+            raise SemanticError(
+                f"CALL {stmt.name}: expected {len(target.params)} arguments, "
+                f"got {len(stmt.args)}",
+                stmt.loc,
+            )
+        for arg in stmt.args:
+            self._check_expr(table, arg)
+
+    def _check_expr(self, table: SymbolTable, expr: ast.Expr, is_target: bool = False) -> None:
+        if isinstance(expr, (ast.IntLit, ast.RealLit, ast.BoolLit, ast.StringLit)):
+            if is_target:
+                raise SemanticError("cannot assign to a literal", expr.loc)
+        elif isinstance(expr, ast.Var):
+            table.lookup(expr.name)
+        elif isinstance(expr, ast.ArrayRef):
+            symbol = table.lookup(expr.name)
+            if symbol.is_array and len(expr.subs) != symbol.rank:
+                raise SemanticError(
+                    f"'{expr.name}' has rank {symbol.rank}, "
+                    f"subscripted with {len(expr.subs)} subscripts",
+                    expr.loc,
+                )
+            if not symbol.is_array and not symbol.implicit:
+                raise SemanticError(
+                    f"'{expr.name}' is scalar but subscripted", expr.loc
+                )
+            for sub in expr.subs:
+                self._check_expr(table, sub)
+        elif isinstance(expr, ast.Slice):
+            if expr.lo is not None:
+                self._check_expr(table, expr.lo)
+            if expr.hi is not None:
+                self._check_expr(table, expr.hi)
+        elif isinstance(expr, ast.Call):
+            for arg in expr.args:
+                self._check_expr(table, arg)
+        elif isinstance(expr, ast.VectorLit):
+            for item in expr.items:
+                self._check_expr(table, item)
+        elif isinstance(expr, ast.RangeVec):
+            self._check_expr(table, expr.lo)
+            self._check_expr(table, expr.hi)
+        elif isinstance(expr, ast.BinOp):
+            self._check_expr(table, expr.left)
+            self._check_expr(table, expr.right)
+        elif isinstance(expr, ast.UnOp):
+            self._check_expr(table, expr.operand)
+        else:
+            raise SemanticError(f"unknown expression {type(expr).__name__}", expr.loc)
+
+
+def check_source(
+    source: ast.SourceFile, externals: set[str] | None = None
+) -> dict[str, SymbolTable]:
+    """Semantically check a source file; returns per-routine symbol tables."""
+    return SemanticChecker(source, externals).check()

@@ -1,0 +1,168 @@
+"""Symbol tables for MiniF routines.
+
+A :class:`SymbolTable` is built by scanning a routine's body for
+declarations.  Undeclared names fall back to Fortran implicit typing
+(``i``–``n`` integer, everything else real) unless the builder is run in
+strict mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import ast
+from .errors import SemanticError
+
+
+@dataclass
+class Symbol:
+    """One declared (or implicitly typed) name.
+
+    Attributes:
+        name: Lowercase identifier.
+        base_type: ``"integer"``, ``"real"`` or ``"logical"``.
+        dims: Declared dimension expressions (empty for scalars).
+        replicated: Declared per-processor replicated (F90simd).
+        is_parameter: PARAMETER constant.
+        value: Constant expression for parameters.
+        is_dummy: Appears in the routine's parameter list.
+        implicit: Typed by implicit rules rather than a declaration.
+        distribution: Per-dimension distribution specs from a
+            DISTRIBUTE directive reached through ALIGN (or directly).
+    """
+
+    name: str
+    base_type: str
+    dims: list[ast.Expr] = field(default_factory=list)
+    replicated: bool = False
+    is_parameter: bool = False
+    value: ast.Expr | None = None
+    is_dummy: bool = False
+    implicit: bool = False
+    distribution: list[str] | None = None
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+
+def implicit_type(name: str) -> str:
+    """Fortran implicit typing: names starting with i..n are integer."""
+    return "integer" if name[:1] in "ijklmn" else "real"
+
+
+class SymbolTable:
+    """Symbols of one routine, plus the Fortran-D mapping directives."""
+
+    def __init__(self, routine_name: str = ""):
+        self.routine_name = routine_name
+        self._symbols: dict[str, Symbol] = {}
+        self.decompositions: dict[str, ast.Decomposition] = {}
+        self.alignments: dict[str, str] = {}
+        self.distributions: dict[str, list[str]] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def __iter__(self):
+        return iter(self._symbols.values())
+
+    def declare(self, symbol: Symbol) -> Symbol:
+        """Add a symbol; re-declaration is an error."""
+        if symbol.name in self._symbols:
+            existing = self._symbols[symbol.name]
+            if not existing.implicit:
+                raise SemanticError(f"'{symbol.name}' declared twice")
+        self._symbols[symbol.name] = symbol
+        return symbol
+
+    def get(self, name: str) -> Symbol | None:
+        return self._symbols.get(name)
+
+    def lookup(self, name: str, allow_implicit: bool = True) -> Symbol:
+        """Find ``name``, creating an implicit scalar if allowed."""
+        symbol = self._symbols.get(name)
+        if symbol is not None:
+            return symbol
+        if not allow_implicit:
+            raise SemanticError(f"'{name}' is not declared")
+        symbol = Symbol(name, implicit_type(name), implicit=True)
+        self._symbols[name] = symbol
+        return symbol
+
+    def distribution_of(self, name: str) -> list[str] | None:
+        """Distribution specs for an array, following ALIGN indirection."""
+        symbol = self._symbols.get(name)
+        if symbol is not None and symbol.distribution is not None:
+            return symbol.distribution
+        target = self.alignments.get(name, name)
+        return self.distributions.get(target)
+
+
+def build_symbol_table(routine: ast.Routine, strict: bool = False) -> SymbolTable:
+    """Scan a routine's declarations into a :class:`SymbolTable`.
+
+    Args:
+        routine: The routine to scan.
+        strict: When True, names used but never declared raise
+            :class:`~repro.lang.errors.SemanticError` at lookup time
+            (the table is created with implicit typing disabled).
+    """
+    table = SymbolTable(routine.name)
+    for stmt in routine.body:
+        if isinstance(stmt, ast.Decl):
+            base = stmt.base_type
+            for entity in stmt.entities:
+                if base == "dimension":
+                    existing = table.get(entity.name)
+                    if existing is not None:
+                        existing.dims = list(entity.dims)
+                    else:
+                        table.declare(
+                            Symbol(
+                                entity.name,
+                                implicit_type(entity.name),
+                                list(entity.dims),
+                            )
+                        )
+                else:
+                    table.declare(
+                        Symbol(entity.name, base, list(entity.dims), stmt.replicated)
+                    )
+        elif isinstance(stmt, ast.ParamDecl):
+            for name, value in zip(stmt.names, stmt.values):
+                existing = table.get(name)
+                if existing is not None:
+                    existing.is_parameter = True
+                    existing.value = value
+                else:
+                    table.declare(
+                        Symbol(
+                            name,
+                            implicit_type(name),
+                            is_parameter=True,
+                            value=value,
+                        )
+                    )
+        elif isinstance(stmt, ast.Decomposition):
+            for entity in stmt.entities:
+                table.decompositions[entity.name] = stmt
+        elif isinstance(stmt, ast.Align):
+            for source in stmt.sources:
+                table.alignments[source] = stmt.target
+        elif isinstance(stmt, ast.Distribute):
+            table.distributions[stmt.name] = list(stmt.specs)
+    for param in routine.params:
+        symbol = table.get(param)
+        if symbol is None:
+            if strict:
+                raise SemanticError(
+                    f"dummy argument '{param}' of {routine.name} has no declaration"
+                )
+            symbol = table.lookup(param)
+        symbol.is_dummy = True
+    return table

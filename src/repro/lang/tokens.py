@@ -1,0 +1,131 @@
+"""Token definitions for the MiniF lexer.
+
+MiniF is the pseudo-Fortran dialect used throughout the paper: Fortran 77
+control flow (``DO``, ``GOTO``, logical ``IF``), the paper's structured
+``WHILE``/``ENDWHILE`` loops, and the F90simd constructs (``WHERE``,
+``FORALL``, vector literals such as ``[1:P]``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+from .errors import SourceLocation
+
+
+class TokenKind(Enum):
+    """Classification of a lexed token."""
+
+    NAME = auto()       #: identifier (case-insensitive, stored lowercase)
+    KEYWORD = auto()    #: reserved word (stored uppercase)
+    INT = auto()        #: integer literal
+    REAL = auto()       #: floating-point literal
+    STRING = auto()     #: quoted string literal
+    OP = auto()         #: operator or punctuation
+    NEWLINE = auto()    #: end of a logical line (after joining continuations)
+    EOF = auto()        #: end of input
+
+
+#: Reserved words of MiniF.  Identifiers may not shadow these.
+KEYWORDS = frozenset(
+    {
+        "PROGRAM",
+        "SUBROUTINE",
+        "FUNCTION",
+        "END",
+        "CALL",
+        "RETURN",
+        "STOP",
+        "INTEGER",
+        "REAL",
+        "LOGICAL",
+        "PARAMETER",
+        "DIMENSION",
+        "DO",
+        "ENDDO",
+        "WHILE",
+        "ENDWHILE",
+        "IF",
+        "THEN",
+        "ELSE",
+        "ELSEIF",
+        "ENDIF",
+        "WHERE",
+        "ELSEWHERE",
+        "ENDWHERE",
+        "FORALL",
+        "ENDFORALL",
+        "GOTO",
+        "CONTINUE",
+        "EXIT",
+        "CYCLE",
+        "TRUE",
+        "FALSE",
+        "DECOMPOSITION",
+        "ALIGN",
+        "WITH",
+        "DISTRIBUTE",
+        "REPLICATED",
+        "SCALARHOST",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can match greedily.
+MULTI_CHAR_OPS = (
+    "**",
+    "==",
+    "/=",
+    "<=",
+    ">=",
+)
+
+#: Single-character operators and punctuation.
+SINGLE_CHAR_OPS = "+-*/=<>(),:[]"
+
+#: Dotted operator words (``.LE.`` etc.) mapped to their symbolic spelling.
+DOTTED_OPS = {
+    "EQ": "==",
+    "NE": "/=",
+    "LT": "<",
+    "LE": "<=",
+    "GT": ">",
+    "GE": ">=",
+    "AND": ".AND.",
+    "OR": ".OR.",
+    "NOT": ".NOT.",
+    "TRUE": ".TRUE.",
+    "FALSE": ".FALSE.",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexed token.
+
+    Attributes:
+        kind: The :class:`TokenKind`.
+        text: Canonical text (keywords uppercase, names lowercase,
+            dotted comparison operators normalized to symbolic form).
+        location: Source position of the token's first character.
+        first_on_line: True when this token starts a logical line; the
+            parser uses this to recognize numeric statement labels.
+    """
+
+    kind: TokenKind
+    text: str
+    location: SourceLocation = field(default_factory=SourceLocation)
+    first_on_line: bool = False
+
+    def is_kw(self, *names: str) -> bool:
+        """Return True if this token is one of the given keywords."""
+        return self.kind is TokenKind.KEYWORD and self.text in names
+
+    def is_op(self, *ops: str) -> bool:
+        """Return True if this token is one of the given operators."""
+        return self.kind is TokenKind.OP and self.text in ops
+
+    def __str__(self) -> str:
+        if self.kind in (TokenKind.NEWLINE, TokenKind.EOF):
+            return self.kind.name
+        return f"{self.kind.name}({self.text!r})"

@@ -1,0 +1,193 @@
+"""Workload distribution for NBFORCE — and the Table 2 accounting.
+
+Atoms are assigned to the machine's ``Gran`` lockstep slots (cyclic on
+the DECmpp, blockwise on the CM-2).  The two loop disciplines then
+take a number of force sweeps that this module computes directly from
+the pCnt distribution:
+
+* unflattened (Figures 14/17): the ``DO pr`` loop runs
+  ``maxPCnt = max_i pCnt(i)`` times; each iteration sweeps the
+  ``Lrs`` memory layers, so Table 2's scaled count is
+  ``L_u = maxPCnt × Lrs`` — Equation 2'';
+* flattened (Figures 15/16): each slot advances independently, so
+  the WHILE loop runs ``L_f = max_slot Σ_{atoms of slot} pCnt`` times
+  — Equation 1''.
+
+These closed forms are validated against actual simulator runs in the
+integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simd.layout import DataDistribution
+from .pairlist import PairList
+
+
+@dataclass(frozen=True)
+class WorkloadCounts:
+    """Force-sweep counts for one (pairlist, distribution) workload.
+
+    Attributes:
+        gran: Data granularity.
+        lrs: Memory layers in use.
+        max_lrs: Allocated layers.
+        unflattened: Table 2's ``L_u`` (= maxPCnt × Lrs).
+        flattened: Table 2's ``L_f``.
+    """
+
+    gran: int
+    lrs: int
+    max_lrs: int
+    unflattened: int
+    flattened: int
+
+    @property
+    def ratio(self) -> float:
+        """Table 2's ``L_u / L_f`` improvement factor."""
+        return self.unflattened / self.flattened if self.flattened else 0.0
+
+
+def flattened_steps(pcnt: np.ndarray, dist: DataDistribution) -> int:
+    """Equation 1'': ``max_slot Σ_i pCnt(atom_i of slot)``."""
+    return int(dist.per_slot_sums(np.asarray(pcnt)).max())
+
+
+def unflattened_sweeps(pcnt: np.ndarray) -> int:
+    """Trips of the naive ``DO pr`` loop: the global ``maxPCnt``."""
+    return int(np.asarray(pcnt).max())
+
+
+def pruned_unflattened_steps(pcnt: np.ndarray, dist: DataDistribution) -> int:
+    """Equation 2'' with per-layer pruning: ``Σ_layer max_slot pCnt``.
+
+    The theoretical bound of a machine that could skip finished layers
+    *and* finished pr iterations per layer — the paper's front end
+    could do this "theoretically" but the CM-2 does not; included for
+    the ablation benchmarks.
+    """
+    return int(dist.per_layer_maxima(np.asarray(pcnt)).sum())
+
+
+def workload_counts(pairlist: PairList, dist: DataDistribution) -> WorkloadCounts:
+    """Table 2's row entry for one granularity."""
+    return WorkloadCounts(
+        gran=dist.gran,
+        lrs=dist.lrs,
+        max_lrs=dist.max_lrs,
+        unflattened=unflattened_sweeps(pairlist.pcnt) * dist.lrs,
+        flattened=flattened_steps(pairlist.pcnt, dist),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Kernel bindings
+# ---------------------------------------------------------------------------
+
+
+def flat_kernel_bindings(pairlist: PairList, dist: DataDistribution) -> dict:
+    """Initial environment for the flattened NBFORCE kernel.
+
+    The flattened kernel (Figure 15 shape) addresses atoms by global
+    index, so it needs the global ``pCnt``/``partners`` arrays plus
+    the machine geometry.
+    """
+    return {
+        "n": pairlist.n_atoms,
+        "p": dist.gran,
+        "maxpcnt": int(pairlist.partners.shape[1]),
+        "pcnt": pairlist.pcnt.astype(np.int64),
+        "partners": pairlist.partners.astype(np.int64),
+    }
+
+
+def unflat_kernel_bindings(pairlist: PairList, dist: DataDistribution) -> dict:
+    """Initial environment for the unflattened NBFORCE kernels.
+
+    The unflattened kernels (Figure 17 shape) see atoms laid out as
+    (slot, layer) matrices of global indices, with zero-padded holes
+    in the last layer; ``pCnt`` of a hole is 0, so the WHERE guard
+    masks it out in every ``pr`` iteration.
+    """
+    matrix = dist.slot_matrix()  # (gran, lrs) of 1-based atoms, 0 = hole
+    gran, lrs = matrix.shape
+    max_lrs = dist.max_lrs
+    atom2d = np.zeros((gran, max_lrs), dtype=np.int64)
+    pcnt2d = np.zeros((gran, max_lrs), dtype=np.int64)
+    width = pairlist.partners.shape[1]
+    partners3d = np.zeros((gran, max_lrs, width), dtype=np.int64)
+    present = matrix > 0
+    atom2d[:, :lrs][present] = matrix[present]
+    pcnt2d[:, :lrs][present] = pairlist.pcnt[matrix[present] - 1]
+    partners3d[:, :lrs][present] = pairlist.partners[matrix[present] - 1]
+    return {
+        "n": pairlist.n_atoms,
+        "p": gran,
+        "lrs": lrs,
+        "maxlrs": max_lrs,
+        "maxpcnt": int(pairlist.pcnt.max()),
+        "at1": atom2d,
+        "pcnt": pcnt2d,
+        "partners": partners3d,
+    }
+
+
+def gather_flat_results(env: dict, pairlist: PairList) -> np.ndarray:
+    """Extract per-atom accumulated F from a flattened-kernel run."""
+    return np.asarray(env["f"].data, dtype=float)[: pairlist.n_atoms]
+
+
+def gather_unflat_results(
+    env: dict, pairlist: PairList, dist: DataDistribution
+) -> np.ndarray:
+    """Extract per-atom accumulated F from an unflattened-kernel run."""
+    f2d = np.asarray(env["f"].data, dtype=float)
+    matrix = dist.slot_matrix()
+    out = np.zeros(pairlist.n_atoms)
+    present = matrix > 0
+    out[matrix[present] - 1] = f2d[:, : dist.lrs][present]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Memory footprints (the Table 1 blank cells)
+# ---------------------------------------------------------------------------
+
+#: Bytes per stored pairlist element (32-bit atom indices).
+_INDEX_BYTES = 4
+
+#: Bytes per working real/integer (64-bit).
+_ELEMENT_BYTES = 8
+
+
+def unflat_bytes_per_slot(
+    pairlist: PairList, dist: DataDistribution, temp_factor: float = 0.5
+) -> int:
+    """Per-slot working set of the unflattened kernels.
+
+    Resident data (the layered partners matrix plus the per-layer
+    at1/at2/F/Force/pCnt arrays) plus ``temp_factor`` copies of the
+    layered working set for compiler stack temporaries — the paper's
+    Section 5.3: "large temporary arrays were needed in L_u^1 and
+    L_u^2 even in loop versions which forward substituted intermediate
+    results".  The factor is a machine/compiler property
+    (:attr:`repro.simd.cost.MachineModel.unflat_temp_factor`).
+    """
+    width = int(pairlist.pcnt.max())
+    data = dist.max_lrs * (width * _INDEX_BYTES + 6 * _ELEMENT_BYTES)
+    temps = temp_factor * dist.max_lrs * width * _ELEMENT_BYTES
+    return int(data + temps)
+
+
+def flat_bytes_per_slot(
+    pairlist: PairList, dist: DataDistribution, temp_factor: float = 0.1
+) -> int:
+    """Per-slot working set of the flattened kernel: the distributed
+    pairlist layers plus only per-PE scalar temporaries."""
+    width = int(pairlist.pcnt.max())
+    data = dist.lrs * (width * _INDEX_BYTES + 2 * _ELEMENT_BYTES)
+    temps = temp_factor * width * _ELEMENT_BYTES + 8 * _ELEMENT_BYTES
+    return int(data + temps)

@@ -1,0 +1,136 @@
+"""Non-bonded pair interactions: Lennard-Jones + Coulomb.
+
+Provides three layers:
+
+* vectorized pair quantities over index arrays (the physics);
+* a pure-numpy reference evaluation of the whole NBFORCE sweep, used
+  to validate every MiniF kernel's result;
+* *external subroutine* adapters that plug the force routine into the
+  MiniF interpreters as ``CALL force(f, at1, at2)`` — the analogue of
+  the paper's ``OneF``/``OneFFlat`` Fortran routines.
+
+Like the paper's implementation, communication is excluded: "the
+molecular configuration data ... are already locally available when
+calling the force routines", so the adapters read global coordinate
+arrays directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exec.values import FArray
+from ..lang.errors import InterpreterError
+from .molecule import Molecule
+
+#: Coulomb constant in kcal·Å/(mol·e²).
+COULOMB_K = 332.0636
+
+
+def pair_energy(molecule: Molecule, at1: np.ndarray, at2: np.ndarray) -> np.ndarray:
+    """LJ + Coulomb pair energy for 1-based index arrays ``at1``/``at2``.
+
+    Self-pairs (``at1 == at2``, which occur on masked-out SIMD lanes
+    whose gathered garbage was clamped) yield zero instead of a
+    singularity.
+    """
+    i = np.asarray(at1, dtype=np.int64) - 1
+    j = np.asarray(at2, dtype=np.int64) - 1
+    delta = molecule.positions[i] - molecule.positions[j]
+    r2 = np.sum(delta * delta, axis=-1)
+    same = i == j
+    r2 = np.where(same, 1.0, r2)
+    inv_r2 = 1.0 / r2
+    sigma = 0.5 * (molecule.lj_sigma[i] + molecule.lj_sigma[j])
+    epsilon = np.sqrt(molecule.lj_epsilon[i] * molecule.lj_epsilon[j])
+    s6 = (sigma * sigma * inv_r2) ** 3
+    lj = 4.0 * epsilon * (s6 * s6 - s6)
+    coulomb = COULOMB_K * molecule.charges[i] * molecule.charges[j] * np.sqrt(inv_r2)
+    return np.where(same, 0.0, lj + coulomb)
+
+
+def pair_force(molecule: Molecule, at1: np.ndarray, at2: np.ndarray) -> np.ndarray:
+    """Full 3-D force on ``at1`` due to ``at2`` (shape (..., 3))."""
+    i = np.asarray(at1, dtype=np.int64) - 1
+    j = np.asarray(at2, dtype=np.int64) - 1
+    delta = molecule.positions[i] - molecule.positions[j]
+    r2 = np.sum(delta * delta, axis=-1)
+    same = i == j
+    r2 = np.where(same, 1.0, r2)
+    inv_r2 = 1.0 / r2
+    sigma = 0.5 * (molecule.lj_sigma[i] + molecule.lj_sigma[j])
+    epsilon = np.sqrt(molecule.lj_epsilon[i] * molecule.lj_epsilon[j])
+    s6 = (sigma * sigma * inv_r2) ** 3
+    # dU/dr terms: LJ gives 24 eps (2 s12 - s6) / r; Coulomb gives k q q / r^2.
+    lj_mag = 24.0 * epsilon * (2.0 * s6 * s6 - s6) * inv_r2
+    coulomb_mag = (
+        COULOMB_K
+        * molecule.charges[i]
+        * molecule.charges[j]
+        * inv_r2
+        * np.sqrt(inv_r2)
+    )
+    magnitude = np.where(same, 0.0, lj_mag + coulomb_mag)
+    return delta * magnitude[..., None]
+
+
+def reference_nbforce(molecule: Molecule, pairlist) -> np.ndarray:
+    """Pure-numpy reference of the NBFORCE sweep: per-atom accumulated
+    pair energies ``F(i) = Σ_partners pair_energy(i, partner)``.
+
+    This is the ground truth every kernel variant must match.
+    """
+    totals = np.zeros(molecule.n_atoms)
+    pcnt = pairlist.pcnt
+    partners = pairlist.partners
+    width = partners.shape[1]
+    atoms = np.arange(1, molecule.n_atoms + 1)
+    for column in range(width):
+        live = pcnt > column
+        if not live.any():
+            break
+        at1 = atoms[live]
+        at2 = partners[live, column].astype(np.int64)
+        totals[at1 - 1] += pair_energy(molecule, at1, at2)
+    return totals
+
+
+def make_simd_force_external(molecule: Molecule):
+    """External ``CALL force(f, at1, at2)`` for the SIMD interpreter.
+
+    Computes the per-lane (or per-lane-per-layer) pair energy and
+    assigns it to the first argument under the current mask.  Works
+    for both the flattened kernel (1-D per-PE vectors) and the
+    unflattened kernels (2-D slot × layer sections).
+    """
+
+    def force(interp, arg_exprs, args, env, mask):
+        if len(args) != 3:
+            raise InterpreterError("force expects (f, at1, at2)")
+        at1, at2 = args[1], args[2]
+        at1 = at1.data if isinstance(at1, FArray) else at1
+        at2 = at2.data if isinstance(at2, FArray) else at2
+        at1 = np.asarray(at1, dtype=np.int64)
+        at2 = np.asarray(at2, dtype=np.int64)
+        # Masked-out lanes may carry zero or stale indices; clamp for safety.
+        at1 = np.clip(at1, 1, molecule.n_atoms)
+        at2 = np.clip(at2, 1, molecule.n_atoms)
+        values = pair_energy(molecule, at1, at2)
+        interp.assign_to(arg_exprs[0], values, env)
+
+    return force
+
+
+def make_scalar_force_external(molecule: Molecule):
+    """External ``CALL force(f, at1, at2)`` for the scalar/MIMD
+    interpreters (one pair per call)."""
+
+    def force(interp, arg_exprs, args, env):
+        if len(args) != 3:
+            raise InterpreterError("force expects (f, at1, at2)")
+        at1 = int(np.clip(int(args[1]), 1, molecule.n_atoms))
+        at2 = int(np.clip(int(args[2]), 1, molecule.n_atoms))
+        value = float(pair_energy(molecule, np.array([at1]), np.array([at2]))[0])
+        interp.assign_to(arg_exprs[0], value, env)
+
+    return force

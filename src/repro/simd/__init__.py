@@ -1,0 +1,29 @@
+"""SIMD machine models: layouts, cost models, machine configs, traces."""
+
+from .cost import CostBreakdown, MachineModel, MemoryOverflowError
+from .layout import SCHEMES, DataDistribution, layers_needed
+from .machines import (
+    TABLE1_CM2_CONFIGS,
+    TABLE1_DECMPP_CONFIGS,
+    cm2,
+    decmpp,
+    sparc2,
+)
+from .trace import MIMDTraceRecorder, SIMDTraceRecorder, TraceTable
+
+__all__ = [
+    "DataDistribution",
+    "layers_needed",
+    "SCHEMES",
+    "MachineModel",
+    "CostBreakdown",
+    "MemoryOverflowError",
+    "cm2",
+    "decmpp",
+    "sparc2",
+    "TABLE1_CM2_CONFIGS",
+    "TABLE1_DECMPP_CONFIGS",
+    "SIMDTraceRecorder",
+    "MIMDTraceRecorder",
+    "TraceTable",
+]

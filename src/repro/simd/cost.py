@@ -1,0 +1,208 @@
+"""Machine cost models: pricing execution events into seconds.
+
+The interpreters record *what* a program did
+(:class:`~repro.exec.counters.ExecutionCounters`); a
+:class:`MachineModel` prices those events for one machine.  The two
+SIMD models differ exactly where the paper's Section 5 says they do:
+
+* **layer cycling** — on the CM-2 "the processors will always cycle
+  through all layers of memory", so a section operation over an
+  explicitly selected ``1:Lrs`` sub-range still pays for ``maxLrs``
+  allocated layers, plus a per-layer activity check; on the DECmpp
+  only the touched layers are processed, with a small per-allocated-
+  layer overhead (the paper's ~5% growth when Nmax doubles);
+* **indirect addressing** — gathers/scatters carry their own price,
+  making the flattened loop's per-step cost higher than a direct
+  sweep (visible in the Gran = N column of Table 1 where flattening
+  cannot win);
+* **memory capacity** — per-slot memory bounds which loop versions
+  can run at all (the blank cells of Table 1).
+
+Absolute constants are calibrated against the magnitudes reported in
+Table 1 (see EXPERIMENTS.md); the reproduction targets *shapes* —
+who wins, by what factor, where the crossovers sit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Mapping
+
+from ..exec.counters import ExecutionCounters
+
+#: Event kinds priced per layer sweep.
+VECTOR_KINDS = (
+    "int_op",
+    "real_op",
+    "logical",
+    "store",
+    "gather",
+    "scatter",
+    "reduce",
+    "mask",
+)
+
+
+@dataclass
+class CostBreakdown:
+    """Priced run: seconds per category plus the total.
+
+    Categories: one per event kind, ``call:<routine>`` per external
+    routine, ``issue`` (front-end decode), ``layer_check`` and
+    ``alloc_overhead`` (layer-cycling effects), ``acu``.
+    """
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    def add(self, category: str, value: float) -> None:
+        if value:
+            self.seconds[category] = self.seconds.get(category, 0.0) + value
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+
+class MemoryOverflowError(RuntimeError):
+    """A loop version does not fit the machine's per-slot memory
+    (the paper's "stack overflow" blank cells)."""
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """One machine configuration and its pricing constants.
+
+    Attributes:
+        name: Display name (e.g. ``"CM-2"``).
+        physical_pes: Physical processors ``P``.
+        gran: Data granularity (lockstep slots; ``P/8`` on the CM-2
+            slicewise model, ``P`` on the DECmpp, 1 on a workstation).
+        event_cost: Seconds per layer sweep for each vector event kind.
+        issue_cost: Seconds of front-end decode per vector instruction.
+        acu_cost: Seconds per scalar control operation.
+        call_cost: Seconds per layer sweep per external routine name.
+        default_call_cost: Fallback for unlisted routines.
+        layer_cycling: ``"all"`` (CM-2) or ``"selected"`` (DECmpp).
+        layer_check_cost: Seconds per processed layer per section
+            instruction charged to explicit-section (``1:Lrs``) code.
+        alloc_layer_cost: Seconds per *allocated* layer per section
+            instruction (the small DECmpp overhead).
+        memory_per_slot: Bytes of PE memory behind one slot.
+        unflat_temp_factor: Compiler stack temporaries of the
+            *unflattened* kernels, in array-copies of the layered
+            (maxLrs × maxPCnt) working set (Section 5.3: "large
+            temporary arrays were needed in L_u^1 and L_u^2"); this is
+            a property of the compiler, hence per machine.
+        flat_temp_factor: Same for the flattened kernel (per-PE
+            scalars only, so much smaller).
+        scalar: True for sequential machines.
+    """
+
+    name: str
+    physical_pes: int
+    gran: int
+    event_cost: Mapping[str, float]
+    issue_cost: float
+    acu_cost: float
+    call_cost: Mapping[str, float]
+    default_call_cost: float
+    layer_cycling: str
+    layer_check_cost: float
+    alloc_layer_cost: float
+    memory_per_slot: int
+    unflat_temp_factor: float = 0.5
+    flat_temp_factor: float = 0.1
+    scalar: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "event_cost", MappingProxyType(dict(self.event_cost)))
+        object.__setattr__(self, "call_cost", MappingProxyType(dict(self.call_cost)))
+        if self.layer_cycling not in ("all", "selected"):
+            raise ValueError(f"unknown layer cycling mode '{self.layer_cycling}'")
+
+    # -- pricing ------------------------------------------------------------------
+
+    def price(
+        self,
+        counters: ExecutionCounters,
+        touched_layers: int | None = None,
+        alloc_layers: int | None = None,
+        explicit_sections: bool = False,
+    ) -> CostBreakdown:
+        """Price a run's events into seconds.
+
+        Args:
+            counters: Events recorded by an interpreter.
+            touched_layers: ``Lrs`` of the run's section operations
+                (needed only for explicit-section programs).
+            alloc_layers: ``maxLrs`` allocated for the section arrays.
+            explicit_sections: True for programs that select layers
+                with explicit ``1:Lrs`` subscripts (the paper's L_u^l);
+                triggers the layer-cycling adjustments.
+        """
+        bd = CostBreakdown()
+        scale = 1.0
+        if (
+            explicit_sections
+            and self.layer_cycling == "all"
+            and touched_layers
+            and alloc_layers
+            and alloc_layers > touched_layers
+        ):
+            scale = alloc_layers / touched_layers
+
+        for kind in VECTOR_KINDS:
+            steps = counters.layer_steps.get(kind, 0)
+            if not steps:
+                continue
+            section_steps = counters.section_layer_steps.get(kind, 0)
+            plain_steps = steps - section_steps
+            cost = self.event_cost.get(kind, 0.0)
+            bd.add(kind, plain_steps * cost + section_steps * scale * cost)
+
+        for routine, steps in counters.call_layer_steps.items():
+            cost = self.call_cost.get(routine, self.default_call_cost)
+            section_calls, section_steps = counters.call_sections(routine)
+            plain_steps = steps - section_steps
+            bd.add(
+                f"call:{routine}",
+                plain_steps * cost + section_steps * scale * cost,
+            )
+
+        bd.add("issue", counters.total_vector_instructions * self.issue_cost)
+        bd.add("acu", counters.layer_steps.get("acu", 0) * self.acu_cost)
+
+        if explicit_sections:
+            section_instrs = sum(counters.section_events.values())
+            if self.layer_cycling == "all" and alloc_layers:
+                bd.add(
+                    "layer_check", section_instrs * alloc_layers * self.layer_check_cost
+                )
+            else:
+                section_steps = sum(counters.section_layer_steps.values())
+                bd.add("layer_check", section_steps * self.layer_check_cost)
+            if alloc_layers:
+                # The DECmpp's small per-allocated-layer overhead of
+                # explicitly layer-selecting code (Section 5.3's ~5%
+                # L_u^l growth when Nmax doubles).
+                bd.add(
+                    "alloc_overhead",
+                    section_instrs * alloc_layers * self.alloc_layer_cost,
+                )
+        return bd
+
+    def seconds(self, counters: ExecutionCounters, **kwargs) -> float:
+        """Total priced seconds (see :meth:`price`)."""
+        return self.price(counters, **kwargs).total
+
+    # -- capacity ------------------------------------------------------------------
+
+    def check_memory(self, bytes_per_slot: int, what: str = "program") -> None:
+        """Raise :class:`MemoryOverflowError` when a working set does
+        not fit one slot's memory."""
+        if bytes_per_slot > self.memory_per_slot:
+            raise MemoryOverflowError(
+                f"{what} needs {bytes_per_slot} bytes per slot; "
+                f"{self.name} has {self.memory_per_slot}"
+            )

@@ -1,0 +1,145 @@
+"""Data layouts, granularity, and memory layers (Sections 5.2–5.3).
+
+A SIMD machine with data granularity ``Gran`` stores an ``N``-element
+distributed array in ``Lrs = ceil(N / Gran)`` *memory layers* (virtual
+processor slices); arrays are declared for the maximal problem size,
+giving ``maxLrs = ceil(Nmax / Gran)`` allocated layers.  Two
+element-to-slot assignments occur on the paper's machines:
+
+* ``cyclic`` — the DECmpp's "cut-and-stack": element ``i`` lives in
+  slot ``(i-1) mod Gran``, layer ``(i-1) div Gran``;
+* ``block`` — the CM-2's blockwise layout: consecutive elements share
+  a slot, element ``i`` lives in slot ``(i-1) div Lrs``.
+
+The same two schemes partition loop *iterations* over processors
+(:mod:`repro.transform.parallel`); this module is about *data*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Valid layout scheme names.
+SCHEMES = ("cyclic", "block")
+
+
+def layers_needed(n: int, gran: int) -> int:
+    """``Lrs``: memory layers for an ``n``-element array at granularity ``gran``.
+
+    This is the paper's ``Lrs = floor(1 + (N-1)/Gran)``.
+    """
+    if n <= 0:
+        return 0
+    if gran <= 0:
+        raise ValueError(f"granularity must be positive, got {gran}")
+    return 1 + (n - 1) // gran
+
+
+@dataclass(frozen=True)
+class DataDistribution:
+    """Assignment of ``n`` (of ``nmax`` allocated) elements to
+    ``gran`` slots.
+
+    Attributes:
+        n: Number of live elements (e.g. atoms).
+        nmax: Allocated capacity (the paper's ``Nmax = 8192``).
+        gran: Data granularity (slots that advance in lockstep).
+        scheme: ``"cyclic"`` or ``"block"``.
+    """
+
+    n: int
+    gran: int
+    nmax: int | None = None
+    scheme: str = "cyclic"
+
+    def __post_init__(self):
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown layout scheme '{self.scheme}'")
+        if self.n < 0:
+            raise ValueError(f"negative element count {self.n}")
+        if self.gran <= 0:
+            raise ValueError(f"granularity must be positive, got {self.gran}")
+        if self.nmax is not None and self.nmax < self.n:
+            raise ValueError(f"nmax={self.nmax} smaller than n={self.n}")
+
+    @property
+    def lrs(self) -> int:
+        """Layers in actual use."""
+        return layers_needed(self.n, self.gran)
+
+    @property
+    def max_lrs(self) -> int:
+        """Allocated layers (``Lrs`` of ``nmax``; equals :attr:`lrs` when
+        no capacity was declared)."""
+        if self.nmax is None:
+            return self.lrs
+        return layers_needed(self.nmax, self.gran)
+
+    # -- element <-> (slot, layer) ------------------------------------------------
+
+    def slot_layer_of(self, element: int) -> tuple[int, int]:
+        """Map a 1-based element index to (1-based slot, 1-based layer)."""
+        if not 1 <= element <= self.n:
+            raise IndexError(f"element {element} out of range 1..{self.n}")
+        zero = element - 1
+        if self.scheme == "cyclic":
+            return zero % self.gran + 1, zero // self.gran + 1
+        return zero // self.lrs + 1, zero % self.lrs + 1
+
+    def elements_of_slot(self, slot: int) -> np.ndarray:
+        """1-based element indices handled by a 1-based slot, layer order."""
+        if not 1 <= slot <= self.gran:
+            raise IndexError(f"slot {slot} out of range 1..{self.gran}")
+        if self.scheme == "cyclic":
+            return np.arange(slot, self.n + 1, self.gran, dtype=np.int64)
+        lo = (slot - 1) * self.lrs + 1
+        hi = min(slot * self.lrs, self.n)
+        return np.arange(lo, hi + 1, dtype=np.int64)
+
+    def slot_matrix(self) -> np.ndarray:
+        """(gran, lrs) matrix of 1-based element indices; 0 marks holes."""
+        matrix = np.zeros((self.gran, self.lrs), dtype=np.int64)
+        for element in range(1, self.n + 1):
+            slot, layer = self.slot_layer_of(element)
+            matrix[slot - 1, layer - 1] = element
+        return matrix
+
+    def arrange(self, values: np.ndarray, fill=0) -> np.ndarray:
+        """Lay per-element ``values`` out as a (gran, lrs) slot matrix."""
+        values = np.asarray(values)
+        if values.shape[0] != self.n:
+            raise ValueError(
+                f"expected {self.n} per-element values, got {values.shape[0]}"
+            )
+        out_shape = (self.gran, self.lrs) + values.shape[1:]
+        out = np.full(out_shape, fill, dtype=values.dtype)
+        matrix = self.slot_matrix()
+        present = matrix > 0
+        out[present] = values[matrix[present] - 1]
+        return out
+
+    # -- workload aggregates (used by the Table 2 accounting) ----------------------
+
+    def per_slot_sums(self, weights: np.ndarray) -> np.ndarray:
+        """Sum per-element ``weights`` within each slot (length gran)."""
+        weights = np.asarray(weights)
+        sums = np.zeros(self.gran, dtype=weights.dtype)
+        for slot in range(1, self.gran + 1):
+            elements = self.elements_of_slot(slot)
+            if elements.size:
+                sums[slot - 1] = weights[elements - 1].sum()
+        return sums
+
+    def per_layer_maxima(self, weights: np.ndarray) -> np.ndarray:
+        """Max of per-element ``weights`` within each layer (length lrs)."""
+        weights = np.asarray(weights)
+        matrix = self.slot_matrix()
+        maxima = np.zeros(self.lrs, dtype=weights.dtype)
+        for layer in range(self.lrs):
+            column = matrix[:, layer]
+            present = column > 0
+            if present.any():
+                maxima[layer] = weights[column[present] - 1].max()
+        return maxima

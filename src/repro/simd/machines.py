@@ -1,0 +1,133 @@
+"""The paper's machine configurations (Section 5.2).
+
+* **CM-2** (Thinking Machines): 8192 one-bit PEs (up to 65536), 64-bit
+  vector FPAs shared by 64 PEs, 256 Kbits of memory per PE.  With the
+  Slicewise compiler the data granularity is ``Gran = P/8`` and the
+  data layout is blockwise; the hardware cycles through *all* memory
+  layers regardless of explicit section bounds.
+* **DECmpp 12000 / MasPar MP-1200**: 8192 PEs (up to 16384) at
+  1.8 Mips each, 64 KB per PE, array control unit at 14 Mips;
+  ``Gran = P`` with a cyclic ("cut-and-stack") layout; only selected
+  layers are processed, at a small per-allocated-layer overhead.
+* **Sparc 2** (Sun): 28 Mips scalar reference machine.
+
+Cost constants are calibrated so that the flattened NBFORCE kernel
+lands near Table 1's reported magnitudes (the per-step force-sweep
+times implied by Table 1 / Table 2 are ≈3.7 ms on the CM-2 and
+≈3.1 ms on the DECmpp); see EXPERIMENTS.md for the calibration notes.
+"""
+
+from __future__ import annotations
+
+from .cost import MachineModel
+
+#: The external force-routine names used by the NBFORCE kernels.
+FORCE_ROUTINES = ("force", "onef", "oneforce", "oneflat", "onefflat")
+
+
+def _call_costs(per_sweep: float) -> dict[str, float]:
+    return {name: per_sweep for name in FORCE_ROUTINES}
+
+
+def cm2(nproc: int = 8192) -> MachineModel:
+    """A CM-2 configuration with ``nproc`` one-bit processors.
+
+    The Slicewise execution model gives ``Gran = nproc / 8``; one
+    slot's memory backs 8 one-bit PEs (8 × 32 KB).
+    """
+    if nproc % 8:
+        raise ValueError("CM-2 slicewise model needs a multiple of 8 processors")
+    return MachineModel(
+        name="CM-2",
+        physical_pes=nproc,
+        gran=nproc // 8,
+        event_cost={
+            "int_op": 1.2e-4,
+            "real_op": 1.6e-4,
+            "logical": 0.8e-4,
+            "store": 1.0e-4,
+            "gather": 4.5e-4,
+            "scatter": 4.5e-4,
+            "reduce": 2.0e-4,
+            "mask": 1.0e-4,
+        },
+        issue_cost=3.0e-6,
+        acu_cost=2.0e-6,
+        call_cost=_call_costs(3.0e-3),
+        default_call_cost=3.0e-3,
+        layer_cycling="all",
+        layer_check_cost=5.0e-4,
+        alloc_layer_cost=0.0,
+        # Effective per-slot capacity for distributed data and stack
+        # temporaries (bit-serial storage reserves part of the
+        # 8 x 256 Kbit raw memory behind one slicewise slot).
+        memory_per_slot=64 * 1024,
+        unflat_temp_factor=0.6,
+        flat_temp_factor=0.5,
+        scalar=False,
+    )
+
+
+def decmpp(nproc: int = 8192) -> MachineModel:
+    """A DECmpp 12000 configuration with ``nproc`` processors."""
+    return MachineModel(
+        name="DECmpp 12000",
+        physical_pes=nproc,
+        gran=nproc,
+        event_cost={
+            "int_op": 2.0e-5,
+            "real_op": 3.0e-5,
+            "logical": 1.5e-5,
+            "store": 2.0e-5,
+            "gather": 6.0e-5,
+            "scatter": 6.0e-5,
+            "reduce": 4.0e-5,
+            "mask": 1.5e-5,
+        },
+        issue_cost=1.5e-6,
+        acu_cost=7.0e-8,  # 14 Mips array control unit
+        call_cost=_call_costs(2.6e-3),
+        default_call_cost=2.6e-3,
+        layer_cycling="selected",
+        layer_check_cost=2.0e-5,
+        alloc_layer_cost=2.0e-5,
+        memory_per_slot=64 * 1024,
+        unflat_temp_factor=0.05,
+        flat_temp_factor=0.05,
+        scalar=False,
+    )
+
+
+def sparc2() -> MachineModel:
+    """The Sparc 2 sequential reference machine (28 Mips)."""
+    op = 1.0 / 28.0e6
+    return MachineModel(
+        name="Sparc 2",
+        physical_pes=1,
+        gran=1,
+        event_cost={
+            "int_op": op,
+            "real_op": 2.0 * op,
+            "logical": op,
+            "store": op,
+            "gather": 2.0 * op,
+            "scatter": 2.0 * op,
+            "reduce": op,
+            "mask": op,
+        },
+        issue_cost=0.0,
+        acu_cost=op,
+        call_cost=_call_costs(5.5e-5),
+        default_call_cost=5.5e-5,
+        layer_cycling="selected",
+        layer_check_cost=0.0,
+        alloc_layer_cost=0.0,
+        memory_per_slot=16 * 1024 * 1024,
+        scalar=True,
+    )
+
+
+#: Machine sizes of Table 1's upper (CM-2) and lower (DECmpp) halves,
+#: as (physical processors, granularity) pairs.
+TABLE1_CM2_CONFIGS = ((1024, 128), (2048, 256), (4096, 512), (8192, 1024))
+TABLE1_DECMPP_CONFIGS = ((1024, 1024), (2048, 2048), (4096, 4096), (8192, 8192))

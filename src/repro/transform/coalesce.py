@@ -1,0 +1,96 @@
+"""Loop coalescing (Polychronopoulos 1987) — the related-work baseline.
+
+Coalescing merges the iteration variables of a *rectangular* nest into
+a single loop to raise the degree of parallelism and allow flexible
+distribution of inner iterations::
+
+    DO i = 1, n                 DO t = 1, n*m
+      DO j = 1, m        →        i = (t - 1) / m + 1
+        BODY(i, j)                j = t - (i - 1) * m
+                                  BODY(i, j)
+
+The paper's Section 7 contrasts it with loop flattening: coalescing
+*changes which iterations a processor executes* (it redistributes
+work), whereas flattening keeps the assignment and only gives each
+processor freedom about *when* it executes its iterations.  Crucially,
+coalescing needs the inner trip count to be invariant — exactly what
+the irregular workloads of the paper violate — and
+:func:`coalesce_nest` rejects such nests, which the ablation benchmark
+demonstrates.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sideeffects import referenced_names
+from ..lang import ast
+from ..lang.errors import TransformError
+from .flatten import FreshNames, _used_names
+
+
+def _unit_stride(stmt: ast.Do) -> bool:
+    return stmt.stride is None or (
+        isinstance(stmt.stride, ast.IntLit) and stmt.stride.value == 1
+    )
+
+
+def coalesce_nest(stmt: ast.Stmt) -> list[ast.Stmt]:
+    """Coalesce a rectangular two-level DO nest into a single DO loop.
+
+    Raises:
+        TransformError: if the nest is not two perfectly nested
+            unit-stride DO loops with lower bounds 1, or if the inner
+            bound depends on the outer loop variable (non-rectangular
+            iteration space — the case loop flattening exists for).
+    """
+    if not isinstance(stmt, ast.Do):
+        raise TransformError("coalescing expects an outer DO loop", stmt.loc)
+    if not _unit_stride(stmt):
+        raise TransformError("coalescing requires a unit-stride outer loop", stmt.loc)
+    if not (isinstance(stmt.lo, ast.IntLit) and stmt.lo.value == 1):
+        raise TransformError("coalescing requires an outer lower bound of 1", stmt.loc)
+    inner_loops = [s for s in stmt.body if isinstance(s, ast.Do)]
+    if len(stmt.body) != 1 or len(inner_loops) != 1:
+        raise TransformError(
+            "coalescing requires a perfectly nested two-level DO nest", stmt.loc
+        )
+    inner = inner_loops[0]
+    if not _unit_stride(inner):
+        raise TransformError("coalescing requires a unit-stride inner loop", inner.loc)
+    if not (isinstance(inner.lo, ast.IntLit) and inner.lo.value == 1):
+        raise TransformError("coalescing requires an inner lower bound of 1", inner.loc)
+    if stmt.var in referenced_names(inner.hi):
+        raise TransformError(
+            "inner trip count varies with the outer iteration — the nest is "
+            "not rectangular, so loop coalescing does not apply (this is the "
+            "case loop flattening handles; see Sec. 7)",
+            inner.loc,
+        )
+
+    used = _used_names(stmt)
+    names = FreshNames(used)
+    t = names.fresh(f"{stmt.var}{inner.var}__t")
+    n = ast.clone(stmt.hi)
+    m = ast.clone(inner.hi)
+    total = ast.BinOp("*", n, m)
+    compute_i = ast.Assign(
+        ast.Var(stmt.var),
+        ast.BinOp(
+            "+",
+            ast.BinOp(
+                "/", ast.BinOp("-", ast.Var(t), ast.IntLit(1)), ast.clone(m)
+            ),
+            ast.IntLit(1),
+        ),
+    )
+    compute_j = ast.Assign(
+        ast.Var(inner.var),
+        ast.BinOp(
+            "-",
+            ast.Var(t),
+            ast.BinOp(
+                "*", ast.BinOp("-", ast.Var(stmt.var), ast.IntLit(1)), ast.clone(m)
+            ),
+        ),
+    )
+    body = [compute_i, compute_j] + ast.clone(inner.body)
+    return [ast.Do(t, ast.IntLit(1), total, None, body, loc=stmt.loc)]

@@ -1,0 +1,492 @@
+"""Loop flattening — the paper's central transformation (Section 4).
+
+Given a two-level nest whose outer loop is parallelizable and whose
+inner trip count varies per outer iteration, flattening lifts the
+inner loop body up into the outer loop and merges the loop controls so
+each processor can privately advance to its next useful iteration.
+
+Three strengths are implemented, exactly following the paper:
+
+* :func:`flatten_general` — Fig. 10.  Fully conservative: guard
+  results are latched into fresh flags before any rearrangement, so
+  tests may have side effects and the inner loop may run zero times.
+* :func:`flatten_optimized` — Fig. 11.  Requires side-effect-free
+  ``test1``/``test2``/``init2`` and an inner loop that runs at least
+  once per outer iteration.
+* :func:`flatten_done` — Fig. 12.  Additionally replaces the guard
+  with a *last iteration* test ``done2``, saving the final increment
+  (this is the shape of the paper's Figure 7 and Figure 15 kernels).
+
+Each F77-level result can be mechanically SIMDized with
+:func:`repro.transform.simdize.simdize_structured` (the paper:
+"a corresponding F90simd version can always be directly derived by
+SIMDizing loops and replacing IF's with WHERE's").
+
+The transformation also accepts *imperfect* nests: statements of the
+outer body before the inner loop (``pre``) run whenever a processor
+starts an outer iteration, statements after it (``post``) run whenever
+it finishes one; both are placed on the outer-iteration transition,
+which preserves the original execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis.sideeffects import (
+    stmts_have_side_effects,
+    subscripts_depending_on,
+)
+from ..lang import ast
+from ..lang.errors import TransformError
+from .normalize import NormalizedLoop, is_loop, normalize_loop
+
+#: Recognized variant names, weakest guarantee requirement last.
+VARIANTS = ("general", "optimized", "done", "auto")
+
+
+@dataclass
+class LoopNest:
+    """A two-level loop nest prepared for flattening.
+
+    Attributes:
+        outer: Normalized outer loop.
+        inner: Normalized inner loop.
+        pre: Outer-body statements before the inner loop.
+        post: Outer-body statements after the inner loop.
+    """
+
+    outer: NormalizedLoop
+    inner: NormalizedLoop
+    pre: list[ast.Stmt]
+    post: list[ast.Stmt]
+
+
+class FreshNames:
+    """Generates identifiers that do not collide with a used-name set."""
+
+    def __init__(self, used: set[str]):
+        self._used = set(used)
+
+    def fresh(self, stem: str) -> str:
+        if stem not in self._used:
+            self._used.add(stem)
+            return stem
+        counter = 2
+        while f"{stem}{counter}" in self._used:
+            counter += 1
+        name = f"{stem}{counter}"
+        self._used.add(name)
+        return name
+
+
+def _used_names(stmt: ast.Stmt) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Var, ast.ArrayRef)):
+            names.add(node.name)
+        elif isinstance(node, (ast.Do, ast.Forall)):
+            names.add(node.var)
+    return names
+
+
+def extract_nest(stmt: ast.Stmt) -> LoopNest:
+    """Split an outer loop statement into a :class:`LoopNest`.
+
+    The outer body must contain exactly one loop at its top level
+    (the applicability condition of Section 6: "multiple loops fully
+    contained in each other, i.e., there are not several loops on the
+    same nesting level").
+    """
+    if not is_loop(stmt):
+        raise TransformError(
+            f"{type(stmt).__name__} is not a flattenable loop", stmt.loc
+        )
+    outer = normalize_loop(stmt)
+    loop_positions = [
+        index for index, child in enumerate(outer.body) if is_loop(child)
+    ]
+    if not loop_positions:
+        raise TransformError("outer loop body contains no inner loop", stmt.loc)
+    if len(loop_positions) > 1:
+        raise TransformError(
+            "outer loop body contains several loops at the same nesting "
+            "level; loop flattening does not apply (Sec. 6)",
+            stmt.loc,
+        )
+    position = loop_positions[0]
+    inner = normalize_loop(outer.body[position])
+    pre = outer.body[:position]
+    post = outer.body[position + 1:]
+    return LoopNest(outer, inner, pre, post)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 9: guard-flag introduction (exposition / first rewrite stage)
+# ---------------------------------------------------------------------------
+
+
+def introduce_guards(nest: LoopNest, names: FreshNames | None = None) -> list[ast.Stmt]:
+    """Rebuild the nest with guard flags latched (the paper's Fig. 9).
+
+    Control flow is unchanged; the only difference from the normalized
+    nest is that every test result is stored in a fresh flag before
+    being branched on.
+    """
+    names = names or FreshNames(_nest_names(nest))
+    t1 = names.fresh("t1")
+    t2 = names.fresh("t2")
+    set_t1 = ast.Assign(ast.Var(t1), ast.clone(nest.outer.test))
+    set_t2 = ast.Assign(ast.Var(t2), ast.clone(nest.inner.test))
+    inner_loop = ast.While(
+        ast.Var(t2),
+        ast.clone(nest.inner.body)
+        + ast.clone(nest.inner.increment)
+        + [ast.clone(set_t2)],
+    )
+    outer_body = (
+        ast.clone(nest.pre)
+        + ast.clone(nest.inner.init)
+        + [ast.clone(set_t2), inner_loop]
+        + ast.clone(nest.post)
+        + ast.clone(nest.outer.increment)
+        + [ast.clone(set_t1)]
+    )
+    return (
+        ast.clone(nest.outer.init)
+        + [ast.clone(set_t1), ast.While(ast.Var(t1), outer_body)]
+    )
+
+
+def _nest_names(nest: LoopNest) -> set[str]:
+    names: set[str] = set()
+    for group in (
+        nest.outer.init,
+        nest.outer.increment,
+        nest.outer.body,
+        nest.inner.init,
+        nest.inner.increment,
+        nest.inner.body,
+        nest.pre,
+        nest.post,
+    ):
+        for stmt in group:
+            names |= _used_names(stmt)
+    for expr in (nest.outer.test, nest.inner.test):
+        names |= {
+            n.name for n in ast.walk(expr) if isinstance(n, (ast.Var, ast.ArrayRef))
+        }
+    return names
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10: general, conservative flattening
+# ---------------------------------------------------------------------------
+
+
+def flatten_general(nest: LoopNest, names: FreshNames | None = None) -> list[ast.Stmt]:
+    """The fully general flattening of Fig. 10.
+
+    Executes exactly the same instructions, in the same order, the
+    same number of times as the normalized original — but the inner
+    loop body is lifted out of the inner loop, so a SIMDized version
+    lets every processor execute *effectively different* iterations in
+    lockstep.
+    """
+    names = names or FreshNames(_nest_names(nest))
+    t1 = names.fresh("t1")
+    t2 = names.fresh("t2")
+    set_t1 = ast.Assign(ast.Var(t1), ast.clone(nest.outer.test))
+    set_t2 = ast.Assign(ast.Var(t2), ast.clone(nest.inner.test))
+    enter_outer = ast.clone(nest.pre) + ast.clone(nest.inner.init)
+
+    advance = (
+        ast.clone(nest.post)
+        + ast.clone(nest.outer.increment)
+        + [ast.clone(set_t1)]
+        + [
+            ast.If(
+                ast.Var(t1),
+                ast.clone(enter_outer) + [ast.clone(set_t2)],
+                [],
+            )
+        ]
+    )
+    skip_cond = ast.BinOp(".AND.", ast.Var(t1), ast.UnOp(".NOT.", ast.Var(t2)))
+    skip_loop = ast.While(ast.clone(skip_cond), advance)
+    main_body = [
+        ast.clone(set_t2),
+        skip_loop,
+        ast.If(
+            ast.Var(t1),
+            ast.clone(nest.inner.body) + ast.clone(nest.inner.increment),
+            [],
+        ),
+    ]
+    return (
+        ast.clone(nest.outer.init)
+        + [ast.clone(set_t1)]
+        + [ast.If(ast.Var(t1), ast.clone(enter_outer), [])]
+        + [ast.While(ast.Var(t1), main_body)]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 / Fig. 12: optimized variants
+# ---------------------------------------------------------------------------
+
+
+def _check_optimized_preconditions(nest: LoopNest, assume_min_trips: bool) -> None:
+    if stmts_have_side_effects(nest.inner.init):
+        raise TransformError(
+            "optimized flattening requires a side-effect-free inner init "
+            "(condition 1 of Sec. 4); use variant='general'"
+        )
+    if not (nest.inner.min_trips_known or assume_min_trips):
+        raise TransformError(
+            "optimized flattening requires the inner loop to execute at "
+            "least once per outer iteration (condition 2 of Sec. 4); pass "
+            "assume_min_trips=True if the workload guarantees it, or use "
+            "variant='general'"
+        )
+
+
+def _transition(nest: LoopNest, guard_reentry: bool) -> list[ast.Stmt]:
+    """Statements executed when a processor finishes an outer iteration."""
+    reenter = ast.clone(nest.pre) + ast.clone(nest.inner.init)
+    if guard_reentry:
+        reenter = [ast.If(ast.clone(nest.outer.test), reenter, [])]
+    return ast.clone(nest.post) + ast.clone(nest.outer.increment) + reenter
+
+
+def _initial_entry(nest: LoopNest, guard_reentry: bool) -> list[ast.Stmt]:
+    """Prologue entering the first outer iteration (pre + inner init).
+
+    Guarded by the outer test when re-entry is hazardous: with fewer
+    outer iterations than processors, some lanes are exhausted from
+    the start and must not evaluate ``pre``/``init2``.
+    """
+    entry = ast.clone(nest.pre) + ast.clone(nest.inner.init)
+    if guard_reentry:
+        return [ast.If(ast.clone(nest.outer.test), entry, [])]
+    return entry
+
+
+def _needs_reentry_guard(nest: LoopNest) -> bool:
+    """Should pre/init2 be re-guarded on the outer-iteration transition?
+
+    Fig. 11/12 run ``init2`` once more after the final outer increment;
+    that is only safe when evaluating it cannot fault.  We guard when
+    the re-entered statements subscript arrays with the outer counter
+    (evaluation hazard) or when there are pre statements with stores.
+    """
+    counters = {nest.outer.var} if nest.outer.var else set()
+    counters |= {
+        name
+        for stmt in nest.outer.increment
+        for name in _assigned_of(stmt)
+    }
+    if not counters:
+        return bool(nest.pre)
+    reentered = nest.pre + nest.inner.init
+    return bool(nest.pre) or subscripts_depending_on(reentered, counters)
+
+
+def _assigned_of(stmt: ast.Stmt) -> set[str]:
+    if isinstance(stmt, ast.Assign):
+        target = stmt.target
+        if isinstance(target, (ast.Var, ast.ArrayRef)):
+            return {target.name}
+    return set()
+
+
+def flatten_optimized(
+    nest: LoopNest, assume_min_trips: bool = False
+) -> list[ast.Stmt]:
+    """The simpler flattened form of Fig. 11.
+
+    Preconditions (checked): side-effect-free tests and inner init,
+    and the inner loop runs at least once per outer iteration.
+    """
+    _check_optimized_preconditions(nest, assume_min_trips)
+    guard = _needs_reentry_guard(nest)
+    body = (
+        ast.clone(nest.inner.body)
+        + ast.clone(nest.inner.increment)
+        + [
+            ast.If(
+                ast.UnOp(".NOT.", ast.clone(nest.inner.test)),
+                _transition(nest, guard),
+                [],
+            )
+        ]
+    )
+    return (
+        ast.clone(nest.outer.init)
+        + _initial_entry(nest, guard)
+        + [ast.While(ast.clone(nest.outer.test), body)]
+    )
+
+
+def flatten_done(nest: LoopNest, assume_min_trips: bool = False) -> list[ast.Stmt]:
+    """The strongest form of Fig. 12 (the paper's Figure 7 / Figure 15).
+
+    On top of Fig. 11's preconditions, the inner guard is replaced by a
+    last-iteration test ``done2``, saving the final inner increment.
+    """
+    _check_optimized_preconditions(nest, assume_min_trips)
+    if nest.inner.done is None:
+        raise TransformError(
+            "no last-iteration (done) test is derivable for the inner loop "
+            "(condition 3 of Sec. 4); use variant='optimized'"
+        )
+    guard = _needs_reentry_guard(nest)
+    body = ast.clone(nest.inner.body) + [
+        ast.If(
+            ast.clone(nest.inner.done),
+            _transition(nest, guard),
+            ast.clone(nest.inner.increment),
+        )
+    ]
+    return (
+        ast.clone(nest.outer.init)
+        + _initial_entry(nest, guard)
+        + [ast.While(ast.clone(nest.outer.test), body)]
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deeper nests (Sec. 4: "an extension ... to deeper loop nests is
+# straightforward")
+# ---------------------------------------------------------------------------
+
+
+def flatten_deep(
+    stmt: ast.Stmt,
+    variant: str = "auto",
+    assume_min_trips: bool = False,
+) -> list[ast.Stmt]:
+    """Flatten a loop nest of arbitrary depth, innermost first.
+
+    Each flattening step collapses the two innermost levels into a
+    single WHILE whose body is loop-free; repeating from the inside
+    out reduces an n-deep nest to one loop.  The intermediate
+    flattened loops are WHILE loops, so levels above the innermost
+    use the ``optimized`` form (no ``done`` test is derivable for
+    them); the caller's ``variant`` choice applies to the innermost
+    pair.
+
+    Args:
+        stmt: The outermost loop of the nest.
+        variant: Strength for the innermost flattening step.
+        assume_min_trips: Asserts every level's inner loop runs at
+            least once per enclosing iteration (required above the
+            innermost level unless bounds are literal).
+
+    Returns:
+        Replacement statement list for ``stmt``.
+    """
+    if not _contains_loop(stmt):
+        raise TransformError(
+            f"{type(stmt).__name__} contains no inner loop", stmt.loc
+        )
+    deep = _nest_depth(stmt) > 2
+    stmt = _flatten_inner_nests(stmt, variant, assume_min_trips)
+    if not _contains_loop(stmt):
+        return [stmt]
+    if deep:
+        # The inner loop is now a flattened WHILE: no done test exists
+        # for it, so use the strongest remaining form (general when the
+        # caller insisted on it, otherwise optimized-or-weaker).
+        outer_variant = "general" if variant == "general" else "auto"
+    else:
+        outer_variant = variant
+    return flatten_loop_nest(
+        stmt, variant=outer_variant, assume_min_trips=assume_min_trips
+    )
+
+
+def _contains_loop(stmt: ast.Stmt) -> bool:
+    from .normalize import is_loop
+
+    return any(
+        is_loop(node) for node in ast.walk(stmt) if node is not stmt
+    )
+
+
+def _nest_depth(stmt: ast.Stmt) -> int:
+    from .normalize import is_loop
+
+    def depth_of(body: list[ast.Stmt]) -> int:
+        best = 0
+        for child in body:
+            if is_loop(child):
+                best = max(best, 1 + depth_of(child.body))
+            else:
+                for sub in ast.sub_bodies(child):
+                    best = max(best, depth_of(sub))
+        return best
+
+    return 1 + depth_of(getattr(stmt, "body", []))
+
+
+def _flatten_inner_nests(
+    stmt: ast.Stmt, variant: str, assume_min_trips: bool
+) -> ast.Stmt:
+    """Flatten every nest strictly inside ``stmt``, bottom-up."""
+    from .normalize import is_loop
+
+    stmt = ast.clone(stmt)
+    body = stmt.body
+    new_body: list[ast.Stmt] = []
+    for child in body:
+        if is_loop(child) and _contains_loop(child):
+            new_body.extend(flatten_deep(child, variant, assume_min_trips))
+        else:
+            new_body.append(child)
+    stmt.body = new_body
+    return stmt
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def flatten_loop_nest(
+    stmt: ast.Stmt,
+    variant: str = "auto",
+    assume_min_trips: bool = False,
+) -> list[ast.Stmt]:
+    """Flatten a two-level loop nest statement.
+
+    Args:
+        stmt: The outer loop statement (Do / DoWhile / While).
+        variant: ``"general"``, ``"optimized"``, ``"done"`` or
+            ``"auto"`` (strongest variant whose preconditions hold).
+        assume_min_trips: Caller-asserted condition 2 (the inner loop
+            body executes at least once per outer iteration), e.g. the
+            paper's "each atom has at least one interaction partner".
+
+    Returns:
+        Replacement statement list for ``stmt``.
+    """
+    if variant not in VARIANTS:
+        raise TransformError(f"unknown flattening variant '{variant}'")
+    nest = extract_nest(stmt)
+    if variant == "general":
+        return flatten_general(nest)
+    if variant == "optimized":
+        return flatten_optimized(nest, assume_min_trips)
+    if variant == "done":
+        return flatten_done(nest, assume_min_trips)
+    # auto: strongest applicable
+    try:
+        return flatten_done(nest, assume_min_trips)
+    except TransformError:
+        pass
+    try:
+        return flatten_optimized(nest, assume_min_trips)
+    except TransformError:
+        pass
+    return flatten_general(nest)

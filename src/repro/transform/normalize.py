@@ -1,0 +1,427 @@
+"""Loop normalization — the first step of loop flattening (Sec. 4, Fig. 8).
+
+Every supported loop form is broken into three phases per nesting
+level ``l``:
+
+* an initialization phase ``init_l``,
+* a guard ``test_l`` (the loop *continues* while it holds),
+* an incrementing step ``increment_l``,
+
+yielding the paper's GENNEST normal form::
+
+    init_l
+    WHILE test_l
+        BODY
+        increment_l
+    ENDWHILE
+
+Since the normal form conservatively tests before entering the body,
+*all* loops can be brought into it:
+
+* ``DO var = lo, hi [, stride]`` — phases read off the header;
+* ``DO WHILE (c)`` / ``WHILE c`` — ``test = c``, empty increment;
+* pre-test GOTO loops (``10 IF (.NOT. c) GOTO 20 ... GOTO 10``) —
+  phases identified by their position between labels and jumps;
+* post-test GOTO loops (``10 CONTINUE ... IF (c) GOTO 10``) — made
+  pre-test with a fresh continuation flag initialized to true.
+
+The counted form also derives the optional ``done`` predicate ("this is
+the last iteration") used by the strongest flattening variant (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang import ast
+from ..lang.errors import TransformError
+
+
+@dataclass
+class NormalizedLoop:
+    """One loop in the paper's init/test/increment normal form.
+
+    Attributes:
+        kind: Original loop form: ``"do"``, ``"dowhile"``, ``"while"``,
+            ``"goto-pre"`` or ``"goto-post"``.
+        init: Statements of the initialization phase.
+        test: Guard expression; the loop runs while it is true.
+        body: Loop body without any control statements.
+        increment: Statements of the incrementing step.
+        var: Loop variable for counted loops, else None.
+        done: Optional "last iteration" predicate (counted loops with a
+            statically positive stride); enables the Fig. 12 variant.
+        min_trips_known: True when the loop provably executes its body
+            at least once (e.g. ``DO i = 1, 4`` with literal bounds) —
+            one precondition of the optimized variants.
+    """
+
+    kind: str
+    init: list[ast.Stmt]
+    test: ast.Expr
+    body: list[ast.Stmt]
+    increment: list[ast.Stmt]
+    var: str | None = None
+    done: ast.Expr | None = None
+    min_trips_known: bool = False
+    source: ast.Stmt | None = field(default=None, repr=False)
+
+    def materialize(self) -> list[ast.Stmt]:
+        """Rebuild the loop as ``init; WHILE test { body; increment }``."""
+        loop = ast.While(ast.clone(self.test), ast.clone(self.body) + ast.clone(self.increment))
+        return ast.clone(self.init) + [loop]
+
+
+#: Loop statement classes normalization accepts directly.
+LOOP_STMTS = (ast.Do, ast.DoWhile, ast.While)
+
+
+def is_loop(stmt: ast.Stmt) -> bool:
+    """True for statements normalization can treat as a loop."""
+    return isinstance(stmt, LOOP_STMTS)
+
+
+def _literal_int(expr: ast.Expr) -> int | None:
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.UnOp) and expr.op == "-" and isinstance(expr.operand, ast.IntLit):
+        return -expr.operand.value
+    return None
+
+
+def normalize_do(stmt: ast.Do) -> NormalizedLoop:
+    """Normalize a counted DO loop.
+
+    The stride must be a (possibly omitted) integer literal so the
+    guard direction is statically known; a symbolic stride cannot be
+    normalized without runtime dispatch, which the paper's scheme does
+    not model.
+    """
+    stride_value = 1 if stmt.stride is None else _literal_int(stmt.stride)
+    if stride_value is None:
+        raise TransformError(
+            "cannot normalize DO with a symbolic stride", stmt.loc
+        )
+    if stride_value == 0:
+        raise TransformError("DO stride is zero", stmt.loc)
+    var = ast.Var(stmt.var)
+    stride_expr = ast.IntLit(stride_value) if stride_value >= 0 else ast.UnOp(
+        "-", ast.IntLit(-stride_value)
+    )
+    init = [ast.Assign(ast.Var(stmt.var), ast.clone(stmt.lo))]
+    cmp_op = "<=" if stride_value > 0 else ">="
+    test = ast.BinOp(cmp_op, var, ast.clone(stmt.hi))
+    increment = [
+        ast.Assign(
+            ast.Var(stmt.var),
+            ast.BinOp("+", ast.Var(stmt.var), ast.clone(stride_expr)),
+        )
+    ]
+    if abs(stride_value) == 1:
+        done_op = ">=" if stride_value > 0 else "<="
+        done = ast.BinOp(done_op, ast.Var(stmt.var), ast.clone(stmt.hi))
+    else:
+        # done = (var + stride beyond hi)
+        beyond_op = ">" if stride_value > 0 else "<"
+        done = ast.BinOp(
+            beyond_op,
+            ast.BinOp("+", ast.Var(stmt.var), ast.clone(stride_expr)),
+            ast.clone(stmt.hi),
+        )
+    lo_lit = _literal_int(stmt.lo)
+    hi_lit = _literal_int(stmt.hi)
+    min_trips = (
+        lo_lit is not None
+        and hi_lit is not None
+        and ((stride_value > 0 and lo_lit <= hi_lit) or (stride_value < 0 and lo_lit >= hi_lit))
+    )
+    return NormalizedLoop(
+        "do",
+        init,
+        test,
+        ast.clone(stmt.body),
+        increment,
+        var=stmt.var,
+        done=done,
+        min_trips_known=min_trips,
+        source=stmt,
+    )
+
+
+def normalize_while(stmt: ast.While | ast.DoWhile) -> NormalizedLoop:
+    """Normalize a WHILE or DO WHILE loop (both are pre-test in MiniF)."""
+    kind = "while" if isinstance(stmt, ast.While) else "dowhile"
+    return NormalizedLoop(
+        kind,
+        [],
+        ast.clone(stmt.cond),
+        ast.clone(stmt.body),
+        [],
+        source=stmt,
+    )
+
+
+def normalize_loop(stmt: ast.Stmt) -> NormalizedLoop:
+    """Normalize any supported loop statement."""
+    if isinstance(stmt, ast.Do):
+        return normalize_do(stmt)
+    if isinstance(stmt, (ast.While, ast.DoWhile)):
+        return normalize_while(stmt)
+    raise TransformError(
+        f"cannot normalize {type(stmt).__name__} as a loop", stmt.loc
+    )
+
+
+# ---------------------------------------------------------------------------
+# GOTO loop structurization
+# ---------------------------------------------------------------------------
+
+
+def _goto_target(stmt: ast.Stmt) -> int | None:
+    """Label targeted when ``stmt`` is an unconditional GOTO."""
+    if isinstance(stmt, ast.Goto):
+        return stmt.target
+    return None
+
+
+def _conditional_goto(stmt: ast.Stmt):
+    """Return ``(cond, target)`` when ``stmt`` is ``IF (cond) GOTO n``."""
+    if (
+        isinstance(stmt, ast.If)
+        and len(stmt.then_body) == 1
+        and not stmt.else_body
+        and isinstance(stmt.then_body[0], ast.Goto)
+    ):
+        return stmt.cond, stmt.then_body[0].target
+    return None
+
+
+def _negate(expr: ast.Expr) -> ast.Expr:
+    """Logically negate, unwrapping a double negation."""
+    if isinstance(expr, ast.UnOp) and expr.op == ".NOT.":
+        return ast.clone(expr.operand)
+    return ast.UnOp(".NOT.", ast.clone(expr))
+
+
+def _counted_header(cond: ast.Expr, var: str):
+    """Extract the upper bound from a counted-loop guard on ``var``.
+
+    Recognizes ``var <= hi``, ``var < hi``, ``.NOT. var > hi`` and
+    ``.NOT. var >= hi`` (and the mirrored spellings with ``var`` on
+    the right); returns the inclusive bound expression or None.
+    """
+    negated = False
+    if isinstance(cond, ast.UnOp) and cond.op == ".NOT.":
+        negated = True
+        cond = cond.operand
+    if not isinstance(cond, ast.BinOp):
+        return None
+    op, left, right = cond.op, cond.left, cond.right
+    if isinstance(right, ast.Var) and right.name == var:
+        mirror = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+        if op not in mirror:
+            return None
+        op, left, right = mirror[op], right, left
+    if not (isinstance(left, ast.Var) and left.name == var):
+        return None
+    if negated:
+        flip = {">": "<=", ">=": "<", "<": ">=", "<=": ">"}
+        op = flip.get(op)
+        if op is None:
+            return None
+    if op == "<=":
+        return ast.clone(right)
+    if op == "<":
+        return ast.BinOp("-", ast.clone(right), ast.IntLit(1))
+    return None
+
+
+def _unit_increment_var(stmt: ast.Stmt):
+    """``var`` when ``stmt`` is ``var = var + 1``."""
+    if (
+        isinstance(stmt, ast.Assign)
+        and isinstance(stmt.target, ast.Var)
+        and isinstance(stmt.value, ast.BinOp)
+        and stmt.value.op == "+"
+        and isinstance(stmt.value.left, ast.Var)
+        and stmt.value.left.name == stmt.target.name
+        and stmt.value.right == ast.IntLit(1)
+    ):
+        return stmt.target.name
+    return None
+
+
+def raise_counted_loops(body: list[ast.Stmt]) -> list[ast.Stmt]:
+    """Recognize counted DO WHILE / WHILE loops and rebuild them as DO.
+
+    The classic induction-variable pattern left behind by GOTO
+    structurization::
+
+        i = lo                      DO i = lo, hi
+        DO WHILE (i <= hi)     →      BODY
+          BODY                      ENDDO
+          i = i + 1
+        ENDDO
+
+    Preconditions checked: the guard is a recognized bound on ``i``,
+    the increment is the last body statement, and ``i`` is not
+    assigned elsewhere in the body.
+    """
+    out = [stmt for stmt in body]
+    for stmt in out:
+        for sub in ast.sub_bodies(stmt):
+            sub[:] = raise_counted_loops(sub)
+    index = 1
+    while index < len(out):
+        init, loop = out[index - 1], out[index]
+        rewritten = _try_counted(init, loop)
+        if rewritten is not None:
+            out[index - 1 : index + 1] = [rewritten]
+        else:
+            index += 1
+    return out
+
+
+def _try_counted(init: ast.Stmt, loop: ast.Stmt) -> ast.Do | None:
+    if not isinstance(loop, (ast.DoWhile, ast.While)):
+        return None
+    if not (
+        isinstance(init, ast.Assign)
+        and isinstance(init.target, ast.Var)
+        and init.label is None
+        and loop.label is None
+    ):
+        return None
+    var = init.target.name
+    if not loop.body:
+        return None
+    if _unit_increment_var(loop.body[-1]) != var:
+        return None
+    hi = _counted_header(loop.cond, var)
+    if hi is None:
+        return None
+    inner = loop.body[:-1]
+    from ..analysis.sideeffects import assigned_names
+
+    if var in assigned_names(inner):
+        return None
+    # The bound must not be recomputed inside the loop either.
+    bound_names = {
+        n.name for n in ast.walk(hi) if isinstance(n, (ast.Var, ast.ArrayRef))
+    }
+    if bound_names & assigned_names(inner):
+        return None
+    return ast.Do(
+        var,
+        ast.clone(init.value),
+        hi,
+        None,
+        [ast.clone(s) for s in inner],
+        loc=loop.loc,
+    )
+
+
+def raise_goto_loops(body: list[ast.Stmt]) -> list[ast.Stmt]:
+    """Recognize GOTO-built loops and rebuild them as structured loops.
+
+    Handles the two canonical shapes (recursively, innermost patterns
+    first since the scan restarts after each rewrite):
+
+    pre-test::
+
+        10 IF (exit_cond) GOTO 20      →   DO WHILE (.NOT. exit_cond)
+           ...body...                        ...body...
+           GOTO 10                         ENDDO
+        20 CONTINUE
+
+    post-test::
+
+        10 CONTINUE                    →   first = true-flag loop via
+           ...body...                      DO WHILE with the flag pattern
+           IF (again_cond) GOTO 10         (kept as a DoWhile whose body
+                                            runs under a peeled guard)
+
+    The post-test shape is rebuilt as ``body; DO WHILE (cond) body`` —
+    the classic conversion, duplicating the body once, which keeps the
+    executed instruction sequence identical.
+    """
+    out = [
+        _rewrite_blocks(stmt) for stmt in body
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for index, stmt in enumerate(out):
+            rewritten = _try_pretest(out, index) or _try_posttest(out, index)
+            if rewritten is not None:
+                start, stop, replacement = rewritten
+                out[start:stop] = replacement
+                changed = True
+                break
+    return out
+
+
+def _rewrite_blocks(stmt: ast.Stmt) -> ast.Stmt:
+    for sub in ast.sub_bodies(stmt):
+        sub[:] = raise_goto_loops(sub)
+    return stmt
+
+
+def _prepare_loop_body(slice_stmts: list[ast.Stmt]) -> list[ast.Stmt] | None:
+    """Recursively structurize an extracted loop body.
+
+    Inner GOTO loops are resolved first; if any GOTO survives (a jump
+    out of the candidate body), the enclosing rewrite is unsafe and
+    None is returned.  Surviving labels are inert and cleared.
+    """
+    loop_body = raise_goto_loops([ast.clone(s) for s in slice_stmts])
+    for node in ast.walk_body(loop_body):
+        if isinstance(node, ast.Goto):
+            return None
+    for node in ast.walk_body(loop_body):
+        if isinstance(node, ast.Stmt):
+            node.label = None
+    return loop_body
+
+
+def _try_pretest(body: list[ast.Stmt], index: int):
+    head = body[index]
+    if head.label is None:
+        return None
+    cond_target = _conditional_goto(head)
+    if cond_target is None:
+        return None
+    exit_cond, exit_label = cond_target
+    # Find the back-jump GOTO head.label followed by the exit label.
+    for back_index in range(index + 1, len(body)):
+        if _goto_target(body[back_index]) == head.label:
+            if back_index + 1 < len(body) and body[back_index + 1].label == exit_label:
+                loop_body = _prepare_loop_body(body[index + 1:back_index])
+                if loop_body is None:
+                    return None
+                loop = ast.DoWhile(_negate(exit_cond), loop_body, loc=head.loc)
+                trailer = body[back_index + 1]
+                keep_trailer = not isinstance(trailer, ast.Continue)
+                replacement = [loop] + ([trailer] if keep_trailer else [])
+                if keep_trailer:
+                    trailer.label = None
+                return index, back_index + 2, replacement
+            return None
+    return None
+
+
+def _try_posttest(body: list[ast.Stmt], index: int):
+    head = body[index]
+    if head.label is None or not isinstance(head, ast.Continue):
+        return None
+    for back_index in range(index + 1, len(body)):
+        cond_target = _conditional_goto(body[back_index])
+        if cond_target is not None and cond_target[1] == head.label:
+            again_cond = cond_target[0]
+            loop_body = _prepare_loop_body(body[index + 1:back_index])
+            if loop_body is None:
+                return None
+            peeled = [ast.clone(s) for s in loop_body]
+            loop = ast.DoWhile(ast.clone(again_cond), loop_body, loc=head.loc)
+            return index, back_index + 1, peeled + [loop]
+    return None

@@ -1,0 +1,238 @@
+"""Outer-loop partitioning + flattening: the full SIMD pipeline.
+
+The paper's flattened SIMD kernels (Figures 7, 15, 16) are produced by
+three steps: *partition* the parallelizable outer loop's iterations
+across the PEs (each PE gets its own per-PE loop bounds), *flatten*
+the resulting nest, and *SIMDize* the flattened control.  This module
+provides that combined pipeline.
+
+Partitioning layouts (Section 5.2):
+
+* ``"block"`` — CM-2 style: PE ``p`` runs iterations
+  ``lo + (p-1)·chunk .. min(hi, lo + p·chunk - 1)`` with
+  ``chunk = ceil(count / P)``; the paper's Figure 7 init
+  ``i = [1, 5]; K = [4, 8]``.
+* ``"cyclic"`` — DECmpp "cut-and-stack" style: PE ``p`` runs
+  ``lo + p - 1, lo + p - 1 + P, ...``; the paper's Figure 15 init
+  ``At1 = [1 : P]`` with increment ``At1 = At1 + P``.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast
+from ..lang.errors import TransformError
+from .flatten import (
+    FreshNames,
+    LoopNest,
+    _nest_names,
+    _used_names,
+    flatten_done,
+    flatten_general,
+    flatten_optimized,
+)
+from .normalize import NormalizedLoop, is_loop, normalize_loop
+from .simdize import simdize_structured
+
+
+def _iota(nproc: ast.Expr) -> ast.Expr:
+    return ast.RangeVec(ast.IntLit(1), ast.clone(nproc))
+
+
+def partition_outer(
+    stmt: ast.Stmt,
+    nproc: ast.Expr | int,
+    layout: str = "cyclic",
+    names: FreshNames | None = None,
+) -> tuple[list[ast.Stmt], NormalizedLoop]:
+    """Partition a parallel outer loop's iterations across the PEs.
+
+    Args:
+        stmt: The outer loop — a unit-stride ``DO`` or a block ``FORALL``.
+        nproc: PE count (int or expression).
+        layout: ``"block"`` or ``"cyclic"``.
+        names: Fresh-name generator (derived from the loop when omitted).
+
+    Returns:
+        ``(setup, outer)`` where ``setup`` are statements to run once
+        before the loop (e.g. the chunk-size computation) and ``outer``
+        is the partitioned loop in init/test/increment normal form with
+        per-PE vector bounds.
+    """
+    if layout not in ("block", "cyclic"):
+        raise TransformError(f"unknown layout '{layout}'")
+    if isinstance(stmt, ast.Forall):
+        var, lo, hi, body = stmt.var, stmt.lo, stmt.hi, stmt.body
+        if stmt.mask is not None:
+            raise TransformError("masked FORALL partitioning is not supported", stmt.loc)
+    elif isinstance(stmt, ast.Do):
+        if stmt.stride is not None and not (
+            isinstance(stmt.stride, ast.IntLit) and stmt.stride.value == 1
+        ):
+            raise TransformError("partitioning handles unit-stride loops", stmt.loc)
+        var, lo, hi, body = stmt.var, stmt.lo, stmt.hi, stmt.body
+    else:
+        raise TransformError(
+            f"{type(stmt).__name__} is not a partitionable parallel loop", stmt.loc
+        )
+    nproc_expr = ast.IntLit(nproc) if isinstance(nproc, int) else nproc
+    names = names or FreshNames(_used_names(stmt))
+    setup: list[ast.Stmt] = []
+
+    if layout == "block":
+        chunk = names.fresh(f"{var}__chunk")
+        last = names.fresh(f"{var}__last")
+        count = ast.BinOp(
+            "+", ast.BinOp("-", ast.clone(hi), ast.clone(lo)), ast.IntLit(1)
+        )
+        setup.append(
+            ast.Assign(
+                ast.Var(chunk),
+                ast.BinOp(
+                    "/",
+                    ast.BinOp(
+                        "+",
+                        count,
+                        ast.BinOp("-", ast.clone(nproc_expr), ast.IntLit(1)),
+                    ),
+                    ast.clone(nproc_expr),
+                ),
+            )
+        )
+        start = ast.BinOp(
+            "+",
+            ast.clone(lo),
+            ast.BinOp(
+                "*",
+                ast.BinOp("-", _iota(nproc_expr), ast.IntLit(1)),
+                ast.Var(chunk),
+            ),
+        )
+        init = [
+            ast.Assign(ast.Var(var), start),
+            ast.Assign(
+                ast.Var(last),
+                ast.Call(
+                    "min",
+                    [
+                        ast.clone(hi),
+                        ast.BinOp(
+                            "-",
+                            ast.BinOp("+", ast.Var(var), ast.Var(chunk)),
+                            ast.IntLit(1),
+                        ),
+                    ],
+                ),
+            ),
+        ]
+        test = ast.BinOp("<=", ast.Var(var), ast.Var(last))
+        increment = [
+            ast.Assign(ast.Var(var), ast.BinOp("+", ast.Var(var), ast.IntLit(1)))
+        ]
+        done = ast.BinOp(">=", ast.Var(var), ast.Var(last))
+    else:
+        start = ast.BinOp(
+            "-",
+            ast.BinOp("+", ast.clone(lo), _iota(nproc_expr)),
+            ast.IntLit(1),
+        )
+        init = [ast.Assign(ast.Var(var), start)]
+        test = ast.BinOp("<=", ast.Var(var), ast.clone(hi))
+        increment = [
+            ast.Assign(
+                ast.Var(var), ast.BinOp("+", ast.Var(var), ast.clone(nproc_expr))
+            )
+        ]
+        done = ast.BinOp(
+            ">",
+            ast.BinOp("+", ast.Var(var), ast.clone(nproc_expr)),
+            ast.clone(hi),
+        )
+    outer = NormalizedLoop(
+        "do",
+        init,
+        test,
+        ast.clone(body),
+        increment,
+        var=var,
+        done=done,
+        source=stmt,
+    )
+    return setup, outer
+
+
+def flatten_spmd(
+    stmt: ast.Stmt,
+    nproc: ast.Expr | int,
+    layout: str = "cyclic",
+    variant: str = "done",
+    assume_min_trips: bool = False,
+    simd: bool = True,
+) -> list[ast.Stmt]:
+    """Partition, flatten and (optionally) SIMDize a parallel nest.
+
+    This is the end-to-end pipeline that turns the paper's Figure 13
+    (sequential NBFORCE) into Figure 15 (flattened F90simd NBFORCE).
+
+    Args:
+        stmt: Outer parallel loop whose body contains the inner loop.
+        nproc: PE count.
+        layout: Iteration-to-PE assignment (``"block"``/``"cyclic"``).
+        variant: Flattening strength (``"general"``, ``"optimized"``,
+            ``"done"``).
+        assume_min_trips: Caller-asserted condition 2 of Section 4.
+        simd: Derive the F90simd (WHERE/WHILE-ANY) form; when False the
+            replicated-control F77 form is returned.
+
+    Returns:
+        Replacement statement list for ``stmt``.
+    """
+    setup, outer = partition_outer(stmt, nproc, layout)
+    inner_positions = [i for i, child in enumerate(outer.body) if is_loop(child)]
+    if not inner_positions:
+        raise TransformError("outer loop body contains no inner loop", stmt.loc)
+    if len(inner_positions) > 1:
+        raise TransformError(
+            "several loops at the same nesting level; flattening does not apply",
+            stmt.loc,
+        )
+    position = inner_positions[0]
+    inner_stmt = outer.body[position]
+    if any(is_loop(node) for node in ast.walk(inner_stmt) if node is not inner_stmt):
+        # A deeper nest: flatten the levels below first (Sec. 4's
+        # "extension to deeper loop nests"), then treat the resulting
+        # single WHILE as the inner loop.
+        from .flatten import flatten_deep
+
+        flattened_inner = flatten_deep(
+            inner_stmt, variant=variant, assume_min_trips=assume_min_trips
+        )
+        outer.body[position:position + 1] = flattened_inner
+        inner_positions = [
+            i for i, child in enumerate(outer.body) if is_loop(child)
+        ]
+        position = inner_positions[0]
+        if variant == "done":
+            variant = "optimized"
+    inner = normalize_loop(outer.body[position])
+    nest = LoopNest(
+        outer, inner, outer.body[:position], outer.body[position + 1:]
+    )
+    if variant == "done":
+        flat = flatten_done(nest, assume_min_trips)
+    elif variant == "optimized":
+        flat = flatten_optimized(nest, assume_min_trips)
+    elif variant == "general":
+        flat = flatten_general(nest)
+    elif variant == "auto":
+        try:
+            flat = flatten_done(nest, assume_min_trips)
+        except TransformError:
+            try:
+                flat = flatten_optimized(nest, assume_min_trips)
+            except TransformError:
+                flat = flatten_general(nest)
+    else:
+        raise TransformError(f"unknown flattening variant '{variant}'")
+    if simd:
+        flat = simdize_structured(flat)
+    return setup + flat

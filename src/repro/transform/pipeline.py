@@ -1,0 +1,135 @@
+"""Program-level transformation driver.
+
+Applies the paper's passes to whole MiniF programs: locate a loop
+nest, normalize/structurize, flatten at the requested strength, and
+optionally derive the F90simd form — the "compiler repertoire"
+pipeline of Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import ast
+from ..lang.errors import TransformError
+from .flatten import flatten_loop_nest
+from .normalize import is_loop, raise_counted_loops, raise_goto_loops
+from .simdize import simdize_nest, simdize_structured
+
+
+@dataclass
+class NestSite:
+    """Location of a flattenable nest in a routine body."""
+
+    routine: str
+    index: int
+    stmt: ast.Stmt
+
+
+def find_nest_sites(source: ast.SourceFile) -> list[NestSite]:
+    """Find top-level loops that contain a nested loop, per routine.
+
+    Only statements at the top level of a routine body are candidate
+    *outer* loops; the applicability test of Section 6 ("multiple
+    loops fully contained in each other") is applied later by
+    :func:`repro.transform.flatten.extract_nest`.
+    """
+    sites: list[NestSite] = []
+    for unit in source.units:
+        for index, stmt in enumerate(unit.body):
+            if is_loop(stmt) and any(
+                is_loop(node)
+                for node in ast.walk_body([stmt])
+                if node is not stmt
+            ):
+                sites.append(NestSite(unit.name, index, stmt))
+    return sites
+
+
+def _replace_stmt(
+    source: ast.SourceFile, routine: str, index: int, replacement: list[ast.Stmt]
+) -> ast.SourceFile:
+    new_units = []
+    for unit in source.units:
+        if unit.name == routine:
+            body = unit.body[:index] + replacement + unit.body[index + 1:]
+            new_units.append(ast.Routine(unit.kind, unit.name, list(unit.params), body))
+        else:
+            new_units.append(ast.clone(unit))
+    return ast.SourceFile(new_units)
+
+
+def structurize_program(source: ast.SourceFile) -> ast.SourceFile:
+    """Raise GOTO-built loops to structured loops in every routine,
+    then recognize counted WHILE loops as DO loops."""
+    units = []
+    for unit in source.units:
+        body = raise_counted_loops(raise_goto_loops(ast.clone(unit.body)))
+        units.append(ast.Routine(unit.kind, unit.name, list(unit.params), body))
+    return ast.SourceFile(units)
+
+
+def flatten_program(
+    source: ast.SourceFile,
+    variant: str = "auto",
+    assume_min_trips: bool = False,
+    simd: bool = False,
+    routine: str | None = None,
+    nest_index: int = 0,
+) -> ast.SourceFile:
+    """Flatten one loop nest of a program.
+
+    Args:
+        source: Input program (GOTO loops are structurized first).
+        variant: Flattening strength (see
+            :func:`repro.transform.flatten.flatten_loop_nest`).
+        assume_min_trips: Caller-asserted "inner loop runs at least
+            once per outer iteration".
+        simd: Also derive the F90simd form of the flattened region
+            (WHILE→WHILE ANY, IF→WHERE).
+        routine: Restrict the nest search to this routine.
+        nest_index: Which nest (in program order) to flatten.
+
+    Returns:
+        A new :class:`~repro.lang.ast.SourceFile`; the input is unchanged.
+    """
+    structured = structurize_program(source)
+    sites = find_nest_sites(structured)
+    if routine is not None:
+        sites = [site for site in sites if site.routine == routine]
+    if not sites:
+        raise TransformError("no flattenable loop nest found")
+    if not 0 <= nest_index < len(sites):
+        raise TransformError(
+            f"nest index {nest_index} out of range (found {len(sites)} nests)"
+        )
+    site = sites[nest_index]
+    replacement = flatten_loop_nest(
+        site.stmt, variant=variant, assume_min_trips=assume_min_trips
+    )
+    if simd:
+        replacement = simdize_structured(replacement)
+    return _replace_stmt(structured, site.routine, site.index, replacement)
+
+
+def naive_simd_program(
+    source: ast.SourceFile,
+    nproc: ast.Expr | int,
+    layout: str = "block",
+    routine: str | None = None,
+    nest_index: int = 0,
+) -> ast.SourceFile:
+    """Naively SIMDize one parallel loop nest (the Section 3 baseline)."""
+    structured = structurize_program(source)
+    sites = find_nest_sites(structured)
+    if routine is not None:
+        sites = [site for site in sites if site.routine == routine]
+    if not sites:
+        raise TransformError("no SIMDizable loop nest found")
+    if not 0 <= nest_index < len(sites):
+        raise TransformError(
+            f"nest index {nest_index} out of range (found {len(sites)} nests)"
+        )
+    site = sites[nest_index]
+    replacement = simdize_nest(site.stmt, nproc, layout)
+    return _replace_stmt(structured, site.routine, site.index, replacement)

@@ -1,0 +1,253 @@
+"""Loop SIMDizing (Section 3) and mechanical F90simd derivation.
+
+Two related transformations live here:
+
+* :func:`simdize_nest` — the *naive* compilation of a parallel outer
+  loop for a SIMD machine, exactly what the paper's Figure 5 (P4) and
+  Figure 14 do by hand: partition the outer iterations across the PEs
+  (block or cyclic), then force every inner loop to the cross-PE
+  maximum of its bounds with a WHERE guard around the body.  This is
+  the baseline that loop flattening beats; its step count is
+  Equation 2's sum of maxima.
+
+* :func:`simdize_structured` — the mechanical derivation of an
+  F90simd program from replicated-control F77 code (the flattened
+  forms): ``WHILE c`` becomes ``WHILE ANY(c)`` with the body under
+  ``WHERE (c)``, and ``IF``\\ s become ``WHERE``\\ s.  Applying it to the
+  output of :func:`repro.transform.flatten.flatten_done` yields the
+  paper's Figure 7 / Figure 15 programs.
+"""
+
+from __future__ import annotations
+
+from ..lang import ast
+from ..lang.errors import TransformError
+from .flatten import FreshNames, _used_names
+
+
+def _any(expr: ast.Expr) -> ast.Expr:
+    return ast.Call("any", [ast.clone(expr)])
+
+
+def _is_literal(expr: ast.Expr) -> bool:
+    return isinstance(expr, (ast.IntLit, ast.RealLit, ast.BoolLit))
+
+
+# ---------------------------------------------------------------------------
+# Mechanical F90simd derivation for replicated-control code
+# ---------------------------------------------------------------------------
+
+
+def simdize_structured(stmts: list[ast.Stmt]) -> list[ast.Stmt]:
+    """Derive the F90simd form of replicated-control F77 statements.
+
+    Preconditions: the conditions of WHILEs and IFs must be safe to
+    evaluate on every PE (they are, by construction, for flattened
+    loops — either latched guard flags or the side-effect-free tests
+    of the optimized variants).
+    """
+    return [_simdize_stmt(stmt) for stmt in stmts]
+
+
+def _simdize_stmt(stmt: ast.Stmt) -> ast.Stmt:
+    if isinstance(stmt, (ast.While, ast.DoWhile)):
+        body = simdize_structured(stmt.body)
+        guarded = [ast.Where(ast.clone(stmt.cond), body, [])]
+        return ast.While(_any(stmt.cond), guarded, loc=stmt.loc, label=stmt.label)
+    if isinstance(stmt, ast.If):
+        return ast.Where(
+            ast.clone(stmt.cond),
+            simdize_structured(stmt.then_body),
+            simdize_structured(stmt.else_body),
+            loc=stmt.loc,
+            label=stmt.label,
+        )
+    if isinstance(stmt, ast.Where):
+        return ast.Where(
+            ast.clone(stmt.mask),
+            simdize_structured(stmt.then_body),
+            simdize_structured(stmt.else_body),
+            loc=stmt.loc,
+            label=stmt.label,
+        )
+    if isinstance(stmt, ast.Do):
+        return ast.Do(
+            stmt.var,
+            ast.clone(stmt.lo),
+            ast.clone(stmt.hi),
+            ast.clone(stmt.stride) if stmt.stride is not None else None,
+            simdize_structured(stmt.body),
+            loc=stmt.loc,
+            label=stmt.label,
+        )
+    if isinstance(stmt, ast.Goto):
+        raise TransformError(
+            "cannot SIMDize GOTO-based control flow; structurize it first "
+            "(repro.transform.normalize.raise_goto_loops)",
+            stmt.loc,
+        )
+    return ast.clone(stmt)
+
+
+# ---------------------------------------------------------------------------
+# Naive SIMDization of a parallel loop nest (Section 3)
+# ---------------------------------------------------------------------------
+
+
+def simdize_nest(
+    stmt: ast.Stmt,
+    nproc: ast.Expr | int,
+    layout: str = "block",
+) -> list[ast.Stmt]:
+    """SIMDize a parallel outer loop the naive way (the paper's P4).
+
+    The outer iterations are partitioned over ``nproc`` PEs; the outer
+    loop runs ``ceil(iterations / P)`` times on every PE with the
+    original loop variable becoming a per-PE vector, guarded by a
+    WHERE against the iteration bound.  Every *inner* loop is
+    "SIMDized": counted loops run to the cross-PE MAX of their bound
+    with the body under a WHERE; WHILE loops run while ANY PE's
+    condition holds.
+
+    Args:
+        stmt: The outer loop — a ``DO`` or a block ``FORALL`` (the
+            explicitly parallel marker).
+        nproc: PE count — an int or an expression (e.g. ``Var("p")``).
+        layout: ``"block"`` (CM-2 style) or ``"cyclic"`` (DECmpp
+            "cut-and-stack" style) iteration-to-PE assignment.
+
+    Returns:
+        Replacement statement list.
+    """
+    if layout not in ("block", "cyclic"):
+        raise TransformError(f"unknown layout '{layout}'")
+    if isinstance(stmt, ast.Forall):
+        var, lo, hi, body = stmt.var, stmt.lo, stmt.hi, stmt.body
+        mask = stmt.mask
+    elif isinstance(stmt, ast.Do):
+        if stmt.stride is not None and not (
+            isinstance(stmt.stride, ast.IntLit) and stmt.stride.value == 1
+        ):
+            raise TransformError(
+                "naive SIMDization handles unit-stride outer loops", stmt.loc
+            )
+        var, lo, hi, body = stmt.var, stmt.lo, stmt.hi, stmt.body
+        mask = None
+    else:
+        raise TransformError(
+            f"{type(stmt).__name__} is not a SIMDizable parallel loop", stmt.loc
+        )
+
+    nproc_expr = ast.IntLit(nproc) if isinstance(nproc, int) else nproc
+    names = FreshNames(set().union(*[_used_names(s) for s in body] or [set()]) | {var})
+    ctl = names.fresh(f"{var}__ctl")
+    chunk = names.fresh("chunk__")
+
+    total = ast.BinOp("+", ast.BinOp("-", ast.clone(hi), ast.clone(lo)), ast.IntLit(1))
+    chunk_value = ast.BinOp(
+        "/",
+        ast.BinOp("+", total, ast.BinOp("-", ast.clone(nproc_expr), ast.IntLit(1))),
+        ast.clone(nproc_expr),
+    )
+    iota = ast.RangeVec(ast.IntLit(1), ast.clone(nproc_expr))
+    if layout == "block":
+        # i = lo + (pe - 1)*chunk + (ctl - 1)
+        lane_base = ast.BinOp(
+            "*", ast.BinOp("-", iota, ast.IntLit(1)), ast.Var(chunk)
+        )
+        induction = ast.BinOp(
+            "+",
+            ast.BinOp("+", ast.clone(lo), lane_base),
+            ast.BinOp("-", ast.Var(ctl), ast.IntLit(1)),
+        )
+    else:
+        # i = lo + (ctl - 1)*P + (pe - 1)
+        step_base = ast.BinOp(
+            "*", ast.BinOp("-", ast.Var(ctl), ast.IntLit(1)), ast.clone(nproc_expr)
+        )
+        induction = ast.BinOp(
+            "+",
+            ast.BinOp("+", ast.clone(lo), step_base),
+            ast.BinOp("-", iota, ast.IntLit(1)),
+        )
+
+    guard = ast.BinOp("<=", ast.Var(var), ast.clone(hi))
+    if not _is_literal(lo) or (isinstance(lo, ast.IntLit) and lo.value != 1):
+        guard = ast.BinOp(
+            ".AND.", ast.BinOp(">=", ast.Var(var), ast.clone(lo)), guard
+        )
+    if mask is not None:
+        guard = ast.BinOp(".AND.", guard, ast.clone(mask))
+
+    inner = _simdize_inner_block(body)
+    loop = ast.Do(
+        ctl,
+        ast.IntLit(1),
+        ast.Var(chunk),
+        None,
+        [
+            ast.Assign(ast.Var(var), induction),
+            ast.Where(guard, inner, []),
+        ],
+        loc=stmt.loc,
+    )
+    return [ast.Assign(ast.Var(chunk), chunk_value), loop]
+
+
+def _simdize_inner_block(body: list[ast.Stmt]) -> list[ast.Stmt]:
+    return [_simdize_inner(stmt) for stmt in body]
+
+
+def _simdize_inner(stmt: ast.Stmt) -> ast.Stmt:
+    if isinstance(stmt, ast.Do):
+        body = _simdize_inner_block(stmt.body)
+        guard_parts: list[ast.Expr] = []
+        lo = ast.clone(stmt.lo)
+        hi = ast.clone(stmt.hi)
+        if not _is_literal(stmt.lo):
+            lo = ast.Call("min", [lo])
+            guard_parts.append(ast.BinOp(">=", ast.Var(stmt.var), ast.clone(stmt.lo)))
+        if not _is_literal(stmt.hi):
+            hi = ast.Call("max", [hi])
+            guard_parts.append(ast.BinOp("<=", ast.Var(stmt.var), ast.clone(stmt.hi)))
+        if guard_parts:
+            guard = guard_parts[0]
+            for part in guard_parts[1:]:
+                guard = ast.BinOp(".AND.", guard, part)
+            body = [ast.Where(guard, body, [])]
+        return ast.Do(
+            stmt.var,
+            lo,
+            hi,
+            ast.clone(stmt.stride) if stmt.stride is not None else None,
+            body,
+            loc=stmt.loc,
+            label=stmt.label,
+        )
+    if isinstance(stmt, (ast.While, ast.DoWhile)):
+        body = _simdize_inner_block(stmt.body)
+        return ast.While(
+            _any(stmt.cond),
+            [ast.Where(ast.clone(stmt.cond), body, [])],
+            loc=stmt.loc,
+            label=stmt.label,
+        )
+    if isinstance(stmt, ast.If):
+        return ast.Where(
+            ast.clone(stmt.cond),
+            _simdize_inner_block(stmt.then_body),
+            _simdize_inner_block(stmt.else_body),
+            loc=stmt.loc,
+            label=stmt.label,
+        )
+    if isinstance(stmt, ast.Where):
+        return ast.Where(
+            ast.clone(stmt.mask),
+            _simdize_inner_block(stmt.then_body),
+            _simdize_inner_block(stmt.else_body),
+            loc=stmt.loc,
+            label=stmt.label,
+        )
+    if isinstance(stmt, ast.Goto):
+        raise TransformError("cannot SIMDize GOTO control flow", stmt.loc)
+    return ast.clone(stmt)

@@ -1,0 +1,290 @@
+"""Algebraic simplification of transformed programs.
+
+The partitioning and flattening passes generate expressions like
+``(k - 1 + 1 + (2 - 1)) / 2`` and guards like ``.NOT. .NOT. c``.  This
+pass cleans them up with semantics-preserving rewrites:
+
+* constant folding over the integer/logical operators (with Fortran's
+  truncating integer division);
+* algebraic identities: ``x + 0``, ``x - 0``, ``x * 1``, ``x * 0``,
+  ``x / 1``, ``0 + x``, ``1 * x``, ``x ** 1``;
+* logical identities: ``.NOT. .NOT. c``, ``c .AND. .TRUE.``,
+  ``c .OR. .FALSE.``, ``c .AND. .FALSE.``, ``c .OR. .TRUE.``;
+* comparison negation: ``.NOT. (a < b)`` → ``a >= b`` (safe for the
+  total orders of MiniF's numeric types);
+* branch pruning: ``IF (.TRUE.)``/``IF (.FALSE.)`` and WHILE/DO-WHILE
+  with a constant-false guard.
+
+Only rewrites that are exact under the interpreters' semantics are
+performed — e.g. ``x * 0 → 0`` is applied only to literal ``x`` since
+a vector ``x`` would change the result's shape.
+"""
+
+from __future__ import annotations
+
+from ..exec.ops import apply_binop, apply_unop
+from ..lang import ast
+
+#: Operators folded over literal operands.
+_FOLDABLE = frozenset(
+    {"+", "-", "*", "/", "**", "==", "/=", "<", "<=", ">", ">=", ".AND.", ".OR."}
+)
+
+#: Comparison operators and their negations.
+_NEGATED = {
+    "==": "/=",
+    "/=": "==",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+
+def _literal(expr: ast.Expr):
+    """The Python value of a literal expression, else None."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.RealLit):
+        return expr.value
+    if isinstance(expr, ast.BoolLit):
+        return expr.value
+    if isinstance(expr, ast.UnOp) and expr.op == "-":
+        inner = _literal(expr.operand)
+        if isinstance(inner, (int, float)) and not isinstance(inner, bool):
+            return -inner
+    return None
+
+
+def _make_literal(value) -> ast.Expr:
+    if isinstance(value, bool):
+        return ast.BoolLit(value)
+    if isinstance(value, int):
+        if value < 0:
+            return ast.UnOp("-", ast.IntLit(-value))
+        return ast.IntLit(value)
+    if isinstance(value, float):
+        return ast.RealLit(value, repr(value))
+    raise TypeError(f"cannot fold value {value!r}")
+
+
+def _is_zero(expr) -> bool:
+    return _literal(expr) == 0 and not isinstance(expr, ast.BoolLit)
+
+
+def _is_one(expr) -> bool:
+    return _literal(expr) == 1 and not isinstance(expr, ast.BoolLit)
+
+
+def simplify_expr(expr: ast.Expr) -> ast.Expr:
+    """Simplify one expression tree (returns a new tree)."""
+    if isinstance(expr, ast.BinOp):
+        left = simplify_expr(expr.left)
+        right = simplify_expr(expr.right)
+        lv, rv = _literal(left), _literal(right)
+        if expr.op in _FOLDABLE and lv is not None and rv is not None:
+            if expr.op == "/" and rv == 0:
+                return ast.BinOp(expr.op, left, right)  # leave the fault in place
+            return _make_literal(_scalarize(apply_binop(expr.op, lv, rv)))
+        # integer reassociation: (x ± a) ± b  →  x ± (a combined with b).
+        # Restricted to integer constants — float addition is not
+        # associative under rounding.
+        if (
+            expr.op in ("+", "-")
+            and type(rv) is int
+            and isinstance(left, ast.BinOp)
+            and left.op in ("+", "-")
+        ):
+            inner_right = _literal(left.right)
+            inner_left = _literal(left.left)
+            base = None
+            if type(inner_right) is int:
+                base = left.left
+                inner = inner_right if left.op == "+" else -inner_right
+            elif type(inner_left) is int and left.op == "+":
+                # (a + x) ± b  →  x + (a ± b)
+                base = left.right
+                inner = inner_left
+            if base is not None:
+                total = inner + (rv if expr.op == "+" else -rv)
+                if total == 0:
+                    return base
+                if total > 0:
+                    return ast.BinOp("+", base, ast.IntLit(total), loc=expr.loc)
+                return ast.BinOp("-", base, ast.IntLit(-total), loc=expr.loc)
+        # identities
+        if expr.op == "+":
+            if _is_zero(left):
+                return right
+            if _is_zero(right):
+                return left
+        elif expr.op == "-":
+            if _is_zero(right):
+                return left
+        elif expr.op == "*":
+            if _is_one(left):
+                return right
+            if _is_one(right):
+                return left
+        elif expr.op == "/":
+            if _is_one(right):
+                return left
+        elif expr.op == "**":
+            if _is_one(right):
+                return left
+        elif expr.op == ".AND.":
+            if lv is True:
+                return right
+            if rv is True:
+                return left
+            if lv is False or rv is False:
+                return ast.BoolLit(False)
+        elif expr.op == ".OR.":
+            if lv is False:
+                return right
+            if rv is False:
+                return left
+            if lv is True or rv is True:
+                return ast.BoolLit(True)
+        return ast.BinOp(expr.op, left, right, loc=expr.loc)
+    if isinstance(expr, ast.UnOp):
+        operand = simplify_expr(expr.operand)
+        if expr.op == ".NOT.":
+            value = _literal(operand)
+            if isinstance(value, bool):
+                return ast.BoolLit(not value)
+            if isinstance(operand, ast.UnOp) and operand.op == ".NOT.":
+                return operand.operand
+            if isinstance(operand, ast.BinOp) and operand.op in _NEGATED:
+                return ast.BinOp(
+                    _NEGATED[operand.op], operand.left, operand.right, loc=expr.loc
+                )
+        elif expr.op == "-":
+            value = _literal(operand)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return _make_literal(-value)
+            if isinstance(operand, ast.UnOp) and operand.op == "-":
+                return operand.operand
+        return ast.UnOp(expr.op, operand, loc=expr.loc)
+    if isinstance(expr, ast.ArrayRef):
+        return ast.ArrayRef(
+            expr.name, [simplify_expr(s) for s in expr.subs], loc=expr.loc
+        )
+    if isinstance(expr, ast.Slice):
+        return ast.Slice(
+            simplify_expr(expr.lo) if expr.lo is not None else None,
+            simplify_expr(expr.hi) if expr.hi is not None else None,
+            loc=expr.loc,
+        )
+    if isinstance(expr, ast.Call):
+        return ast.Call(expr.name, [simplify_expr(a) for a in expr.args], loc=expr.loc)
+    if isinstance(expr, ast.VectorLit):
+        return ast.VectorLit([simplify_expr(i) for i in expr.items], loc=expr.loc)
+    if isinstance(expr, ast.RangeVec):
+        return ast.RangeVec(simplify_expr(expr.lo), simplify_expr(expr.hi), loc=expr.loc)
+    return ast.clone(expr)
+
+
+def _scalarize(value):
+    import numpy as np
+
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def simplify_stmts(body: list[ast.Stmt]) -> list[ast.Stmt]:
+    """Simplify a statement list, pruning dead branches."""
+    out: list[ast.Stmt] = []
+    for stmt in body:
+        out.extend(_simplify_stmt(stmt))
+    return out
+
+
+def _simplify_stmt(stmt: ast.Stmt) -> list[ast.Stmt]:
+    labeled = stmt.label is not None
+    if isinstance(stmt, ast.Assign):
+        new = ast.Assign(
+            simplify_expr(stmt.target), simplify_expr(stmt.value),
+            loc=stmt.loc, label=stmt.label,
+        )
+        return [new]
+    if isinstance(stmt, ast.If):
+        cond = simplify_expr(stmt.cond)
+        value = _literal(cond)
+        if isinstance(value, bool) and not labeled:
+            return simplify_stmts(stmt.then_body if value else stmt.else_body)
+        return [
+            ast.If(
+                cond,
+                simplify_stmts(stmt.then_body),
+                simplify_stmts(stmt.else_body),
+                loc=stmt.loc,
+                label=stmt.label,
+            )
+        ]
+    if isinstance(stmt, ast.Where):
+        mask = simplify_expr(stmt.mask)
+        return [
+            ast.Where(
+                mask,
+                simplify_stmts(stmt.then_body),
+                simplify_stmts(stmt.else_body),
+                loc=stmt.loc,
+                label=stmt.label,
+            )
+        ]
+    if isinstance(stmt, ast.Do):
+        return [
+            ast.Do(
+                stmt.var,
+                simplify_expr(stmt.lo),
+                simplify_expr(stmt.hi),
+                simplify_expr(stmt.stride) if stmt.stride is not None else None,
+                simplify_stmts(stmt.body),
+                loc=stmt.loc,
+                label=stmt.label,
+            )
+        ]
+    if isinstance(stmt, (ast.DoWhile, ast.While)):
+        cond = simplify_expr(stmt.cond)
+        if _literal(cond) is False and not labeled:
+            return []
+        cls = type(stmt)
+        return [
+            cls(cond, simplify_stmts(stmt.body), loc=stmt.loc, label=stmt.label)
+        ]
+    if isinstance(stmt, ast.Forall):
+        return [
+            ast.Forall(
+                stmt.var,
+                simplify_expr(stmt.lo),
+                simplify_expr(stmt.hi),
+                simplify_expr(stmt.mask) if stmt.mask is not None else None,
+                simplify_stmts(stmt.body),
+                loc=stmt.loc,
+                label=stmt.label,
+            )
+        ]
+    if isinstance(stmt, ast.CallStmt):
+        return [
+            ast.CallStmt(
+                stmt.name,
+                [simplify_expr(a) for a in stmt.args],
+                loc=stmt.loc,
+                label=stmt.label,
+            )
+        ]
+    return [ast.clone(stmt)]
+
+
+def simplify_program(source: ast.SourceFile) -> ast.SourceFile:
+    """Simplify every routine of a program."""
+    return ast.SourceFile(
+        [
+            ast.Routine(
+                unit.kind, unit.name, list(unit.params), simplify_stmts(unit.body)
+            )
+            for unit in source.units
+        ]
+    )

@@ -1,0 +1,21 @@
+"""SIMD bytecode: a linear ISA, an AST compiler, and a lockstep VM.
+
+A second, independent implementation of the lockstep execution
+semantics — the test suite runs it differentially against the
+tree-walking interpreter of :mod:`repro.exec.simd`.
+"""
+
+from .compiler import Compiler, compile_program, compile_routine
+from .isa import CodeObject, Instr, Op
+from .machine import SIMDVirtualMachine, run_bytecode
+
+__all__ = [
+    "Op",
+    "Instr",
+    "CodeObject",
+    "Compiler",
+    "compile_routine",
+    "compile_program",
+    "SIMDVirtualMachine",
+    "run_bytecode",
+]

@@ -1,0 +1,95 @@
+"""The SIMD bytecode instruction set.
+
+A linear ISA that makes the paper's machine model explicit:
+
+* one program counter — all control transfers (``JUMP_IF_FALSE``)
+  require a *uniform* condition across the active PEs, enforced at
+  execution time;
+* per-PE divergence is expressed only through the **mask stack** —
+  ``PUSH_MASK`` intersects the current activity mask with a popped
+  condition, ``ELSE_MASK`` flips to the complementary lanes,
+  ``POP_MASK`` restores;
+* indirect addressing is a distinct pair of opcodes
+  (``LOAD_INDEXED``/``STORE_INDEXED`` with vector subscripts perform
+  gather/scatter), since both target machines price it separately.
+
+Programs are :class:`CodeObject`\\ s: a flat instruction tuple with
+all labels resolved to instruction indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+
+
+class Op(Enum):
+    """Opcodes of the SIMD bytecode."""
+
+    PUSH_CONST = auto()   #: arg: constant value
+    LOAD = auto()         #: arg: name — push the variable's value
+    STORE = auto()        #: arg: name — masked store of the popped value
+    ALLOC = auto()        #: arg: (name, rank, base_type) — pop extents, allocate
+    LOAD_INDEXED = auto()  #: arg: (name, spec) — pop subscripts, push element(s)
+    STORE_INDEXED = auto()  #: arg: (name, spec) — pop value + subscripts
+    BINOP = auto()        #: arg: operator spelling
+    UNOP = auto()         #: arg: operator spelling
+    INTRINSIC = auto()    #: arg: (name, argc)
+    IOTA = auto()         #: pop hi, lo — push [lo : hi]
+    VECTOR = auto()       #: arg: n — build a vector from n popped values
+    CALL = auto()         #: arg: (name, arg_specs) — external subroutine
+    PUSH_MASK = auto()    #: pop condition, push mask = current ∧ cond
+    ELSE_MASK = auto()    #: flip to outer ∧ ¬cond (top mask entry)
+    POP_MASK = auto()     #: restore the enclosing mask
+    JUMP = auto()         #: arg: target index
+    JUMP_IF_FALSE = auto()  #: arg: target index — pops a uniform condition
+    NOP = auto()          #: label placeholder (kept for debuggability)
+    HALT = auto()         #: end of program / RETURN
+
+
+#: Subscript-spec codes for LOAD_INDEXED / STORE_INDEXED, one per
+#: dimension, describing what the compiler pushed for that dimension:
+#: 'e' — one expression value; 'f' — full-extent slice (nothing
+#: pushed); 'l' — lower-bounded slice (one value); 'u' — upper-bounded
+#: slice (one value); 'b' — both bounds (two values, lo first).
+SUB_SPECS = ("e", "f", "l", "u", "b")
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One instruction: an opcode plus its immediate argument."""
+
+    op: Op
+    arg: object = None
+
+    def __repr__(self) -> str:
+        if self.arg is None:
+            return self.op.name
+        return f"{self.op.name} {self.arg!r}"
+
+
+@dataclass
+class CodeObject:
+    """A compiled routine.
+
+    Attributes:
+        name: Source routine name.
+        instructions: The flat instruction sequence.
+        source_map: instruction index -> source line (best effort).
+    """
+
+    name: str
+    instructions: tuple[Instr, ...]
+    source_map: dict[int, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def disassemble(self) -> str:
+        """Human-readable listing."""
+        lines = [f"; routine {self.name} ({len(self.instructions)} instructions)"]
+        for index, instr in enumerate(self.instructions):
+            line = self.source_map.get(index)
+            suffix = f"    ; line {line}" if line else ""
+            lines.append(f"{index:4d}  {instr!r}{suffix}")
+        return "\n".join(lines)

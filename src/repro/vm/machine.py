@@ -1,0 +1,450 @@
+"""The SIMD bytecode virtual machine.
+
+Executes :class:`~repro.vm.isa.CodeObject`\\ s with exactly the
+lockstep semantics of :class:`~repro.exec.simd.SIMDInterpreter` —
+one program counter, a mask stack, per-PE replicated values, masked
+stores, gather/scatter indirect addressing — and records into the
+same :class:`~repro.exec.counters.ExecutionCounters`, so a VM run can
+be priced by the same machine models.
+
+The VM and the tree-walking interpreter are developed as independent
+implementations of one semantics; the test suite runs them
+differentially against each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exec.counters import ExecutionCounters
+from ..exec.intrinsics import call_intrinsic, coerce, is_reduction_call
+from ..exec.ops import apply_binop, apply_unop, op_event_kind
+from ..exec.simd import SIMDInterpreter, _align_mask, _lane_mask
+from ..exec.values import FArray
+from ..lang import ast
+from ..lang.errors import InterpreterError
+from .isa import CodeObject, Instr, Op
+
+
+class SIMDVirtualMachine:
+    """Executes SIMD bytecode on ``nproc`` lockstep lanes.
+
+    Args:
+        nproc: Processing-element count.
+        externals: Mapping name -> callable with the interpreter
+            external convention ``fn(vm, arg_exprs, args, env, mask)``.
+        counters: Event accumulator (fresh when omitted).
+        max_instructions: Runaway-loop guard.
+    """
+
+    def __init__(
+        self,
+        nproc: int,
+        externals: dict | None = None,
+        counters: ExecutionCounters | None = None,
+        max_instructions: int = 20_000_000,
+    ):
+        if nproc < 1:
+            raise InterpreterError(f"need at least one PE, got {nproc}")
+        self.nproc = nproc
+        self.externals = externals or {}
+        self.counters = counters if counters is not None else ExecutionCounters(nproc)
+        self.max_instructions = max_instructions
+        self.executed = 0
+        self._mask_stack: list[tuple[np.ndarray, np.ndarray]] = []
+        self._mask = np.ones(nproc, dtype=bool)
+        # a shadow interpreter provides assign_to for external writebacks
+        self._shadow = SIMDInterpreter(
+            ast.SourceFile([ast.Routine("program", "__vm__", [], [])]),
+            nproc,
+            counters=self.counters,
+        )
+
+    # -- mask helpers --------------------------------------------------------------
+
+    @property
+    def mask(self) -> np.ndarray:
+        return self._mask
+
+    @property
+    def lanes_active(self) -> np.ndarray:
+        return _lane_mask(self._mask, self.nproc)
+
+    def _uniform_bool(self, value) -> bool:
+        value = coerce(value)
+        if isinstance(value, np.ndarray) and value.ndim >= 1:
+            lanes = self.lanes_active
+            selected = value[lanes] if value.shape[0] == self.nproc else value.ravel()
+            if selected.size == 0:
+                return False
+            first = selected.flat[0]
+            if not np.all(selected == first):
+                raise InterpreterError(
+                    "branch condition diverges across active PEs — the "
+                    "single program counter cannot follow; use WHERE"
+                )
+            return bool(first)
+        return bool(value)
+
+    def _uniform_int(self, value, what: str) -> int:
+        value = coerce(value)
+        if isinstance(value, np.ndarray) and value.ndim >= 1:
+            lanes = self.lanes_active
+            selected = value[lanes] if value.shape[0] == self.nproc else value.ravel()
+            if selected.size == 0:
+                raise InterpreterError(f"{what}: no active PEs")
+            first = selected.flat[0]
+            if not np.all(selected == first):
+                raise InterpreterError(f"{what} diverges across active PEs")
+            return int(first)
+        return int(value)
+
+    @staticmethod
+    def _layers_of(value) -> int:
+        value = coerce(value)
+        if isinstance(value, np.ndarray) and value.ndim >= 2:
+            return int(np.prod(value.shape[1:]))
+        return 1
+
+    # -- execution -------------------------------------------------------------------
+
+    def run(self, code: CodeObject, bindings: dict | None = None) -> dict:
+        """Execute a code object; returns the final environment."""
+        env: dict = dict(bindings or {})
+        stack: list = []
+        pc = 0
+        instructions = code.instructions
+        while pc < len(instructions):
+            self.executed += 1
+            if self.executed > self.max_instructions:
+                raise InterpreterError(
+                    f"instruction budget exceeded ({self.max_instructions})"
+                )
+            instr = instructions[pc]
+            op = instr.op
+            if op is Op.PUSH_CONST:
+                stack.append(instr.arg)
+            elif op is Op.LOAD:
+                if instr.arg not in env:
+                    raise InterpreterError(f"'{instr.arg}' used before assignment")
+                stack.append(env[instr.arg])
+            elif op is Op.STORE:
+                self._store(env, instr.arg, stack.pop())
+            elif op is Op.ALLOC:
+                self._alloc(env, stack, instr.arg)
+            elif op is Op.LOAD_INDEXED:
+                stack.append(self._load_indexed(env, stack, instr.arg))
+            elif op is Op.STORE_INDEXED:
+                self._store_indexed(env, stack, instr.arg)
+            elif op is Op.BINOP:
+                right = stack.pop()
+                left = stack.pop()
+                result = apply_binop(instr.arg, left, right)
+                self.counters.record(
+                    op_event_kind(instr.arg, result),
+                    width=self.nproc,
+                    layers=self._layers_of(result),
+                    mask=self.lanes_active,
+                )
+                stack.append(result)
+            elif op is Op.UNOP:
+                result = apply_unop(instr.arg, stack.pop())
+                self.counters.record(
+                    op_event_kind(instr.arg, result),
+                    width=self.nproc,
+                    layers=self._layers_of(result),
+                    mask=self.lanes_active,
+                )
+                stack.append(result)
+            elif op is Op.INTRINSIC:
+                name, argc = instr.arg
+                args = stack[-argc:] if argc else []
+                del stack[len(stack) - argc:]
+                if is_reduction_call(name, argc):
+                    self.counters.record(
+                        "reduce", width=self.nproc, mask=self.lanes_active
+                    )
+                    stack.append(call_intrinsic(name, args, mask=self.lanes_active))
+                else:
+                    self.counters.record(
+                        "real_op", width=self.nproc, mask=self.lanes_active
+                    )
+                    stack.append(call_intrinsic(name, args))
+            elif op is Op.IOTA:
+                hi = self._uniform_int(stack.pop(), "range upper bound")
+                lo = self._uniform_int(stack.pop(), "range lower bound")
+                vec = np.arange(lo, hi + 1, dtype=np.int64)
+                if vec.shape[0] != self.nproc:
+                    raise InterpreterError(
+                        f"range vector [{lo} : {hi}] has {vec.shape[0]} "
+                        f"elements, machine has {self.nproc} PEs"
+                    )
+                stack.append(vec)
+            elif op is Op.VECTOR:
+                count = instr.arg
+                items = [coerce(v) for v in stack[-count:]]
+                del stack[len(stack) - count:]
+                vec = np.array(items)
+                if vec.shape[0] != self.nproc:
+                    raise InterpreterError(
+                        f"vector literal has {vec.shape[0]} elements, "
+                        f"machine has {self.nproc} PEs"
+                    )
+                stack.append(vec)
+            elif op is Op.CALL:
+                self._call(env, stack, instr.arg)
+            elif op is Op.PUSH_MASK:
+                cond = stack.pop()
+                self.counters.record("mask", width=self.nproc, mask=self.lanes_active)
+                outer = self._mask
+                self._mask_stack.append((outer, np.asarray(coerce(cond))))
+                self._mask = self._combine(outer, cond)
+            elif op is Op.ELSE_MASK:
+                if not self._mask_stack:
+                    raise InterpreterError("ELSE_MASK with empty mask stack")
+                outer, cond = self._mask_stack[-1]
+                self.counters.record("mask", width=self.nproc, mask=self.lanes_active)
+                self._mask = self._combine(outer, apply_unop(".NOT.", cond))
+            elif op is Op.POP_MASK:
+                if not self._mask_stack:
+                    raise InterpreterError("POP_MASK with empty mask stack")
+                self._mask, _ = self._mask_stack.pop()
+            elif op is Op.JUMP:
+                self.counters.record("acu")
+                pc = instr.arg
+                continue
+            elif op is Op.JUMP_IF_FALSE:
+                self.counters.record("acu")
+                if not self._uniform_bool(stack.pop()):
+                    pc = instr.arg
+                    continue
+            elif op is Op.NOP:
+                pass
+            elif op is Op.HALT:
+                break
+            else:  # pragma: no cover - exhaustive
+                raise InterpreterError(f"unknown opcode {op}")
+            pc += 1
+        return env
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _combine(self, outer, cond):
+        cond = np.asarray(coerce(cond))
+        if cond.ndim == 0:
+            cond = np.full(self.nproc, bool(cond))
+        if cond.dtype.kind != "b":
+            raise InterpreterError("mask expression is not logical")
+        base = np.asarray(outer)
+        if base.ndim < cond.ndim:
+            base = _align_mask(base, cond.ndim)
+        elif cond.ndim < base.ndim:
+            cond = _align_mask(cond, base.ndim)
+        return base & cond
+
+    def _sync_shadow(self) -> None:
+        self._shadow._mask = self._mask
+
+    def _store(self, env: dict, name: str, value) -> None:
+        self._sync_shadow()
+        self._shadow.assign_to(ast.Var(name), value, env)
+
+    def _alloc(self, env: dict, stack: list, arg) -> None:
+        name, rank, base = arg
+        extents = [
+            self._uniform_int(stack.pop(), f"extent of {name}") for _ in range(rank)
+        ]
+        extents.reverse()
+        existing = env.get(name)
+        if isinstance(existing, FArray):
+            return
+        array = FArray(name, tuple(extents), base)
+        if isinstance(existing, np.ndarray):
+            if existing.size != array.size:
+                raise InterpreterError(
+                    f"binding for '{name}' has {existing.size} elements, "
+                    f"declared {array.size}"
+                )
+            array.data[...] = existing.reshape(array.shape)
+        elif existing is not None:
+            array.data[...] = existing
+        env[name] = array
+
+    def _decode_subscripts(self, stack: list, spec: str) -> list:
+        """Pop subscript operands per the spec (rightmost dim on top)."""
+        subs: list = []
+        for code in reversed(spec):
+            if code == "e":
+                subs.append(("e", stack.pop()))
+            elif code == "f":
+                subs.append(("f", None))
+            elif code == "l":
+                subs.append(("l", stack.pop()))
+            elif code == "u":
+                subs.append(("u", stack.pop()))
+            elif code == "b":
+                hi = stack.pop()
+                lo = stack.pop()
+                subs.append(("b", (lo, hi)))
+            else:  # pragma: no cover - compiler emits valid specs
+                raise InterpreterError(f"bad subscript spec '{code}'")
+        subs.reverse()
+        resolved = []
+        for code, value in subs:
+            if code == "e":
+                value = coerce(value)
+                if isinstance(value, np.ndarray) and value.ndim >= 1:
+                    resolved.append(value)
+                else:
+                    resolved.append(self._uniform_int(value, "subscript"))
+            elif code == "f":
+                resolved.append(slice(None, None))
+            elif code == "l":
+                resolved.append(
+                    slice(self._uniform_int(value, "section bound") - 1, None)
+                )
+            elif code == "u":
+                resolved.append(slice(0, self._uniform_int(value, "section bound")))
+            else:
+                lo, hi = value
+                resolved.append(
+                    slice(
+                        self._uniform_int(lo, "section bound") - 1,
+                        self._uniform_int(hi, "section bound"),
+                    )
+                )
+        return resolved
+
+    def _load_indexed(self, env: dict, stack: list, arg):
+        name, spec = arg
+        subs = self._decode_subscripts(stack, spec)
+        array = env.get(name)
+        if isinstance(array, FArray):
+            if any(isinstance(s, np.ndarray) for s in subs):
+                return self._gather(array, subs)
+            index = array.np_index(subs)
+            result = array.data[index]
+            return result.copy() if isinstance(result, np.ndarray) else result
+        if isinstance(array, np.ndarray) and array.ndim == 1 and len(subs) == 1:
+            sub = subs[0]
+            lanes = self.lanes_active
+            if isinstance(sub, slice):
+                return array[sub].copy()
+            arr = np.asarray(sub)
+            if arr.ndim == 0:
+                arr = np.full(self.nproc, int(arr))
+            if lanes.any():
+                active = arr[lanes]
+                if np.any((active < 1) | (active > array.shape[0])):
+                    raise InterpreterError(f"subscript out of bounds for '{name}'")
+            clamped = np.clip(arr, 1, array.shape[0])
+            self.counters.record("gather", width=self.nproc, mask=lanes)
+            return array[clamped - 1]
+        raise InterpreterError(f"'{name}' is not an array")
+
+    def _gather(self, array: FArray, subs: list):
+        lanes = self.lanes_active
+        index = []
+        for dim, sub in enumerate(subs):
+            if isinstance(sub, slice):
+                raise InterpreterError(
+                    f"cannot mix sections and vector subscripts on '{array.name}'"
+                )
+            arr = np.asarray(sub)
+            if arr.ndim == 0:
+                arr = np.full(self.nproc, int(arr))
+            if arr.shape[0] != self.nproc:
+                raise InterpreterError(
+                    f"vector subscript of '{array.name}' has length "
+                    f"{arr.shape[0]}, expected {self.nproc}"
+                )
+            if lanes.any():
+                array.check_subscript(dim, arr[lanes])
+            index.append(np.clip(arr, 1, max(1, array.shape[dim])) - 1)
+        self.counters.record("gather", width=self.nproc, mask=lanes)
+        return array.data[tuple(index)]
+
+    def _store_indexed(self, env: dict, stack: list, arg) -> None:
+        name, spec = arg
+        subs = self._decode_subscripts(stack, spec)
+        value = stack.pop()
+        array = env.get(name)
+        if not isinstance(array, FArray):
+            raise InterpreterError(f"'{name}' is not an array")
+        if any(isinstance(s, np.ndarray) for s in subs):
+            self._scatter(array, subs, value)
+            return
+        index = array.np_index(subs)
+        region = array.data[index]
+        layers = self._layers_of(region)
+        self.counters.record(
+            "store", width=self.nproc, layers=layers, mask=self.lanes_active
+        )
+        if bool(np.all(self._mask)):
+            array.data[index] = coerce(value)
+            return
+        if isinstance(region, np.ndarray) and region.ndim >= 1:
+            if region.shape[0] != self.nproc:
+                raise InterpreterError(
+                    f"masked section assignment to '{name}' needs the "
+                    f"leading extent to be {self.nproc}"
+                )
+            mask = _align_mask(self._mask, region.ndim)
+            array.data[index] = np.where(mask, coerce(value), region)
+            return
+        if self._uniform_bool(self._mask):
+            array.data[index] = coerce(value)
+
+    def _scatter(self, array: FArray, subs: list, value) -> None:
+        lanes = self.lanes_active
+        index = []
+        for dim, sub in enumerate(subs):
+            if isinstance(sub, slice):
+                raise InterpreterError(
+                    f"cannot mix sections and vector subscripts on '{array.name}'"
+                )
+            arr = np.asarray(sub)
+            if arr.ndim == 0:
+                arr = np.full(self.nproc, int(arr))
+            if lanes.any():
+                array.check_subscript(dim, arr[lanes])
+            index.append(arr[lanes] - 1)
+        self.counters.record("scatter", width=self.nproc, mask=lanes)
+        new = np.asarray(coerce(value))
+        if new.ndim == 0:
+            new = np.full(self.nproc, new.item())
+        array.data[tuple(index)] = new[lanes]
+
+    def _call(self, env: dict, stack: list, arg) -> None:
+        name, arg_exprs = arg
+        external = self.externals.get(name)
+        if external is None:
+            raise InterpreterError(f"CALL to unknown external '{name}'")
+        values = stack[-len(arg_exprs):] if arg_exprs else []
+        del stack[len(stack) - len(arg_exprs):]
+        # Var arguments were compiled as lazy placeholders.
+        resolved = []
+        for expr, value in zip(arg_exprs, values):
+            if isinstance(expr, ast.Var):
+                resolved.append(env.get(expr.name))
+            else:
+                resolved.append(value)
+        layers = max((self._layers_of(v) for v in resolved if v is not None), default=1)
+        self.counters.record_call(name, layers=layers, mask=self.lanes_active)
+        self._sync_shadow()
+        external(self._shadow, list(arg_exprs), resolved, env, self._mask)
+
+
+def run_bytecode(
+    source: ast.SourceFile,
+    nproc: int,
+    bindings: dict | None = None,
+    externals: dict | None = None,
+) -> tuple[dict, ExecutionCounters]:
+    """Compile the main program and run it on the VM."""
+    from .compiler import compile_program
+
+    code = compile_program(source)
+    vm = SIMDVirtualMachine(nproc, externals)
+    env = vm.run(code, bindings=bindings)
+    return env, vm.counters

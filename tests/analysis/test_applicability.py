@@ -1,0 +1,123 @@
+"""Section 6 applicability/profitability/safety report tests."""
+
+from repro.analysis import evaluate_flattening
+from repro.analysis.sideeffects import (
+    assigned_names,
+    referenced_names,
+    stmts_have_side_effects,
+    subscripts_depending_on,
+)
+from repro.lang import ast, parse_statements
+
+
+def loop_of(text):
+    [stmt] = parse_statements(text)
+    return stmt
+
+
+NEST = "DO i = 1, k\n  DO j = 1, l(i)\n    x(i, j) = i * j\n  ENDDO\nENDDO"
+
+
+class TestSideEffects:
+    def test_assignments_are_pure(self):
+        assert not stmts_have_side_effects(parse_statements("x = 1\ny = x"))
+
+    def test_call_is_side_effecting(self):
+        assert stmts_have_side_effects(parse_statements("CALL f(x)"))
+
+    def test_nested_call_found(self):
+        stmts = parse_statements("DO i = 1, 3\n  CALL f(i)\nENDDO")
+        assert stmts_have_side_effects(stmts)
+
+    def test_assigned_names(self):
+        stmts = parse_statements("x = 1\na(i) = 2\nDO k = 1, 3\nENDDO")
+        assert assigned_names(stmts) == {"x", "a", "k"}
+
+    def test_referenced_names(self):
+        assert referenced_names(parse_statements("x = y + a(i)")) == {"x", "y", "a", "i"}
+
+    def test_subscript_dependence(self):
+        stmts = parse_statements("j = start(i)")
+        assert subscripts_depending_on(stmts, {"i"})
+        assert not subscripts_depending_on(stmts, {"k"})
+
+
+class TestReport:
+    def test_ideal_nest(self):
+        report = evaluate_flattening(loop_of(NEST), assume_min_trips=True)
+        assert report.applicable
+        assert report.profitable
+        assert report.safe is True
+        assert report.variant == "done"
+        assert report.recommended
+
+    def test_cost_is_the_papers_bound(self):
+        report = evaluate_flattening(loop_of(NEST))
+        assert report.cost.flags == 2
+        assert report.cost.conditional_jumps == 2
+        assert "flag" in str(report.cost)
+
+    def test_rectangular_nest_not_profitable(self):
+        report = evaluate_flattening(
+            loop_of("DO i = 1, 8\n  DO j = 1, 4\n    x(i, j) = 1\n  ENDDO\nENDDO")
+        )
+        assert report.applicable
+        assert not report.profitable
+        assert not report.recommended
+
+    def test_varying_bound_through_scalar(self):
+        report = evaluate_flattening(
+            loop_of(
+                "DO i = 1, 8\n  m = i * 2\n  DO j = 1, m\n    x(i, j) = 1\n  ENDDO\nENDDO"
+            )
+        )
+        assert report.profitable
+
+    def test_not_applicable_without_inner_loop(self):
+        report = evaluate_flattening(loop_of("DO i = 1, 8\n  x(i, 1) = i\nENDDO"))
+        assert not report.applicable
+        assert report.variant is None
+        assert not report.recommended
+
+    def test_unsafe_nest(self):
+        report = evaluate_flattening(
+            loop_of(
+                "DO i = 1, 8\n  DO j = 1, l(i)\n    x(i + 1, j) = x(i, j)\n  ENDDO\nENDDO"
+            )
+        )
+        assert report.safe is False
+        assert not report.recommended
+
+    def test_unknown_safety_still_recommended(self):
+        """Indirect addressing: needs user assertion, not proven unsafe."""
+        report = evaluate_flattening(
+            loop_of(
+                "DO i = 1, 8\n  DO j = 1, l(i)\n    x(idx(i), j) = j\n  ENDDO\nENDDO"
+            )
+        )
+        assert report.safe is None
+        assert report.recommended
+
+    def test_assume_parallel_overrides(self):
+        report = evaluate_flattening(
+            loop_of(
+                "DO i = 1, 8\n  DO j = 1, l(i)\n    x(idx(i), j) = j\n  ENDDO\nENDDO"
+            ),
+            assume_parallel=True,
+        )
+        assert report.safe is True
+
+    def test_variant_depends_on_assumption(self):
+        loop = loop_of(NEST)
+        assert evaluate_flattening(loop).variant == "general"
+        assert evaluate_flattening(loop, assume_min_trips=True).variant == "done"
+
+    def test_while_inner_gives_optimized(self):
+        report = evaluate_flattening(
+            loop_of(
+                "DO i = 1, 8\n  j = 1\n  DO WHILE (j <= l(i))\n"
+                "    x(i, j) = j\n    j = j + 1\n  ENDDO\nENDDO"
+            ),
+            assume_min_trips=True,
+        )
+        assert report.variant == "optimized"

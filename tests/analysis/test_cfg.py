@@ -1,0 +1,95 @@
+"""CFG construction tests."""
+
+import pytest
+
+from repro.analysis import build_cfg
+from repro.lang import ast, parse_statements
+from repro.lang.errors import TransformError
+
+
+def cfg_of(text):
+    return build_cfg(parse_statements(text))
+
+
+def node_for(cfg, predicate):
+    for node in cfg.statements():
+        if node.stmt is not None and predicate(node.stmt):
+            return node
+    raise AssertionError("no node matched")
+
+
+def test_straight_line():
+    cfg = cfg_of("a = 1\nb = 2")
+    first = node_for(cfg, lambda s: isinstance(s, ast.Assign) and s.target.name == "a")
+    second = node_for(cfg, lambda s: isinstance(s, ast.Assign) and s.target.name == "b")
+    assert second.index in first.succs
+    assert cfg.EXIT in second.succs
+    assert first.index in cfg.nodes[cfg.ENTRY].succs
+
+
+def test_if_diamond():
+    cfg = cfg_of("IF (c) THEN\n  a = 1\nELSE\n  b = 2\nENDIF\nd = 3")
+    branch = node_for(cfg, lambda s: isinstance(s, ast.If))
+    assert len(branch.succs) == 2
+    join = node_for(cfg, lambda s: isinstance(s, ast.Assign) and s.target.name == "d")
+    assert len(join.preds) == 2
+
+
+def test_if_without_else_falls_through():
+    cfg = cfg_of("IF (c) THEN\n  a = 1\nENDIF\nd = 3")
+    branch = node_for(cfg, lambda s: isinstance(s, ast.If))
+    join = node_for(cfg, lambda s: isinstance(s, ast.Assign) and s.target.name == "d")
+    assert join.index in branch.succs  # the false edge
+
+
+def test_loop_back_edge():
+    cfg = cfg_of("DO i = 1, 3\n  a = i\nENDDO")
+    header = node_for(cfg, lambda s: isinstance(s, ast.Do))
+    body = node_for(cfg, lambda s: isinstance(s, ast.Assign))
+    assert header.index in body.succs  # back edge
+    assert cfg.EXIT in header.succs  # loop exit
+
+
+def test_exit_statement_edges():
+    cfg = cfg_of("DO i = 1, 3\n  EXIT\nENDDO\nb = 1")
+    exit_node = node_for(cfg, lambda s: isinstance(s, ast.ExitStmt))
+    after = node_for(cfg, lambda s: isinstance(s, ast.Assign))
+    assert after.index in exit_node.succs
+
+
+def test_cycle_statement_edges():
+    cfg = cfg_of("DO i = 1, 3\n  CYCLE\n  a = 1\nENDDO")
+    cycle = node_for(cfg, lambda s: isinstance(s, ast.CycleStmt))
+    header = node_for(cfg, lambda s: isinstance(s, ast.Do))
+    assert header.index in cycle.succs
+
+
+def test_goto_edge_resolved():
+    cfg = cfg_of("GOTO 10\na = 1\n10 b = 2")
+    goto = node_for(cfg, lambda s: isinstance(s, ast.Goto))
+    target = node_for(cfg, lambda s: isinstance(s, ast.Assign) and s.target.name == "b")
+    assert target.index in goto.succs
+
+
+def test_goto_missing_label_raises():
+    with pytest.raises(TransformError):
+        cfg_of("GOTO 99")
+
+
+def test_return_edges_to_exit():
+    cfg = cfg_of("RETURN\na = 1")
+    ret = node_for(cfg, lambda s: isinstance(s, ast.Return))
+    assert cfg.EXIT in ret.succs
+
+
+def test_exit_outside_loop_raises():
+    with pytest.raises(TransformError):
+        cfg_of("EXIT")
+
+
+def test_while_loop_structure():
+    cfg = cfg_of("WHILE (c)\n  a = 1\nENDWHILE")
+    header = node_for(cfg, lambda s: isinstance(s, ast.While))
+    body = node_for(cfg, lambda s: isinstance(s, ast.Assign))
+    assert body.index in header.succs
+    assert header.index in body.succs

@@ -1,0 +1,116 @@
+"""Dependence-analysis tests (the Section 6 safety condition)."""
+
+import pytest
+
+from repro.analysis import analyze_outer_parallelism, parse_affine
+from repro.lang import ast, parse_expression, parse_statements
+
+
+def loop_of(text):
+    [stmt] = parse_statements(text)
+    return stmt
+
+
+class TestAffine:
+    def test_plain_var(self):
+        term = parse_affine(parse_expression("i"), "i")
+        assert (term.coeff, term.const) == (1, 0)
+
+    def test_constant(self):
+        term = parse_affine(parse_expression("7"), "i")
+        assert (term.coeff, term.const) == (0, 7)
+
+    def test_offset(self):
+        term = parse_affine(parse_expression("i + 3"), "i")
+        assert (term.coeff, term.const) == (1, 3)
+
+    def test_negation_and_scaling(self):
+        term = parse_affine(parse_expression("2 * i - 1"), "i")
+        assert (term.coeff, term.const) == (2, -1)
+        term = parse_affine(parse_expression("-i"), "i")
+        assert (term.coeff, term.const) == (-1, 0)
+
+    def test_other_variable_not_affine(self):
+        assert parse_affine(parse_expression("j"), "i") is None
+
+    def test_nonlinear_not_affine(self):
+        assert parse_affine(parse_expression("i * i"), "i") is None
+
+    def test_indirect_not_affine(self):
+        assert parse_affine(parse_expression("idx(i)"), "i") is None
+
+
+class TestArrayDependence:
+    def test_owner_computes_pattern_is_parallel(self):
+        report = analyze_outer_parallelism(
+            loop_of("DO i = 1, n\n  DO j = 1, l(i)\n    x(i, j) = i * j\n  ENDDO\nENDDO")
+        )
+        assert report.parallel
+
+    def test_offset_write_read_conflict(self):
+        report = analyze_outer_parallelism(
+            loop_of("DO i = 1, n\n  x(i + 1) = x(i) + 1\nENDDO")
+        )
+        assert not report.parallel
+        assert not report.unknown
+
+    def test_loop_invariant_write_is_output_dependence(self):
+        report = analyze_outer_parallelism(
+            loop_of("DO i = 1, n\n  x(1) = i\nENDDO")
+        )
+        assert not report.parallel
+
+    def test_indirect_write_is_unknown(self):
+        report = analyze_outer_parallelism(
+            loop_of("DO i = 1, n\n  x(idx(i)) = i\nENDDO")
+        )
+        assert report.unknown
+        assert not report.parallel
+
+    def test_indirect_read_only_is_fine(self):
+        """SpMV's x(col(k)) reads: no write, no dependence."""
+        report = analyze_outer_parallelism(
+            loop_of("DO i = 1, n\n  y(i) = a(i) * x(col(i))\nENDDO")
+        )
+        assert report.parallel
+
+    def test_read_only_arrays_ignored(self):
+        report = analyze_outer_parallelism(
+            loop_of("DO i = 1, n\n  y(i) = l(i) + l(i + 1)\nENDDO")
+        )
+        assert report.parallel
+
+
+class TestScalarDependence:
+    def test_private_scalar_ok(self):
+        report = analyze_outer_parallelism(
+            loop_of("DO i = 1, n\n  t = i * 2\n  y(i) = t\nENDDO")
+        )
+        assert report.parallel
+
+    def test_carried_scalar_blocks(self):
+        report = analyze_outer_parallelism(
+            loop_of("DO i = 1, n\n  y(i) = t\n  t = i\nENDDO")
+        )
+        assert not report.parallel
+
+    def test_reduction_recognized(self):
+        report = analyze_outer_parallelism(
+            loop_of("DO i = 1, n\n  s = s + y(i)\nENDDO")
+        )
+        assert "s" in report.reductions
+        assert report.parallel  # parallelizable with reduction support
+
+    def test_inner_loop_variable_is_private(self):
+        report = analyze_outer_parallelism(
+            loop_of(
+                "DO i = 1, n\n  DO j = 1, l(i)\n    x(i, j) = j\n  ENDDO\nENDDO"
+            )
+        )
+        assert report.parallel
+
+
+def test_forall_asserted_parallel():
+    [stmt] = parse_statements("FORALL (i = 1 : n)\n  x(idx(i)) = i\nENDFORALL")
+    report = analyze_outer_parallelism(stmt)
+    assert report.parallel

@@ -1,0 +1,73 @@
+"""Loop-nest structure analysis tests."""
+
+from repro.analysis import flattenable_nests, loop_tree_of, max_nest_depth
+from repro.lang import parse_source
+
+
+def routine(text):
+    return parse_source(f"PROGRAM p\n{text}\nEND").main
+
+
+def test_flat_loop_forest():
+    unit = routine("DO i = 1, 3\n  x = i\nENDDO\nDO j = 1, 2\n  y = j\nENDDO")
+    forest = loop_tree_of(unit)
+    assert len(forest) == 2
+    assert all(node.depth == 1 and node.is_leaf for node in forest)
+
+
+def test_nested_depths():
+    unit = routine(
+        "DO i = 1, 3\n  DO j = 1, 2\n    DO k = 1, 2\n      x = 1\n    ENDDO\n  ENDDO\nENDDO"
+    )
+    [root] = loop_tree_of(unit)
+    assert root.height() == 3
+    assert root.singly_nested()
+    assert max_nest_depth(unit) == 3
+
+
+def test_sibling_loops_not_singly_nested():
+    unit = routine(
+        "DO i = 1, 3\n  DO j = 1, 2\n    x = 1\n  ENDDO\n  DO k = 1, 2\n    y = 1\n  ENDDO\nENDDO"
+    )
+    [root] = loop_tree_of(unit)
+    assert not root.singly_nested()
+    assert flattenable_nests(unit) == []
+
+
+def test_flattenable_nests_found():
+    unit = routine(
+        "DO i = 1, 3\n  DO j = 1, 2\n    x = 1\n  ENDDO\nENDDO\n"
+        "DO a = 1, 2\n  y = a\nENDDO"
+    )
+    nests = flattenable_nests(unit)
+    assert len(nests) == 1
+    assert nests[0].stmt.var == "i"
+
+
+def test_loops_under_if_belong_to_same_level():
+    unit = routine(
+        "IF (c) THEN\n  DO i = 1, 3\n    x = i\n  ENDDO\nENDIF"
+    )
+    forest = loop_tree_of(unit)
+    assert len(forest) == 1
+    assert forest[0].depth == 1
+
+
+def test_while_loops_counted():
+    unit = routine(
+        "WHILE (a)\n  DO WHILE (b)\n    x = 1\n  ENDDO\nENDWHILE"
+    )
+    [root] = loop_tree_of(unit)
+    assert root.height() == 2
+
+
+def test_body_stmt_count():
+    unit = routine("DO i = 1, 3\n  x = 1\n  y = 2\n  DO j = 1, 2\n  ENDDO\nENDDO")
+    [root] = loop_tree_of(unit)
+    assert root.body_stmts == 2
+
+
+def test_loop_free_routine():
+    unit = routine("x = 1")
+    assert loop_tree_of(unit) == []
+    assert max_nest_depth(unit) == 0

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.md.molecule import uniform_box
+from repro.md.pairlist import build_pairlist
+
+
+@pytest.fixture(scope="session")
+def small_molecule():
+    """A 150-atom box — big enough for interesting pairlists, fast."""
+    return uniform_box(150, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_pairlist(small_molecule):
+    return build_pairlist(small_molecule, 6.0)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(20260705)

@@ -1,0 +1,64 @@
+"""Table-renderer tests."""
+
+from repro.eval.experiments import Table1Cell, Table1Row
+from repro.eval.tables import (
+    _fmt_seconds,
+    format_figure18,
+    format_figure19,
+    format_table1,
+    format_table2,
+)
+from repro.md.distribution import WorkloadCounts
+
+
+class TestFormatting:
+    def test_seconds_formatting(self):
+        assert _fmt_seconds(None) == ""
+        assert _fmt_seconds(0.3921) == "0.392"
+        assert _fmt_seconds(14.72) == "14.72"
+
+    def test_table1_blank_cells_render_empty(self):
+        row = Table1Row("CM-2", 1024, 128)
+        row.cells[(4.0, "Lu_l")] = Table1Cell(None, "stack overflow")
+        row.cells[(4.0, "Lu_2")] = Table1Cell(None, "stack overflow")
+        row.cells[(4.0, "L_f")] = Table1Cell(3.89)
+        text = format_table1([row], cutoffs=(4.0,))
+        assert "3.89" in text
+        assert "1024/128" in text
+        assert "CM-2" in text
+
+    def test_table1_groups_by_machine(self):
+        rows = [Table1Row("CM-2", 1024, 128), Table1Row("DECmpp 12000", 1024, 1024)]
+        for row in rows:
+            row.cells[(4.0, "Lu_l")] = Table1Cell(1.0)
+            row.cells[(4.0, "Lu_2")] = Table1Cell(1.0)
+            row.cells[(4.0, "L_f")] = Table1Cell(1.0)
+        text = format_table1(rows, cutoffs=(4.0,))
+        assert text.index("[CM-2]") < text.index("[DECmpp 12000]")
+
+    def test_table2_rows_sorted_by_gran(self):
+        counts = {
+            (1024, 4.0): WorkloadCounts(1024, 7, 8, 231, 125),
+            (128, 4.0): WorkloadCounts(128, 55, 64, 1815, 722),
+        }
+        text = format_table2(counts, cutoffs=(4.0,))
+        assert text.index("128 ") < text.index("1024")
+        assert "1.848" in text  # 231/125
+
+    def test_table2_missing_cell_blank(self):
+        counts = {(128, 4.0): WorkloadCounts(128, 55, 64, 1815, 722)}
+        text = format_table2(counts, cutoffs=(4.0, 8.0))
+        assert "722" in text
+
+    def test_figure18_columns(self):
+        text = format_figure18(
+            [{"cutoff": 8.0, "max": 216, "avg": 80.3, "ratio": 2.69}]
+        )
+        assert "216" in text and "80.30" in text and "2.690" in text
+
+    def test_figure19_series_lines(self):
+        text = format_figure19(
+            {("CM-2", 8.0, "L_f"): [(1024, 31.66), (8192, 5.47)]}
+        )
+        assert "P=1024" in text and "P=8192" in text
+        assert "L_f" in text

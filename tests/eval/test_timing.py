@@ -1,0 +1,93 @@
+"""Time-bound formula tests (Equations 1, 2 and primed variants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.timing import (
+    improvement_bound,
+    nbforce_bounds,
+    time_mimd,
+    time_simd_flattened,
+    time_simd_naive,
+)
+
+trip_matrix = st.lists(
+    st.lists(st.integers(0, 9), min_size=0, max_size=8),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestPaperExample:
+    """The EXAMPLE workload: L = [4,1,2,1,1,3,1,3], P = 2 (block)."""
+
+    TRIPS = [[4, 1, 2, 1], [1, 3, 1, 3]]
+
+    def test_equation_1(self):
+        assert time_mimd(self.TRIPS) == 8
+
+    def test_equation_2(self):
+        assert time_simd_naive(self.TRIPS) == 12
+
+    def test_flattened_reaches_mimd_bound(self):
+        assert time_simd_flattened(self.TRIPS) == 8
+
+    def test_improvement_bound(self):
+        assert improvement_bound(self.TRIPS) == pytest.approx(12 / 8)
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        assert time_mimd([]) == 0
+        assert time_simd_naive([]) == 0
+
+    def test_single_processor_bounds_equal(self):
+        trips = [[3, 1, 4]]
+        assert time_mimd(trips) == time_simd_naive(trips) == 8
+
+    def test_ragged_iteration_counts(self):
+        # Eq. 2' runs to max_p K_p; shorter processors contribute 0.
+        trips = [[2, 2, 2], [5]]
+        assert time_simd_naive(trips) == 5 + 2 + 2
+        assert time_mimd(trips) == 6
+
+    def test_zero_trip_general_flattening(self):
+        trips = [[0, 3], [2, 0]]
+        # each empty outer iteration costs one skip step
+        assert time_simd_flattened(trips, min_trips=0) == 4
+        assert time_mimd(trips) == 3
+
+
+@given(trips=trip_matrix)
+def test_naive_dominates_mimd(trips):
+    assert time_mimd(trips) <= time_simd_naive(trips)
+
+
+@given(trips=trip_matrix)
+def test_naive_bounded_by_total_work(trips):
+    total = sum(sum(row) for row in trips)
+    assert time_simd_naive(trips) <= total
+
+
+@given(trips=st.lists(st.lists(st.integers(1, 9), min_size=1, max_size=8),
+                      min_size=1, max_size=6))
+def test_flattened_equals_mimd_with_min_trips(trips):
+    assert time_simd_flattened(trips) == time_mimd(trips)
+
+
+@given(
+    pcnt=st.lists(st.integers(1, 20), min_size=1, max_size=64),
+    gran=st.integers(1, 16),
+)
+def test_nbforce_bounds_consistent(pcnt, gran):
+    pcnt = np.array(pcnt)
+    flat, naive = nbforce_bounds(pcnt, gran)
+    assert flat <= naive
+    assert naive == pcnt.max() * -(-len(pcnt) // gran) or naive <= pcnt.max() * (
+        -(-len(pcnt) // gran)
+    )
+    # flattened bound is the busiest slot's total work
+    slot_sums = [pcnt[s::gran].sum() for s in range(gran)]
+    assert flat == max(slot_sums)

@@ -1,0 +1,93 @@
+"""Execution-counter accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.exec.counters import ExecutionCounters
+
+
+def test_record_basic():
+    c = ExecutionCounters(4)
+    c.record("int_op", width=4)
+    assert c.events["int_op"] == 1
+    assert c.layer_steps["int_op"] == 1
+    assert c.element_ops["int_op"] == 4
+
+
+def test_layers_multiply_steps():
+    c = ExecutionCounters(4)
+    c.record("store", width=4, layers=3)
+    assert c.layer_steps["store"] == 3
+    assert c.element_ops["store"] == 12
+    assert c.total_steps == 3
+
+
+def test_section_tracking_only_for_multilayer():
+    c = ExecutionCounters(2)
+    c.record("store", width=2, layers=1)
+    c.record("store", width=2, layers=5)
+    assert c.section_events["store"] == 1
+    assert c.section_layer_steps["store"] == 5
+
+
+def test_mask_reduces_active_elements():
+    c = ExecutionCounters(4)
+    c.record("real_op", width=4, mask=np.array([True, False, True, False]))
+    assert c.active_elements["real_op"] == 2
+    assert c.element_ops["real_op"] == 4
+
+
+def test_lane_active_steps_accumulate():
+    c = ExecutionCounters(2)
+    c.record("int_op", width=2, mask=np.array([True, False]))
+    c.record("int_op", width=2, mask=np.array([True, True]))
+    assert c.lane_active_steps.tolist() == [2, 1]
+    assert c.utilization().tolist() == [1.0, 0.5]
+
+
+def test_acu_not_counted_in_lane_activity():
+    c = ExecutionCounters(2)
+    c.record("acu", mask=np.array([True, True]))
+    assert c.lane_active_steps.tolist() == [0, 0]
+
+
+def test_record_call():
+    c = ExecutionCounters(2)
+    c.record_call("force", layers=3)
+    assert c.calls["force"] == 1
+    assert c.call_layer_steps["force"] == 3
+    assert c.events["call"] == 1
+
+
+def test_call_sections():
+    c = ExecutionCounters(2)
+    c.record_call("force", layers=1)
+    assert c.call_sections("force") == (0, 0)
+    c.record_call("force", layers=4)
+    calls, steps = c.call_sections("force")
+    assert calls == 2 and steps == 5
+
+
+def test_merge():
+    a = ExecutionCounters(2)
+    b = ExecutionCounters(2)
+    a.record("int_op", width=2)
+    b.record("int_op", width=2, layers=2)
+    b.record_call("f")
+    a.merge(b)
+    assert a.events["int_op"] == 2
+    assert a.layer_steps["int_op"] == 3
+    assert a.calls["f"] == 1
+
+
+def test_empty_utilization():
+    c = ExecutionCounters(3)
+    assert c.mean_utilization() == 0.0
+
+
+def test_summary_keys():
+    c = ExecutionCounters(1)
+    c.record("store")
+    summary = c.summary()
+    assert summary["total_steps"] == 1
+    assert "events" in summary and "calls" in summary

@@ -1,0 +1,118 @@
+"""Intrinsic function tests, including mask-aware reductions."""
+
+import numpy as np
+import pytest
+
+from repro.exec.intrinsics import call_intrinsic, is_reduction_call
+from repro.lang.errors import InterpreterError
+
+
+class TestElementwise:
+    def test_max_two_scalars(self):
+        assert call_intrinsic("max", [3, 5]) == 5
+
+    def test_max_elementwise_vectors(self):
+        result = call_intrinsic("max", [np.array([1, 5]), np.array([4, 2])])
+        assert result.tolist() == [4, 5]
+
+    def test_min_chain(self):
+        assert call_intrinsic("min", [5, 2, 9]) == 2
+
+    def test_mod(self):
+        assert call_intrinsic("mod", [7, 3]) == 1
+
+    def test_abs(self):
+        assert call_intrinsic("abs", [-4]) == 4
+
+    def test_sqrt(self):
+        assert call_intrinsic("sqrt", [9.0]) == pytest.approx(3.0)
+
+    def test_nint_rounds(self):
+        assert call_intrinsic("nint", [2.6]) == 3
+
+    def test_float_converts(self):
+        assert call_intrinsic("float", [3]) == 3.0
+
+    def test_merge(self):
+        result = call_intrinsic(
+            "merge", [np.array([1, 1]), np.array([2, 2]), np.array([True, False])]
+        )
+        assert result.tolist() == [1, 2]
+
+    def test_size(self):
+        assert call_intrinsic("size", [np.zeros((3, 2))]) == 6
+
+    def test_ceiling_floor(self):
+        assert call_intrinsic("ceiling", [2.1]) == 3
+        assert call_intrinsic("floor", [2.9]) == 2
+
+    def test_unknown_intrinsic_raises(self):
+        with pytest.raises(InterpreterError):
+            call_intrinsic("nosuch", [1])
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(InterpreterError):
+            call_intrinsic("mod", [1])
+
+
+class TestReductions:
+    def test_any_all(self):
+        assert call_intrinsic("any", [np.array([False, True])]) is True
+        assert call_intrinsic("all", [np.array([False, True])]) is False
+
+    def test_count_sum(self):
+        assert call_intrinsic("count", [np.array([True, False, True])]) == 2
+        assert call_intrinsic("sum", [np.array([1, 2, 3])]) == 6
+
+    def test_maxval_minval(self):
+        assert call_intrinsic("maxval", [np.array([3, 9, 1])]) == 9
+        assert call_intrinsic("minval", [np.array([3, 9, 1])]) == 1
+
+    def test_single_arg_max_reduces_vector(self):
+        """The paper's max(L(i')) — a cross-PE reduction."""
+        assert call_intrinsic("max", [np.array([4, 1])]) == 4
+
+    def test_single_arg_max_scalar_passthrough(self):
+        assert call_intrinsic("max", [7]) == 7
+
+    def test_masked_reduction_ignores_inactive(self):
+        """Figure 14's max(pCnt(At1)) over *active* processors only."""
+        values = np.array([10, 99, 3])
+        mask = np.array([True, False, True])
+        assert call_intrinsic("maxval", [values], mask=mask) == 10
+        assert call_intrinsic("max", [values], mask=mask) == 10
+
+    def test_masked_any(self):
+        values = np.array([False, True, False])
+        mask = np.array([True, False, True])
+        assert call_intrinsic("any", [values], mask=mask) is False
+
+    def test_empty_mask_identities(self):
+        mask = np.array([False, False])
+        values = np.array([1, 2])
+        assert call_intrinsic("any", [values.astype(bool)], mask=mask) is False
+        assert call_intrinsic("all", [values.astype(bool)], mask=mask) is True
+        assert call_intrinsic("sum", [values], mask=mask) == 0
+        assert call_intrinsic("count", [values.astype(bool)], mask=mask) == 0
+
+    def test_empty_mask_maxval_raises(self):
+        with pytest.raises(InterpreterError):
+            call_intrinsic("maxval", [np.array([1, 2])], mask=np.array([False, False]))
+
+    def test_2d_reduction_flattens(self):
+        values = np.arange(6).reshape(3, 2)
+        assert call_intrinsic("maxval", [values]) == 5
+
+    def test_2d_masked_reduction_masks_rows(self):
+        values = np.array([[1, 9], [5, 2], [3, 3]])
+        mask = np.array([True, False, True])
+        assert call_intrinsic("maxval", [values], mask=mask) == 9
+
+
+class TestClassification:
+    def test_reduction_call_detection(self):
+        assert is_reduction_call("any", 1)
+        assert is_reduction_call("maxval", 1)
+        assert is_reduction_call("max", 1)
+        assert not is_reduction_call("max", 2)
+        assert not is_reduction_call("mod", 2)

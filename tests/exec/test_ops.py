@@ -1,0 +1,87 @@
+"""Operator semantics tests (Fortran arithmetic rules)."""
+
+import numpy as np
+import pytest
+
+from repro.exec.ops import apply_binop, apply_unop, op_event_kind
+from repro.lang.errors import InterpreterError
+
+
+class TestArithmetic:
+    def test_int_addition(self):
+        assert apply_binop("+", 2, 3) == 5
+
+    def test_mixed_promotes_to_real(self):
+        assert apply_binop("+", 2, 0.5) == 2.5
+
+    def test_integer_division_truncates_toward_zero(self):
+        assert apply_binop("/", 7, 2) == 3
+        assert apply_binop("/", -7, 2) == -3
+        assert apply_binop("/", 7, -2) == -3
+
+    def test_real_division(self):
+        assert apply_binop("/", 7.0, 2) == 3.5
+
+    def test_integer_division_by_zero_raises(self):
+        with pytest.raises(InterpreterError):
+            apply_binop("/", 1, 0)
+
+    def test_vector_integer_division(self):
+        result = apply_binop("/", np.array([7, -7]), np.array([2, 2]))
+        assert result.tolist() == [3, -3]
+        assert result.dtype == np.int64
+
+    def test_power(self):
+        assert apply_binop("**", 2, 10) == 1024
+
+    def test_vector_scalar_broadcast(self):
+        result = apply_binop("+", np.array([1, 2]), 10)
+        assert result.tolist() == [11, 12]
+
+
+class TestComparisonsAndLogic:
+    @pytest.mark.parametrize(
+        "op,expect",
+        [("==", False), ("/=", True), ("<", True), ("<=", True), (">", False), (">=", False)],
+    )
+    def test_scalar_comparisons(self, op, expect):
+        assert apply_binop(op, 1, 2) is expect or apply_binop(op, 1, 2) == expect
+
+    def test_vector_comparison(self):
+        result = apply_binop("<=", np.array([1, 5]), np.array([4, 4]))
+        assert result.tolist() == [True, False]
+
+    def test_and_or(self):
+        assert apply_binop(".AND.", True, False) is False
+        assert apply_binop(".OR.", True, False) is True
+
+    def test_vector_logic(self):
+        result = apply_binop(".AND.", np.array([True, True]), np.array([True, False]))
+        assert result.tolist() == [True, False]
+
+    def test_not(self):
+        assert apply_unop(".NOT.", False) is True
+        assert apply_unop(".NOT.", np.array([True, False])).tolist() == [False, True]
+
+    def test_negate(self):
+        assert apply_unop("-", 3) == -3
+        assert apply_unop("-", np.array([1, -2])).tolist() == [-1, 2]
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(InterpreterError):
+            apply_binop("%%", 1, 2)
+
+
+class TestEventClassification:
+    def test_int_op(self):
+        assert op_event_kind("+", 5) == "int_op"
+
+    def test_real_op(self):
+        assert op_event_kind("*", 2.5) == "real_op"
+
+    def test_logical(self):
+        assert op_event_kind(".AND.", True) == "logical"
+
+    def test_vector_kinds(self):
+        assert op_event_kind("+", np.array([1, 2])) == "int_op"
+        assert op_event_kind("+", np.array([1.0])) == "real_op"

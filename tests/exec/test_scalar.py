@@ -1,0 +1,192 @@
+"""Sequential interpreter tests."""
+
+import numpy as np
+import pytest
+
+from repro.exec import ScalarInterpreter, run_program
+from repro.lang import parse_source
+from repro.lang.errors import InterpreterError
+
+
+def run(text, bindings=None, externals=None):
+    return run_program(parse_source(text), bindings=bindings, externals=externals)
+
+
+class TestBasics:
+    def test_assignment(self):
+        env, _ = run("PROGRAM p\n  x = 1 + 2\nEND")
+        assert env["x"] == 3
+
+    def test_parameter_binding(self):
+        env, _ = run("PROGRAM p\n  PARAMETER (k = 8)\n  x = k * 2\nEND")
+        assert env["x"] == 16
+
+    def test_array_declaration_and_store(self):
+        env, _ = run("PROGRAM p\n  INTEGER a(3)\n  a(2) = 7\nEND")
+        assert env["a"].data.tolist() == [0, 7, 0]
+
+    def test_whole_array_assignment(self):
+        env, _ = run("PROGRAM p\n  INTEGER a(3)\n  a = 5\nEND")
+        assert env["a"].data.tolist() == [5, 5, 5]
+
+    def test_array_section(self):
+        env, _ = run("PROGRAM p\n  INTEGER a(4)\n  a(2:3) = 9\nEND")
+        assert env["a"].data.tolist() == [0, 9, 9, 0]
+
+    def test_binding_initializes_array(self):
+        env, _ = run(
+            "PROGRAM p\n  INTEGER a(3)\n  s = a(1) + a(3)\nEND",
+            bindings={"a": np.array([10, 20, 30])},
+        )
+        assert env["s"] == 40
+
+    def test_binding_size_mismatch_raises(self):
+        with pytest.raises(InterpreterError):
+            run("PROGRAM p\n  INTEGER a(3)\nEND", bindings={"a": np.zeros(5)})
+
+    def test_read_before_assignment_raises(self):
+        with pytest.raises(InterpreterError):
+            run("PROGRAM p\n  x = y + 1\nEND")
+
+    def test_out_of_bounds_raises(self):
+        with pytest.raises(InterpreterError):
+            run("PROGRAM p\n  INTEGER a(3)\n  a(4) = 1\nEND")
+
+
+class TestControlFlow:
+    def test_do_loop(self):
+        env, _ = run("PROGRAM p\n  s = 0\n  DO i = 1, 5\n    s = s + i\n  ENDDO\nEND")
+        assert env["s"] == 15
+
+    def test_do_loop_stride(self):
+        env, _ = run("PROGRAM p\n  s = 0\n  DO i = 1, 10, 3\n    s = s + i\n  ENDDO\nEND")
+        assert env["s"] == 1 + 4 + 7 + 10
+
+    def test_do_loop_negative_stride(self):
+        env, _ = run("PROGRAM p\n  s = 0\n  DO i = 5, 1, -1\n    s = s * 10 + i\n  ENDDO\nEND")
+        assert env["s"] == 54321
+
+    def test_do_loop_zero_trips(self):
+        env, _ = run("PROGRAM p\n  s = 0\n  DO i = 5, 1\n    s = 99\n  ENDDO\nEND")
+        assert env["s"] == 0
+
+    def test_do_zero_stride_raises(self):
+        with pytest.raises(InterpreterError):
+            run("PROGRAM p\n  DO i = 1, 5, 0\n  ENDDO\nEND")
+
+    def test_do_while(self):
+        env, _ = run(
+            "PROGRAM p\n  i = 1\n  DO WHILE (i < 100)\n    i = i * 2\n  ENDDO\nEND"
+        )
+        assert env["i"] == 128
+
+    def test_while_endwhile(self):
+        env, _ = run("PROGRAM p\n  i = 0\n  WHILE (i < 3)\n    i = i + 1\n  ENDWHILE\nEND")
+        assert env["i"] == 3
+
+    def test_if_else(self):
+        env, _ = run("PROGRAM p\n  IF (1 > 2) THEN\n    x = 1\n  ELSE\n    x = 2\n  ENDIF\nEND")
+        assert env["x"] == 2
+
+    def test_elseif(self):
+        env, _ = run(
+            "PROGRAM p\n  a = 5\n  IF (a < 3) THEN\n    x = 1\n"
+            "  ELSEIF (a < 10) THEN\n    x = 2\n  ELSE\n    x = 3\n  ENDIF\nEND"
+        )
+        assert env["x"] == 2
+
+    def test_exit(self):
+        env, _ = run(
+            "PROGRAM p\n  s = 0\n  DO i = 1, 100\n    IF (i > 3) EXIT\n    s = s + i\n  ENDDO\nEND"
+        )
+        assert env["s"] == 6
+
+    def test_cycle(self):
+        env, _ = run(
+            "PROGRAM p\n  s = 0\n  DO i = 1, 5\n    IF (MOD(i, 2) == 0) CYCLE\n    s = s + i\n  ENDDO\nEND"
+        )
+        assert env["s"] == 9
+
+    def test_goto_loop(self):
+        env, _ = run(
+            "PROGRAM p\n  s = 0\n  i = 1\n"
+            "10 IF (i > 4) GOTO 20\n  s = s + i\n  i = i + 1\n  GOTO 10\n"
+            "20 CONTINUE\nEND"
+        )
+        assert env["s"] == 10
+
+    def test_labeled_do(self):
+        env, _ = run("PROGRAM p\n  s = 0\n  DO 30 i = 1, 3\n  s = s + i\n30 CONTINUE\nEND")
+        assert env["s"] == 6
+
+    def test_stop_terminates(self):
+        env, _ = run("PROGRAM p\n  x = 1\n  STOP\n  x = 2\nEND")
+        assert env["x"] == 1
+
+    def test_forall_sequential_semantics(self):
+        env, _ = run("PROGRAM p\n  INTEGER a(4)\n  FORALL (i = 1 : 4) a(i) = i * i\nEND")
+        assert env["a"].data.tolist() == [1, 4, 9, 16]
+
+    def test_forall_with_mask(self):
+        env, _ = run(
+            "PROGRAM p\n  INTEGER a(4)\n  FORALL (i = 1 : 4, MOD(i, 2) == 1) a(i) = i\nEND"
+        )
+        assert env["a"].data.tolist() == [1, 0, 3, 0]
+
+    def test_infinite_loop_guard(self):
+        source = parse_source("PROGRAM p\n  DO WHILE (.TRUE.)\n    x = 1\n  ENDDO\nEND")
+        interp = ScalarInterpreter(source, max_statements=1000)
+        with pytest.raises(InterpreterError, match="budget"):
+            interp.run()
+
+
+class TestSubroutines:
+    def test_call_user_subroutine_scalar_writeback(self):
+        env, _ = run(
+            "PROGRAM p\n  x = 0\n  CALL setit(x)\nEND\n"
+            "SUBROUTINE setit(a)\n  a = 42\nEND"
+        )
+        assert env["x"] == 42
+
+    def test_call_user_subroutine_array_by_reference(self):
+        env, _ = run(
+            "PROGRAM p\n  INTEGER v(3)\n  CALL fill(v)\nEND\n"
+            "SUBROUTINE fill(a)\n  INTEGER a(3)\n  DO i = 1, 3\n    a(i) = i\n  ENDDO\nEND"
+        )
+        assert env["v"].data.tolist() == [1, 2, 3]
+
+    def test_return_statement(self):
+        env, _ = run(
+            "PROGRAM p\n  x = 0\n  CALL f(x)\nEND\n"
+            "SUBROUTINE f(a)\n  a = 1\n  RETURN\n  a = 2\nEND"
+        )
+        assert env["x"] == 1
+
+    def test_external_subroutine(self):
+        seen = []
+
+        def external(interp, arg_exprs, args, env):
+            seen.append(tuple(args))
+            interp.assign_to(arg_exprs[0], 99, env)
+
+        env, counters = run(
+            "PROGRAM p\n  y = 5\n  CALL ext(x, y)\nEND",
+            externals={"ext": external},
+        )
+        assert env["x"] == 99
+        assert seen == [(None, 5)]
+        assert counters.calls["ext"] == 1
+
+    def test_unknown_call_raises(self):
+        with pytest.raises(InterpreterError):
+            run("PROGRAM p\n  CALL nothing(1)\nEND")
+
+
+class TestCounting:
+    def test_store_events_counted(self):
+        _, counters = run("PROGRAM p\n  x = 1\n  y = 2\nEND")
+        assert counters.events["store"] == 2
+
+    def test_acu_per_loop_iteration(self):
+        _, counters = run("PROGRAM p\n  DO i = 1, 4\n    x = i\n  ENDDO\nEND")
+        assert counters.events["acu"] >= 4

@@ -1,0 +1,107 @@
+"""Integration: the NBFORCE case study end to end (Section 5).
+
+The transformation pipeline must turn the sequential Figure 13 kernel
+into a flattened SIMD program whose behavior matches the hand-written
+Figure 15 kernel — same results, same force-call count (Equation 1'').
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import evaluate_flattening
+from repro.exec import SIMDInterpreter
+from repro.kernels.nbforce import (
+    NBFORCE_SEQUENTIAL,
+    run_flat_kernel,
+    run_unflat_kernel,
+)
+from repro.lang import ast, parse_source
+from repro.md.distribution import workload_counts
+from repro.md.forces import make_simd_force_external, reference_nbforce
+from repro.md.molecule import uniform_box
+from repro.md.pairlist import build_pairlist
+from repro.simd.layout import DataDistribution
+from repro.transform.parallel import flatten_spmd
+
+
+@pytest.fixture(scope="module")
+def workload():
+    mol = uniform_box(100, seed=21)
+    plist = build_pairlist(mol, 5.5)
+    return mol, plist, reference_nbforce(mol, plist)
+
+
+GRAN = 8
+
+
+def test_figure13_nest_is_flattenable(workload):
+    tree = parse_source(NBFORCE_SEQUENTIAL)
+    loop = next(s for s in tree.main.body if isinstance(s, ast.Do))
+    report = evaluate_flattening(loop, assume_min_trips=True)
+    assert report.applicable
+    assert report.profitable
+    # fpair is passed to the external force routine: without its
+    # interface the analysis cannot prove the scalar private, so the
+    # verdict is *unknown* (user assertion required), not unsafe —
+    # exactly the paper's "heroic dependence analysis" case.
+    assert report.safe is None
+    assert report.recommended
+    with_assertion = evaluate_flattening(
+        loop, assume_parallel=True, assume_min_trips=True
+    )
+    assert with_assertion.safe is True
+
+
+def test_flattened_figure13_matches_figure15(workload):
+    """Transform Fig. 13 automatically; compare with the Fig. 15 kernel."""
+    mol, plist, ref = workload
+    dist = DataDistribution(n=plist.n_atoms, gran=GRAN, scheme="cyclic")
+
+    tree = parse_source(NBFORCE_SEQUENTIAL)
+    loop = next(s for s in tree.main.body if isinstance(s, ast.Do))
+    flat = flatten_spmd(
+        loop, nproc=GRAN, layout="cyclic", variant="done", assume_min_trips=True
+    )
+    index = tree.main.body.index(loop)
+    body = tree.main.body[:index] + flat + tree.main.body[index + 1:]
+    prog = ast.SourceFile([ast.Routine("program", "nb", [], body)])
+
+    interp = SIMDInterpreter(
+        prog, GRAN, externals={"force": make_simd_force_external(mol)}
+    )
+    env = interp.run(
+        bindings={
+            "n": plist.n_atoms,
+            "maxpcnt": int(plist.partners.shape[1]),
+            "pcnt": plist.pcnt.astype(np.int64),
+            "partners": plist.partners.astype(np.int64),
+        }
+    )
+    derived_f = np.asarray(env["f"].data, dtype=float)
+    assert np.allclose(derived_f, ref)
+
+    # same step count as the hand-written flattened kernel (Eq. 1'')
+    handwritten_f, handwritten_counters = run_flat_kernel(mol, plist, dist)
+    assert np.allclose(handwritten_f, ref)
+    assert (
+        interp.counters.calls["force"]
+        == handwritten_counters.calls["force"]
+        == workload_counts(plist, dist).flattened
+    )
+
+
+def test_three_versions_agree_and_rank(workload):
+    """L_f, L_u^l, L_u^2 compute identical forces; L_f does fewest
+    force sweeps (Table 2's point)."""
+    mol, plist, ref = workload
+    dist = DataDistribution(n=plist.n_atoms, gran=GRAN, nmax=128, scheme="cyclic")
+    f_flat, c_flat = run_flat_kernel(mol, plist, dist)
+    f_sel, c_sel = run_unflat_kernel(mol, plist, dist, select_layers=True)
+    f_all, c_all = run_unflat_kernel(mol, plist, dist, select_layers=False)
+    for result in (f_flat, f_sel, f_all):
+        assert np.allclose(result, ref)
+    assert (
+        c_flat.call_layer_steps["force"]
+        < c_sel.call_layer_steps["force"]
+        <= c_all.call_layer_steps["force"]
+    )

@@ -1,0 +1,70 @@
+"""Mandelbrot kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.mandelbrot import (
+    escape_counts_reference,
+    mandelbrot_grid,
+    run_flat_simd,
+    run_sequential,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return mandelbrot_grid(8, 8)
+
+
+class TestReference:
+    def test_inside_point_hits_maxiter(self):
+        counts = escape_counts_reference(np.array([0.0]), np.array([0.0]), 30)
+        assert counts[0] == 30
+
+    def test_outside_point_escapes_fast(self):
+        counts = escape_counts_reference(np.array([2.0]), np.array([2.0]), 30)
+        assert counts[0] <= 2
+
+    def test_grid_shape(self, grid):
+        cr, ci = grid
+        assert cr.shape == ci.shape == (64,)
+
+
+class TestKernels:
+    def test_sequential_matches_reference(self, grid):
+        cr, ci = grid
+        counts, _ = run_sequential(cr, ci, maxiter=25)
+        assert np.array_equal(counts, escape_counts_reference(cr, ci, 25))
+
+    @pytest.mark.parametrize("nproc", [1, 3, 8])
+    def test_flat_simd_matches_reference(self, grid, nproc):
+        cr, ci = grid
+        counts, _ = run_flat_simd(cr, ci, maxiter=25, nproc=nproc)
+        assert np.array_equal(counts, escape_counts_reference(cr, ci, 25))
+
+    def test_flattened_step_count_is_max_of_sums(self, grid):
+        """Eq. 1 for the WHILE-inner-loop workload."""
+        cr, ci = grid
+        nproc = 4
+        reference = escape_counts_reference(cr, ci, 25)
+        per_lane = [reference[lane::nproc].sum() for lane in range(nproc)]
+        _, counters = run_flat_simd(cr, ci, maxiter=25, nproc=nproc)
+        # each WHILE trip does one z-iteration on some lane; lanes also
+        # need one extra trip per pixel to store/advance, interleaved —
+        # the iteration work alone is bounded below by max_p Σ counts.
+        assert counters.events["acu"] >= max(per_lane)
+
+    def test_flattening_beats_naive_bound(self, grid):
+        """Naive SIMD would run every batch to its max count."""
+        cr, ci = grid
+        nproc = 4
+        reference = escape_counts_reference(cr, ci, 25)
+        flattened_bound = max(
+            reference[lane::nproc].sum() for lane in range(nproc)
+        )
+        batches = reference.reshape(-1, nproc) if reference.size % nproc == 0 else None
+        naive_bound = (
+            batches.max(axis=1).sum() if batches is not None else None
+        )
+        if naive_bound is not None:
+            assert flattened_bound <= naive_bound

@@ -1,0 +1,148 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text) if t.kind is not TokenKind.EOF]
+
+
+def texts(text):
+    return [
+        t.text
+        for t in tokenize(text)
+        if t.kind not in (TokenKind.EOF, TokenKind.NEWLINE)
+    ]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier_lowercased(self):
+        assert texts("FooBar") == ["foobar"]
+
+    def test_keyword_uppercased(self):
+        tokens = tokenize("do")
+        assert tokens[0].kind is TokenKind.KEYWORD
+        assert tokens[0].text == "DO"
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[0].text == "42"
+
+    def test_real_literal(self):
+        tokens = tokenize("3.25")
+        assert tokens[0].kind is TokenKind.REAL
+
+    def test_real_with_exponent(self):
+        assert tokenize("1.5e-3")[0].kind is TokenKind.REAL
+        assert tokenize("2e10")[0].kind is TokenKind.REAL
+
+    def test_real_with_d_exponent_normalized(self):
+        token = tokenize("1.5d-3")[0]
+        assert token.kind is TokenKind.REAL
+        assert "e" in token.text
+
+    def test_leading_dot_real(self):
+        token = tokenize(".5")[0]
+        assert token.kind is TokenKind.REAL
+
+    def test_string_literal(self):
+        token = tokenize("'hello world'")[0]
+        assert token.kind is TokenKind.STRING
+        assert token.text == "hello world"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize("'oops")
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["+", "-", "*", "/", "**", "==", "/=", "<", "<=", ">", ">=", "(", ")", ",", ":", "[", "]", "="])
+    def test_operator(self, op):
+        token = tokenize(f"a {op} b")[1]
+        assert token.kind is TokenKind.OP
+        assert token.text == op
+
+    @pytest.mark.parametrize(
+        "dotted,symbolic",
+        [(".EQ.", "=="), (".NE.", "/="), (".LT.", "<"), (".LE.", "<="),
+         (".GT.", ">"), (".GE.", ">="), (".and.", ".AND."), (".OR.", ".OR."),
+         (".not.", ".NOT.")],
+    )
+    def test_dotted_operators_normalized(self, dotted, symbolic):
+        token = tokenize(f"a {dotted} b")[1]
+        assert token.kind is TokenKind.OP
+        assert token.text == symbolic
+
+    def test_true_false_are_keywords(self):
+        tokens = tokenize(".TRUE. .FALSE.")
+        assert tokens[0].is_kw("TRUE")
+        assert tokens[1].is_kw("FALSE")
+
+    def test_dotted_op_adjacent_to_number(self):
+        # classic Fortran ambiguity: 1.LE.2 must lex as 1 .LE. 2
+        tokens = tokenize("1.LE.2")
+        assert tokens[0].kind is TokenKind.INT
+        assert tokens[1].text == "<="
+        assert tokens[2].kind is TokenKind.INT
+
+    def test_unknown_dotted_operator_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a .FOO. b")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+
+class TestLinesAndComments:
+    def test_newline_token_per_logical_line(self):
+        tokens = tokenize("a = 1\nb = 2")
+        newline_count = sum(1 for t in tokens if t.kind is TokenKind.NEWLINE)
+        assert newline_count == 2
+
+    def test_comment_line_skipped(self):
+        assert texts("C this is a comment\na = 1") == ["a", "=", "1"]
+
+    def test_star_comment_skipped(self):
+        assert texts("* star comment\na = 1") == ["a", "=", "1"]
+
+    def test_inline_bang_comment(self):
+        assert texts("a = 1 ! trailing") == ["a", "=", "1"]
+
+    def test_directive_lines_skipped(self):
+        src = "cmf$ layout x(:news)\ncmpf ondpu x\na = 1"
+        assert texts(src) == ["a", "=", "1"]
+
+    def test_continuation_joins_lines(self):
+        tokens = tokenize("a = 1 + &\n    2")
+        newline_count = sum(1 for t in tokens if t.kind is TokenKind.NEWLINE)
+        assert newline_count == 1
+        assert texts("a = 1 + &\n    2") == ["a", "=", "1", "+", "2"]
+
+    def test_continuation_with_leading_ampersand(self):
+        assert texts("a = 1 + &\n  & 2") == ["a", "=", "1", "+", "2"]
+
+    def test_first_on_line_flag(self):
+        tokens = tokenize("10 CONTINUE")
+        assert tokens[0].first_on_line
+        assert not tokens[1].first_on_line
+
+    def test_blank_lines_ignored(self):
+        assert texts("\n\na = 1\n\n") == ["a", "=", "1"]
+
+    def test_location_tracking(self):
+        tokens = tokenize("a = 1\nbb = 2")
+        assert tokens[0].location.line == 1
+        bb = [t for t in tokens if t.text == "bb"][0]
+        assert bb.location.line == 2
+        assert bb.location.column == 1

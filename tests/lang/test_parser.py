@@ -1,0 +1,253 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ast, parse_expression, parse_source, parse_statements
+from repro.lang.errors import ParseError
+
+
+class TestExpressions:
+    def test_integer(self):
+        assert parse_expression("42") == ast.IntLit(42)
+
+    def test_real(self):
+        expr = parse_expression("2.5")
+        assert isinstance(expr, ast.RealLit)
+        assert expr.value == 2.5
+
+    def test_variable(self):
+        assert parse_expression("Foo") == ast.Var("foo")
+
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == ast.BinOp("+", ast.IntLit(1), ast.BinOp("*", ast.IntLit(2), ast.IntLit(3)))
+
+    def test_left_associativity(self):
+        expr = parse_expression("1 - 2 - 3")
+        assert expr == ast.BinOp("-", ast.BinOp("-", ast.IntLit(1), ast.IntLit(2)), ast.IntLit(3))
+
+    def test_power_right_associative(self):
+        expr = parse_expression("2 ** 3 ** 2")
+        assert expr == ast.BinOp("**", ast.IntLit(2), ast.BinOp("**", ast.IntLit(3), ast.IntLit(2)))
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr == ast.BinOp("*", ast.BinOp("+", ast.IntLit(1), ast.IntLit(2)), ast.IntLit(3))
+
+    def test_unary_minus(self):
+        assert parse_expression("-x") == ast.UnOp("-", ast.Var("x"))
+
+    def test_unary_plus_dropped(self):
+        assert parse_expression("+x") == ast.Var("x")
+
+    def test_logical_precedence(self):
+        expr = parse_expression("a .OR. b .AND. c")
+        assert expr == ast.BinOp(".OR.", ast.Var("a"), ast.BinOp(".AND.", ast.Var("b"), ast.Var("c")))
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_expression(".NOT. a .AND. b")
+        assert expr == ast.BinOp(".AND.", ast.UnOp(".NOT.", ast.Var("a")), ast.Var("b"))
+
+    def test_comparison(self):
+        expr = parse_expression("i <= k")
+        assert expr == ast.BinOp("<=", ast.Var("i"), ast.Var("k"))
+
+    def test_dotted_comparison_same_ast(self):
+        assert parse_expression("i .LE. k") == parse_expression("i <= k")
+
+    def test_array_reference(self):
+        expr = parse_expression("x(i, j)")
+        assert expr == ast.ArrayRef("x", [ast.Var("i"), ast.Var("j")])
+
+    def test_intrinsic_call(self):
+        expr = parse_expression("max(a, b)")
+        assert expr == ast.Call("max", [ast.Var("a"), ast.Var("b")])
+
+    def test_any_is_intrinsic(self):
+        assert isinstance(parse_expression("any(x <= y)"), ast.Call)
+
+    def test_unknown_name_with_parens_is_arrayref(self):
+        assert isinstance(parse_expression("partners(i, pr)"), ast.ArrayRef)
+
+    def test_vector_literal(self):
+        assert parse_expression("[0, 4]") == ast.VectorLit([ast.IntLit(0), ast.IntLit(4)])
+
+    def test_range_vector(self):
+        assert parse_expression("[1 : p]") == ast.RangeVec(ast.IntLit(1), ast.Var("p"))
+
+    def test_full_slice(self):
+        expr = parse_expression("f(:, 1:lrs)")
+        assert expr.subs[0] == ast.Slice(None, None)
+        assert expr.subs[1] == ast.Slice(ast.IntLit(1), ast.Var("lrs"))
+
+    def test_true_false(self):
+        assert parse_expression(".TRUE.") == ast.BoolLit(True)
+        assert parse_expression(".FALSE.") == ast.BoolLit(False)
+
+    def test_nested_calls(self):
+        expr = parse_expression("max(l(iprime))")
+        assert expr == ast.Call("max", [ast.ArrayRef("l", [ast.Var("iprime")])])
+
+
+class TestStatements:
+    def test_assignment(self):
+        [stmt] = parse_statements("x = 1")
+        assert stmt == ast.Assign(ast.Var("x"), ast.IntLit(1))
+
+    def test_array_assignment(self):
+        [stmt] = parse_statements("x(i, j) = i * j")
+        assert isinstance(stmt.target, ast.ArrayRef)
+
+    def test_do_loop(self):
+        [stmt] = parse_statements("DO i = 1, n\n  x = i\nENDDO")
+        assert isinstance(stmt, ast.Do)
+        assert stmt.var == "i"
+        assert stmt.stride is None
+        assert len(stmt.body) == 1
+
+    def test_do_loop_with_stride(self):
+        [stmt] = parse_statements("DO i = 1, n, 2\nENDDO")
+        assert stmt.stride == ast.IntLit(2)
+
+    def test_do_end_do_spelling(self):
+        [stmt] = parse_statements("DO i = 1, n\nEND DO")
+        assert isinstance(stmt, ast.Do)
+
+    def test_label_terminated_do(self):
+        [stmt] = parse_statements("DO 10 i = 1, n\n  x = i\n10 CONTINUE")
+        assert isinstance(stmt, ast.Do)
+        assert isinstance(stmt.body[-1], ast.Continue)
+        assert stmt.body[-1].label == 10
+
+    def test_do_while(self):
+        [stmt] = parse_statements("DO WHILE (i < n)\n  i = i + 1\nENDDO")
+        assert isinstance(stmt, ast.DoWhile)
+
+    def test_while_endwhile(self):
+        [stmt] = parse_statements("WHILE (i <= k)\n  i = i + 1\nENDWHILE")
+        assert isinstance(stmt, ast.While)
+
+    def test_block_if_else(self):
+        [stmt] = parse_statements("IF (a) THEN\n  x = 1\nELSE\n  x = 2\nENDIF")
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then_body) == 1
+        assert len(stmt.else_body) == 1
+
+    def test_elseif_chain(self):
+        [stmt] = parse_statements(
+            "IF (a) THEN\n  x = 1\nELSEIF (b) THEN\n  x = 2\nELSE\n  x = 3\nENDIF"
+        )
+        assert isinstance(stmt.else_body[0], ast.If)
+        assert len(stmt.else_body[0].else_body) == 1
+
+    def test_logical_if(self):
+        [stmt] = parse_statements("IF (a) x = 1")
+        assert isinstance(stmt, ast.If)
+        assert stmt.then_body == [ast.Assign(ast.Var("x"), ast.IntLit(1))]
+        assert stmt.else_body == []
+
+    def test_if_goto(self):
+        [stmt] = parse_statements("IF (i > n) GOTO 20")
+        assert stmt.then_body == [ast.Goto(20)]
+
+    def test_where_block(self):
+        [stmt] = parse_statements("WHERE (m)\n  x = 1\nELSEWHERE\n  x = 2\nENDWHERE")
+        assert isinstance(stmt, ast.Where)
+        assert len(stmt.else_body) == 1
+
+    def test_single_statement_where(self):
+        [stmt] = parse_statements("WHERE (j <= l(i)) x(i, j) = i * j")
+        assert isinstance(stmt, ast.Where)
+        assert len(stmt.then_body) == 1
+
+    def test_forall_single(self):
+        [stmt] = parse_statements("FORALL (i = 1 : p) at2(i) = partners(i, pr)")
+        assert isinstance(stmt, ast.Forall)
+        assert stmt.mask is None
+
+    def test_forall_with_mask(self):
+        [stmt] = parse_statements("FORALL (i = 1 : p, l(i) <= lrs) x(i) = 1")
+        assert stmt.mask is not None
+
+    def test_forall_block(self):
+        [stmt] = parse_statements("FORALL (i = 1 : p)\n  x(i) = 1\n  y(i) = 2\nENDFORALL")
+        assert len(stmt.body) == 2
+
+    def test_goto_and_labels(self):
+        stmts = parse_statements("10 x = 1\nGOTO 10")
+        assert stmts[0].label == 10
+        assert stmts[1] == ast.Goto(10)
+
+    def test_call_with_args(self):
+        [stmt] = parse_statements("CALL force(f, at1, at2)")
+        assert isinstance(stmt, ast.CallStmt)
+        assert stmt.name == "force"
+        assert len(stmt.args) == 3
+
+    def test_call_without_args(self):
+        [stmt] = parse_statements("CALL init")
+        assert stmt.args == []
+
+    def test_exit_cycle_return_stop_continue(self):
+        stmts = parse_statements("EXIT\nCYCLE\nRETURN\nSTOP\nCONTINUE")
+        assert [type(s) for s in stmts] == [
+            ast.ExitStmt, ast.CycleStmt, ast.Return, ast.Stop, ast.Continue
+        ]
+
+    def test_declaration(self):
+        [stmt] = parse_statements("INTEGER a, b(10), c(n, m)")
+        assert stmt.base_type == "integer"
+        assert [e.name for e in stmt.entities] == ["a", "b", "c"]
+        assert len(stmt.entities[2].dims) == 2
+
+    def test_parameter(self):
+        [stmt] = parse_statements("PARAMETER (k = 8, lmax = 4)")
+        assert stmt.names == ["k", "lmax"]
+
+    def test_fortran_d_directives(self):
+        stmts = parse_statements(
+            "DECOMPOSITION xd(k, lmax)\nALIGN x WITH xd\nDISTRIBUTE xd(BLOCK, *)"
+        )
+        assert isinstance(stmts[0], ast.Decomposition)
+        assert isinstance(stmts[1], ast.Align)
+        assert stmts[2].specs == ["block", "*"]
+
+
+class TestProgramUnits:
+    def test_program_unit(self):
+        src = parse_source("PROGRAM main\n  x = 1\nEND")
+        assert src.main.kind == "program"
+        assert src.main.name == "main"
+
+    def test_subroutine_with_params(self):
+        src = parse_source(
+            "PROGRAM main\nEND\n\nSUBROUTINE f(a, b)\n  a = b\nEND"
+        )
+        sub = src.unit("f")
+        assert sub.kind == "subroutine"
+        assert sub.params == ["a", "b"]
+
+    def test_main_prefers_program(self):
+        src = parse_source("SUBROUTINE s()\nEND\nPROGRAM p\nEND")
+        assert src.main.name == "p"
+
+    def test_missing_unit_raises_keyerror(self):
+        src = parse_source("PROGRAM main\nEND")
+        with pytest.raises(KeyError):
+            src.unit("nope")
+
+    def test_empty_source_raises(self):
+        with pytest.raises(ParseError):
+            parse_source("")
+
+    def test_unclosed_do_raises(self):
+        with pytest.raises(ParseError):
+            parse_source("PROGRAM p\nDO i = 1, 3\n  x = i\nEND")
+
+    def test_garbage_statement_raises(self):
+        with pytest.raises(ParseError):
+            parse_statements("THEN x")
+
+    def test_assignment_to_literal_raises(self):
+        with pytest.raises(ParseError):
+            parse_statements("1 + 2 = 3")

@@ -1,0 +1,157 @@
+"""Printer tests: rendering and the parse∘print round-trip."""
+
+import pytest
+
+from repro.lang import (
+    ast,
+    format_expr,
+    format_source,
+    format_statements,
+    parse_expression,
+    parse_source,
+    parse_statements,
+)
+
+ROUND_TRIP_EXPRS = [
+    "1 + 2 * 3",
+    "(1 + 2) * 3",
+    "-x ** 2",
+    "a .AND. (b .OR. c)",
+    ".NOT. (a .AND. b)",
+    "x(i, j) + l(i)",
+    "max(l(iprime))",
+    "any(i <= k)",
+    "[1, 2]",
+    "[1 : p]",
+    "f(:, 1:lrs)",
+    "a / b / c",
+    "2 ** 3 ** 2",
+    "1 - (2 - 3)",
+    "-(a + b)",
+    "merge(a, b, m) + abs(-x)",
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIP_EXPRS)
+def test_expression_round_trip(text):
+    expr = parse_expression(text)
+    assert parse_expression(format_expr(expr)) == expr
+
+
+ROUND_TRIP_PROGRAMS = [
+    # plain nest
+    """PROGRAM p
+  INTEGER i, j, k, l(8), x(8, 4)
+  DO i = 1, k
+    DO j = 1, l(i)
+      x(i, j) = i * j
+    ENDDO
+  ENDDO
+END
+""",
+    # while / where / forall
+    """PROGRAM p
+  i = [1, 5]
+  WHILE (any(i <= k))
+    WHERE (i <= k)
+      x(i, j) = i * j
+    ELSEWHERE
+      j = j + 1
+    ENDWHERE
+  ENDWHILE
+  FORALL (i = 1 : p)
+    at2(i) = partners(i, pr)
+  ENDFORALL
+END
+""",
+    # gotos and labels
+    """PROGRAM p
+  i = 1
+10 IF (i > n) THEN
+    GOTO 20
+  ENDIF
+  i = i + 1
+  GOTO 10
+20 CONTINUE
+END
+""",
+    # declarations, parameters, directives
+    """PROGRAM p
+  PARAMETER (k = 8)
+  INTEGER a, b(10)
+  REAL f(k, 4)
+  LOGICAL done
+  DECOMPOSITION d(k)
+  ALIGN b WITH d
+  DISTRIBUTE d(BLOCK)
+END
+""",
+    # subroutine and call
+    """PROGRAM p
+  CALL f(x, 1 + 2)
+END
+
+SUBROUTINE f(a, b)
+  a = b
+  RETURN
+END
+""",
+    # elseif chain
+    """PROGRAM p
+  IF (a) THEN
+    x = 1
+  ELSEIF (b) THEN
+    x = 2
+  ELSE
+    x = 3
+  ENDIF
+END
+""",
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIP_PROGRAMS)
+def test_program_round_trip(text):
+    tree = parse_source(text)
+    printed = format_source(tree)
+    assert parse_source(printed) == tree
+
+
+def test_printed_text_is_stable():
+    """print(parse(print(x))) == print(x) — a fixed point."""
+    tree = parse_source(ROUND_TRIP_PROGRAMS[0])
+    once = format_source(tree)
+    twice = format_source(parse_source(once))
+    assert once == twice
+
+
+def test_statement_fragment_round_trip():
+    stmts = parse_statements("DO i = 1, 3\n  x(i) = i\nENDDO")
+    printed = format_statements(stmts)
+    assert parse_statements(printed) == stmts
+
+
+def test_label_printed():
+    stmts = parse_statements("10 CONTINUE")
+    assert format_statements(stmts).startswith("10 ")
+
+
+def test_needed_parens_inserted():
+    expr = ast.BinOp("*", ast.BinOp("+", ast.IntLit(1), ast.IntLit(2)), ast.IntLit(3))
+    assert format_expr(expr) == "(1 + 2) * 3"
+
+
+def test_no_spurious_parens():
+    expr = parse_expression("a + b * c")
+    assert "(" not in format_expr(expr)
+
+
+def test_where_single_else_absent():
+    stmts = parse_statements("WHERE (m) x = 1")
+    printed = format_statements(stmts)
+    assert "ELSEWHERE" not in printed
+
+
+def test_real_literal_text_preserved():
+    expr = parse_expression("1.5e-3")
+    assert format_expr(expr) == "1.5e-3"

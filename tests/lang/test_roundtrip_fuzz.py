@@ -1,0 +1,92 @@
+"""Property-based round-trip testing with randomly generated ASTs.
+
+``parse(print(tree)) == tree`` for arbitrary programs in the supported
+grammar — the printer inserts exactly the parentheses and structure
+the parser needs, for *every* shape, not just the hand-picked corpus.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast, format_source, parse_source
+
+names = st.sampled_from(["i", "j", "k", "n", "x", "y", "foo", "at1", "pr"])
+array_names = st.sampled_from(["a", "b", "l", "partners"])
+
+
+def exprs(depth: int = 3):
+    leaf = st.one_of(
+        st.integers(-99, 99).map(lambda v: ast.IntLit(v) if v >= 0 else ast.UnOp("-", ast.IntLit(-v))),
+        st.booleans().map(ast.BoolLit),
+        names.map(ast.Var),
+    )
+    if depth == 0:
+        return leaf
+    sub = exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(
+            st.sampled_from(["+", "-", "*", "/", "==", "/=", "<", "<=", ">", ">=", ".AND.", ".OR.", "**"]),
+            sub,
+            sub,
+        ).map(lambda t: ast.BinOp(*t)),
+        st.tuples(st.sampled_from([".NOT.", "-"]), sub).map(lambda t: ast.UnOp(*t)),
+        st.tuples(array_names, st.lists(sub, min_size=1, max_size=3)).map(
+            lambda t: ast.ArrayRef(*t)
+        ),
+        st.tuples(st.sampled_from(["max", "min", "any", "abs"]), st.lists(sub, min_size=1, max_size=2)).map(
+            lambda t: ast.Call(*t)
+        ),
+        st.lists(sub, min_size=1, max_size=3).map(ast.VectorLit),
+        st.tuples(sub, sub).map(lambda t: ast.RangeVec(*t)),
+    )
+
+
+def stmts(depth: int = 2):
+    assign = st.tuples(
+        st.one_of(
+            names.map(ast.Var),
+            st.tuples(array_names, st.lists(exprs(1), min_size=1, max_size=2)).map(
+                lambda t: ast.ArrayRef(*t)
+            ),
+        ),
+        exprs(2),
+    ).map(lambda t: ast.Assign(*t))
+    if depth == 0:
+        return assign
+    body = st.lists(stmts(depth - 1), min_size=1, max_size=3)
+    return st.one_of(
+        assign,
+        st.tuples(names, exprs(1), exprs(1), body).map(
+            lambda t: ast.Do(t[0], t[1], t[2], None, t[3])
+        ),
+        st.tuples(exprs(2), body).map(lambda t: ast.While(*t)),
+        st.tuples(exprs(2), body).map(lambda t: ast.DoWhile(*t)),
+        st.tuples(exprs(2), body, body).map(lambda t: ast.If(*t)),
+        st.tuples(exprs(2), body).map(lambda t: ast.If(t[0], t[1], [])),
+        st.tuples(exprs(2), body, body).map(lambda t: ast.Where(*t)),
+        st.tuples(names, exprs(1), exprs(1), body).map(
+            lambda t: ast.Forall(t[0], t[1], t[2], None, t[3])
+        ),
+    )
+
+
+programs = st.lists(stmts(2), min_size=1, max_size=6).map(
+    lambda body: ast.SourceFile([ast.Routine("program", "fuzz", [], body)])
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(tree=programs)
+def test_print_parse_round_trip(tree):
+    printed = format_source(tree)
+    reparsed = parse_source(printed)
+    assert reparsed == tree, printed
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree=programs)
+def test_printing_is_a_fixed_point(tree):
+    once = format_source(tree)
+    twice = format_source(parse_source(once))
+    assert once == twice

@@ -1,0 +1,126 @@
+"""Semantic checker and symbol table tests."""
+
+import pytest
+
+from repro.lang import build_symbol_table, check_source, parse_source
+from repro.lang.errors import SemanticError
+from repro.lang.symbols import implicit_type
+
+
+def check(text, **kwargs):
+    return check_source(parse_source(text), **kwargs)
+
+
+class TestSymbolTable:
+    def test_declared_array(self):
+        src = parse_source("PROGRAM p\n  INTEGER a(10, 20)\nEND")
+        table = build_symbol_table(src.main)
+        symbol = table.lookup("a")
+        assert symbol.is_array
+        assert symbol.rank == 2
+        assert symbol.base_type == "integer"
+
+    def test_implicit_typing(self):
+        assert implicit_type("i") == "integer"
+        assert implicit_type("n") == "integer"
+        assert implicit_type("x") == "real"
+        assert implicit_type("alpha") == "real"
+
+    def test_implicit_lookup_creates_symbol(self):
+        src = parse_source("PROGRAM p\nEND")
+        table = build_symbol_table(src.main)
+        symbol = table.lookup("foo")
+        assert symbol.implicit
+        assert symbol.base_type == "real"
+
+    def test_strict_lookup_raises(self):
+        src = parse_source("PROGRAM p\nEND")
+        table = build_symbol_table(src.main)
+        with pytest.raises(SemanticError):
+            table.lookup("foo", allow_implicit=False)
+
+    def test_parameter_recorded(self):
+        src = parse_source("PROGRAM p\n  PARAMETER (k = 8)\nEND")
+        table = build_symbol_table(src.main)
+        assert table.lookup("k").is_parameter
+
+    def test_double_declaration_raises(self):
+        src = parse_source("PROGRAM p\n  INTEGER a\n  REAL a\nEND")
+        with pytest.raises(SemanticError):
+            build_symbol_table(src.main)
+
+    def test_dummy_arguments_flagged(self):
+        src = parse_source("SUBROUTINE s(a, b)\n  INTEGER a\n  a = b\nEND")
+        table = build_symbol_table(src.units[0])
+        assert table.lookup("a").is_dummy
+        assert table.lookup("b").is_dummy
+
+    def test_distribution_through_align(self):
+        src = parse_source(
+            "PROGRAM p\n  INTEGER x(8)\n  DECOMPOSITION d(8)\n"
+            "  ALIGN x WITH d\n  DISTRIBUTE d(BLOCK)\nEND"
+        )
+        table = build_symbol_table(src.main)
+        assert table.distribution_of("x") == ["block"]
+
+    def test_dimension_statement(self):
+        src = parse_source("PROGRAM p\n  DIMENSION a(5)\nEND")
+        table = build_symbol_table(src.main)
+        assert table.lookup("a").rank == 1
+
+
+class TestChecker:
+    def test_valid_program_passes(self):
+        check("PROGRAM p\n  INTEGER i, x(4)\n  DO i = 1, 4\n    x(i) = i\n  ENDDO\nEND")
+
+    def test_goto_to_missing_label(self):
+        with pytest.raises(SemanticError):
+            check("PROGRAM p\n  GOTO 99\nEND")
+
+    def test_goto_to_existing_label(self):
+        check("PROGRAM p\n  GOTO 10\n10 CONTINUE\nEND")
+
+    def test_duplicate_label(self):
+        with pytest.raises(SemanticError):
+            check("PROGRAM p\n10 CONTINUE\n10 CONTINUE\nEND")
+
+    def test_rank_mismatch(self):
+        with pytest.raises(SemanticError):
+            check("PROGRAM p\n  INTEGER x(4, 4)\n  x(1) = 0\nEND")
+
+    def test_subscripted_scalar(self):
+        with pytest.raises(SemanticError):
+            check("PROGRAM p\n  INTEGER s\n  s(1) = 0\nEND")
+
+    def test_call_unknown_subroutine(self):
+        with pytest.raises(SemanticError):
+            check("PROGRAM p\n  CALL nope(1)\nEND")
+
+    def test_call_with_registered_external(self):
+        check("PROGRAM p\n  CALL force(f, i, j)\nEND", externals={"force"})
+
+    def test_call_arity_mismatch(self):
+        src = "PROGRAM p\n  CALL f(1)\nEND\nSUBROUTINE f(a, b)\n  a = b\nEND"
+        with pytest.raises(SemanticError):
+            check(src)
+
+    def test_call_matching_arity(self):
+        check("PROGRAM p\n  CALL f(x, 1)\nEND\nSUBROUTINE f(a, b)\n  a = b\nEND")
+
+    def test_exit_outside_loop(self):
+        with pytest.raises(SemanticError):
+            check("PROGRAM p\n  EXIT\nEND")
+
+    def test_cycle_inside_loop_ok(self):
+        check("PROGRAM p\n  DO i = 1, 3\n    CYCLE\n  ENDDO\nEND")
+
+    def test_do_variable_must_be_scalar(self):
+        with pytest.raises(SemanticError):
+            check("PROGRAM p\n  INTEGER i(4)\n  DO i = 1, 3\n  ENDDO\nEND")
+
+    def test_where_and_forall_checked(self):
+        check(
+            "PROGRAM p\n  INTEGER x(4), m(4)\n"
+            "  WHERE (m(1) == 0) x(1) = 1\n"
+            "  FORALL (i = 1 : 4) x(i) = i\nEND"
+        )

@@ -1,0 +1,140 @@
+"""Workload distribution and Table 2 accounting tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.md.distribution import (
+    flat_bytes_per_slot,
+    flat_kernel_bindings,
+    flattened_steps,
+    pruned_unflattened_steps,
+    unflat_bytes_per_slot,
+    unflat_kernel_bindings,
+    unflattened_sweeps,
+    workload_counts,
+)
+from repro.md.molecule import uniform_box
+from repro.md.pairlist import build_pairlist
+from repro.simd.layout import DataDistribution
+
+
+@pytest.fixture(scope="module")
+def workload():
+    mol = uniform_box(90, seed=12)
+    plist = build_pairlist(mol, 5.0)
+    return mol, plist
+
+
+class TestStepCounts:
+    def test_unflattened_is_max_pcnt(self, workload):
+        _, plist = workload
+        assert unflattened_sweeps(plist.pcnt) == plist.max_pcnt
+
+    def test_flattened_is_max_slot_sum(self, workload):
+        _, plist = workload
+        dist = DataDistribution(n=plist.n_atoms, gran=8, scheme="cyclic")
+        expected = max(
+            plist.pcnt[slot::8].sum() for slot in range(8)
+        )
+        assert flattened_steps(plist.pcnt, dist) == expected
+
+    def test_gran_equals_n_makes_counts_equal(self, workload):
+        """Table 2's last row: one atom per slot, ratio exactly 1."""
+        _, plist = workload
+        dist = DataDistribution(n=plist.n_atoms, gran=plist.n_atoms)
+        counts = workload_counts(plist, dist)
+        assert counts.lrs == 1
+        assert counts.unflattened == counts.flattened == plist.max_pcnt
+        assert counts.ratio == 1.0
+
+    def test_ratio_bounded_by_max_over_avg(self, workload):
+        """The paper: L_u/L_f ratios are bounded by pCnt_max/pCnt_avg."""
+        _, plist = workload
+        bound = plist.max_pcnt / plist.avg_pcnt
+        for gran in (4, 8, 16, 32):
+            counts = workload_counts(
+                plist, DataDistribution(n=plist.n_atoms, gran=gran)
+            )
+            assert counts.ratio <= bound + 1e-9
+
+    def test_ratio_decreases_with_gran(self, workload):
+        _, plist = workload
+        ratios = [
+            workload_counts(
+                plist, DataDistribution(n=plist.n_atoms, gran=gran)
+            ).ratio
+            for gran in (4, 16, 90)
+        ]
+        assert ratios[0] >= ratios[1] >= ratios[2]
+
+    def test_pruned_bound_between(self, workload):
+        _, plist = workload
+        dist = DataDistribution(n=plist.n_atoms, gran=8)
+        pruned = pruned_unflattened_steps(plist.pcnt, dist)
+        counts = workload_counts(plist, dist)
+        assert counts.flattened <= pruned <= counts.unflattened
+
+
+@given(
+    pcnt=st.lists(st.integers(1, 30), min_size=1, max_size=60),
+    gran=st.integers(1, 16),
+)
+def test_flattened_never_exceeds_unflattened(pcnt, gran):
+    pcnt = np.array(pcnt)
+    dist = DataDistribution(n=len(pcnt), gran=gran)
+    flat = flattened_steps(pcnt, dist)
+    unflat = unflattened_sweeps(pcnt) * dist.lrs
+    assert flat <= unflat
+    # and the flattened count is at least the average work per slot
+    assert flat >= int(np.ceil(pcnt.sum() / gran))
+
+
+class TestBindings:
+    def test_flat_bindings_shapes(self, workload):
+        _, plist = workload
+        dist = DataDistribution(n=plist.n_atoms, gran=8)
+        b = flat_kernel_bindings(plist, dist)
+        assert b["n"] == plist.n_atoms
+        assert b["p"] == 8
+        assert b["pcnt"].shape == (plist.n_atoms,)
+
+    def test_unflat_bindings_layout(self, workload):
+        _, plist = workload
+        dist = DataDistribution(n=plist.n_atoms, gran=8, nmax=128)
+        b = unflat_kernel_bindings(plist, dist)
+        assert b["at1"].shape == (8, dist.max_lrs)
+        assert b["pcnt"].shape == (8, dist.max_lrs)
+        # cyclic cut-and-stack: slot 1 layer 2 holds atom 9
+        assert b["at1"][0, 1] == 9
+        # holes carry pcnt 0
+        holes = b["at1"] == 0
+        assert np.all(b["pcnt"][holes] == 0)
+
+    def test_unflat_partner_rows_match_global(self, workload):
+        _, plist = workload
+        dist = DataDistribution(n=plist.n_atoms, gran=8, nmax=128)
+        b = unflat_kernel_bindings(plist, dist)
+        atom = int(b["at1"][3, 2])
+        if atom:
+            assert np.array_equal(
+                b["partners"][3, 2], plist.partners[atom - 1]
+            )
+
+
+class TestMemoryFootprints:
+    def test_unflat_exceeds_flat(self, workload):
+        _, plist = workload
+        dist = DataDistribution(n=plist.n_atoms, gran=8, nmax=128)
+        assert unflat_bytes_per_slot(plist, dist, 1.0) > flat_bytes_per_slot(
+            plist, dist, 0.1
+        )
+
+    def test_footprint_grows_with_layers(self, workload):
+        _, plist = workload
+        small = DataDistribution(n=plist.n_atoms, gran=32, nmax=128)
+        large = DataDistribution(n=plist.n_atoms, gran=8, nmax=128)
+        assert unflat_bytes_per_slot(plist, large, 1.0) > unflat_bytes_per_slot(
+            plist, small, 1.0
+        )

@@ -1,0 +1,110 @@
+"""MD integrator tests (the Section 5.1 surrounding simulation loop)."""
+
+import numpy as np
+import pytest
+
+from repro.md.dynamics import (
+    SimulationState,
+    VerletIntegrator,
+    kinetic_energy,
+    temperature,
+    total_forces,
+)
+from repro.md.pairlist import build_pairlist
+
+
+from repro.md.molecule import lattice_box
+
+
+@pytest.fixture(scope="module")
+def system():
+    return lattice_box(n_side=4, spacing=4.0, seed=31)
+
+
+class TestForces:
+    def test_total_force_is_zero(self, system):
+        """Newton's third law: internal forces sum to zero."""
+        plist = build_pairlist(system, 6.0)
+        forces = total_forces(system, plist)
+        scale = max(1.0, float(np.abs(forces).max()))
+        assert np.allclose(forces.sum(axis=0) / scale, 0.0, atol=1e-12)
+
+    def test_forces_match_pairwise_sum(self, system):
+        from repro.md.forces import pair_force
+
+        plist = build_pairlist(system, 6.0)
+        forces = total_forces(system, plist)
+        naive = np.zeros_like(forces)
+        for i, j in plist.iter_pairs():
+            f = pair_force(system, np.array([i]), np.array([j]))[0]
+            naive[i - 1] += f
+            naive[j - 1] -= f
+        assert np.allclose(forces, naive)
+
+
+class TestIntegrator:
+    def test_cold_start_stays_nearly_still(self, system):
+        integ = VerletIntegrator(system, cutoff=6.0, dt=1e-6, rebuild_every=5)
+        before = integ.state.positions.copy()
+        integ.run(3)
+        drift = np.abs(integ.state.positions - before).max()
+        assert drift < 1e-6
+
+    def test_pairlist_rebuild_schedule(self, system):
+        integ = VerletIntegrator(system, cutoff=6.0, dt=1e-6, rebuild_every=4)
+        assert integ.state.pairlist_builds == 1  # initial build
+        integ.run(9)
+        # rebuilds at steps 4 and 8
+        assert integ.state.pairlist_builds == 3
+
+    def test_force_evaluations_accumulate(self, system):
+        integ = VerletIntegrator(system, cutoff=6.0, dt=1e-6, rebuild_every=100)
+        pairs = integ.pairlist.total_pairs
+        integ.run(5)
+        assert integ.state.force_evaluations == 5 * pairs
+
+    def test_maxwell_boltzmann_temperature(self, system):
+        integ = VerletIntegrator(
+            system, cutoff=6.0, temperature_init=300.0, seed=5
+        )
+        t = temperature(integ.state)
+        assert 150.0 < t < 450.0  # finite-sample scatter around 300 K
+
+    def test_zero_net_momentum(self, system):
+        integ = VerletIntegrator(
+            system, cutoff=6.0, temperature_init=300.0, seed=5
+        )
+        momentum = (integ.state.masses[:, None] * integ.state.velocities).sum(axis=0)
+        assert np.allclose(momentum, 0.0, atol=1e-9)
+
+    def test_step_counter(self, system):
+        integ = VerletIntegrator(system, cutoff=6.0, dt=1e-6)
+        integ.run(7)
+        assert integ.state.step == 7
+
+    def test_bad_rebuild_period(self, system):
+        with pytest.raises(ValueError):
+            VerletIntegrator(system, rebuild_every=0)
+
+    def test_energy_sanity_over_short_run(self, system):
+        """With a small dt the total energy drifts only mildly."""
+        integ = VerletIntegrator(
+            system, cutoff=6.0, dt=2e-4, temperature_init=50.0, seed=2,
+            rebuild_every=2,
+        )
+        e0 = kinetic_energy(integ.state)
+        integ.run(10)
+        e1 = kinetic_energy(integ.state)
+        assert np.isfinite(e1)
+        assert e1 < 50 * max(e0, 1.0)  # no explosion
+
+
+class TestState:
+    def test_kinetic_energy_zero_at_rest(self, system):
+        state = SimulationState(
+            positions=system.positions.copy(),
+            velocities=np.zeros((system.n_atoms, 3)),
+            masses=np.full(system.n_atoms, 12.0),
+        )
+        assert kinetic_energy(state) == 0.0
+        assert temperature(state) == 0.0

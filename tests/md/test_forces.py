@@ -1,0 +1,100 @@
+"""Force-routine tests."""
+
+import numpy as np
+import pytest
+
+from repro.md.forces import (
+    COULOMB_K,
+    pair_energy,
+    pair_force,
+    reference_nbforce,
+)
+from repro.md.molecule import Molecule, uniform_box
+from repro.md.pairlist import build_pairlist
+
+
+def two_atoms(distance, q1=0.0, q2=0.0, eps=0.1, sigma=3.0):
+    return Molecule(
+        name="pair",
+        positions=np.array([[0.0, 0.0, 0.0], [distance, 0.0, 0.0]]),
+        charges=np.array([q1, q2]),
+        lj_epsilon=np.array([eps, eps]),
+        lj_sigma=np.array([sigma, sigma]),
+        subunit=np.zeros(2, dtype=np.int64),
+    )
+
+
+class TestPairEnergy:
+    def test_lj_minimum_at_r_min(self):
+        """LJ well depth is -epsilon at r = 2^(1/6) sigma."""
+        sigma, eps = 3.0, 0.2
+        r_min = 2.0 ** (1.0 / 6.0) * sigma
+        mol = two_atoms(r_min, eps=eps, sigma=sigma)
+        energy = pair_energy(mol, np.array([1]), np.array([2]))[0]
+        assert energy == pytest.approx(-eps, rel=1e-9)
+
+    def test_lj_zero_at_sigma(self):
+        mol = two_atoms(3.0, eps=0.2, sigma=3.0)
+        energy = pair_energy(mol, np.array([1]), np.array([2]))[0]
+        assert energy == pytest.approx(0.0, abs=1e-9)
+
+    def test_coulomb_term(self):
+        mol = two_atoms(100.0, q1=1.0, q2=-1.0, eps=0.0)
+        energy = pair_energy(mol, np.array([1]), np.array([2]))[0]
+        assert energy == pytest.approx(-COULOMB_K / 100.0, rel=1e-6)
+
+    def test_symmetry(self):
+        mol = two_atoms(4.0, q1=0.3, q2=-0.2)
+        e12 = pair_energy(mol, np.array([1]), np.array([2]))[0]
+        e21 = pair_energy(mol, np.array([2]), np.array([1]))[0]
+        assert e12 == pytest.approx(e21)
+
+    def test_self_pair_is_zero(self):
+        mol = two_atoms(4.0, q1=1.0)
+        assert pair_energy(mol, np.array([1]), np.array([1]))[0] == 0.0
+
+    def test_vectorized_shapes(self):
+        mol = two_atoms(4.0)
+        at1 = np.array([[1, 2], [1, 1]])
+        at2 = np.array([[2, 1], [2, 2]])
+        assert pair_energy(mol, at1, at2).shape == (2, 2)
+
+
+class TestPairForce:
+    def test_newtons_third_law(self):
+        mol = two_atoms(3.5, q1=0.2, q2=0.4)
+        f12 = pair_force(mol, np.array([1]), np.array([2]))[0]
+        f21 = pair_force(mol, np.array([2]), np.array([1]))[0]
+        assert np.allclose(f12, -f21)
+
+    def test_force_is_negative_energy_gradient(self):
+        mol = two_atoms(3.8, q1=0.2, q2=-0.1)
+        h = 1e-6
+        e_plus = pair_energy(two_atoms(3.8 + h, q1=0.2, q2=-0.1), np.array([1]), np.array([2]))[0]
+        e_minus = pair_energy(two_atoms(3.8 - h, q1=0.2, q2=-0.1), np.array([1]), np.array([2]))[0]
+        numeric = -(e_plus - e_minus) / (2 * h)
+        analytic = pair_force(mol, np.array([1]), np.array([2]))[0, 0]
+        # the x-axis force on atom 1 points along -x when attraction wins
+        assert analytic == pytest.approx(-numeric, rel=1e-4)
+
+    def test_self_pair_force_is_zero(self):
+        mol = two_atoms(3.0)
+        assert np.allclose(pair_force(mol, np.array([1]), np.array([1])), 0.0)
+
+
+class TestReference:
+    def test_reference_matches_naive_loop(self):
+        mol = uniform_box(60, seed=2)
+        plist = build_pairlist(mol, 5.0)
+        ref = reference_nbforce(mol, plist)
+        naive = np.zeros(mol.n_atoms)
+        for i, j in plist.iter_pairs():
+            naive[i - 1] += pair_energy(mol, np.array([i]), np.array([j]))[0]
+        assert np.allclose(ref, naive)
+
+    def test_reference_deterministic(self):
+        mol = uniform_box(40, seed=2)
+        plist = build_pairlist(mol, 5.0)
+        assert np.array_equal(
+            reference_nbforce(mol, plist), reference_nbforce(mol, plist)
+        )

@@ -1,0 +1,44 @@
+"""GROMOS workload-assembly tests."""
+
+import pytest
+
+from repro.md.gromos import NMAX, PAPER_CUTOFFS, sod_workload
+
+
+def test_paper_constants():
+    assert PAPER_CUTOFFS == (4.0, 8.0, 12.0, 16.0)
+    assert NMAX == 8192
+
+
+def test_workload_caching_returns_same_object():
+    a = sod_workload(4.0, n_atoms=400)
+    b = sod_workload(4.0, n_atoms=400)
+    assert a is b
+
+
+def test_distinct_cutoffs_distinct_workloads():
+    a = sod_workload(4.0, n_atoms=400)
+    b = sod_workload(8.0, n_atoms=400)
+    assert a is not b
+    assert b.pairlist.total_pairs > a.pairlist.total_pairs
+    # same molecule underneath (same seed/n)
+    assert a.molecule is not None and a.molecule.n_atoms == 400
+
+
+def test_distribution_helper():
+    workload = sod_workload(4.0, n_atoms=400)
+    dist = workload.distribution(64)
+    assert dist.gran == 64
+    assert dist.n == 400
+    assert dist.max_lrs == NMAX // 64
+
+
+def test_distribution_scheme_passthrough():
+    workload = sod_workload(4.0, n_atoms=400)
+    assert workload.distribution(64, scheme="block").scheme == "block"
+
+
+def test_min_partner_guarantee():
+    """Figure 15's pCnt(i) >= 1 assumption holds for every workload."""
+    workload = sod_workload(4.0, n_atoms=400)
+    assert workload.pairlist.pcnt.min() >= 1

@@ -1,0 +1,109 @@
+"""Synthetic molecule tests."""
+
+import numpy as np
+import pytest
+
+from repro.md.molecule import (
+    PROTEIN_DENSITY,
+    SOD_ATOMS,
+    Molecule,
+    synthetic_sod,
+    uniform_box,
+)
+
+
+class TestSyntheticSOD:
+    @pytest.fixture(scope="class")
+    def sod(self):
+        return synthetic_sod(n_atoms=2000, seed=7)
+
+    def test_atom_count(self, sod):
+        assert sod.n_atoms == 2000
+
+    def test_default_matches_paper(self):
+        assert SOD_ATOMS == 6968
+
+    def test_two_equal_subunits(self, sod):
+        counts = np.bincount(sod.subunit)
+        assert len(counts) == 2
+        assert abs(int(counts[0]) - int(counts[1])) <= 1
+
+    def test_deterministic(self):
+        a = synthetic_sod(n_atoms=500, seed=3)
+        b = synthetic_sod(n_atoms=500, seed=3)
+        assert np.array_equal(a.positions, b.positions)
+        assert np.array_equal(a.charges, b.charges)
+
+    def test_seed_changes_positions(self):
+        a = synthetic_sod(n_atoms=500, seed=3)
+        b = synthetic_sod(n_atoms=500, seed=4)
+        assert not np.array_equal(a.positions, b.positions)
+
+    def test_neutral_charge(self, sod):
+        assert abs(sod.charges.sum()) < 1e-9
+
+    def test_density_near_target(self):
+        sod = synthetic_sod(n_atoms=4000, seed=1)
+        half = sod.subunit == 0
+        center = sod.positions[half].mean(axis=0)
+        radii = np.linalg.norm(sod.positions[half] - center, axis=1)
+        volume = 4.0 / 3.0 * np.pi * np.quantile(radii, 0.99) ** 3
+        density = half.sum() / volume
+        assert density == pytest.approx(PROTEIN_DENSITY, rel=0.25)
+
+    def test_chain_index_starts_at_core(self, sod):
+        """Atom 1 of each subunit sits near the subunit center."""
+        for unit in (0, 1):
+            members = np.flatnonzero(sod.subunit == unit)
+            center = sod.positions[members].mean(axis=0)
+            radii = np.linalg.norm(sod.positions[members] - center, axis=1)
+            assert radii[0] < np.median(radii)
+
+    def test_index_locality(self, sod):
+        """Consecutive atoms are spatially closer than random pairs."""
+        members = np.flatnonzero(sod.subunit == 0)
+        pos = sod.positions[members]
+        consecutive = np.linalg.norm(np.diff(pos, axis=0), axis=1).mean()
+        rng = np.random.default_rng(0)
+        idx = rng.permutation(len(pos))
+        random_pairs = np.linalg.norm(pos[idx[:-1]] - pos[idx[1:]], axis=1).mean()
+        assert consecutive < random_pairs
+
+    def test_too_few_atoms_rejected(self):
+        with pytest.raises(ValueError):
+            synthetic_sod(n_atoms=1)
+
+
+class TestUniformBox:
+    def test_shape_and_determinism(self):
+        a = uniform_box(100, seed=5)
+        b = uniform_box(100, seed=5)
+        assert a.positions.shape == (100, 3)
+        assert np.array_equal(a.positions, b.positions)
+
+    def test_single_subunit(self):
+        assert uniform_box(50).subunit.max() == 0
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Molecule(
+                name="bad",
+                positions=np.zeros((4, 3)),
+                charges=np.zeros(5),
+                lj_epsilon=np.zeros(4),
+                lj_sigma=np.zeros(4),
+                subunit=np.zeros(4, dtype=np.int64),
+            )
+
+    def test_positions_must_be_3d(self):
+        with pytest.raises(ValueError):
+            Molecule(
+                name="bad",
+                positions=np.zeros((4, 2)),
+                charges=np.zeros(4),
+                lj_epsilon=np.zeros(4),
+                lj_sigma=np.zeros(4),
+                subunit=np.zeros(4, dtype=np.int64),
+            )

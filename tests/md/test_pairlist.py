@@ -1,0 +1,99 @@
+"""Pairlist construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.md.molecule import uniform_box
+from repro.md.pairlist import (
+    PairList,
+    brute_force_pairlist,
+    build_pairlist,
+    pair_statistics,
+)
+
+
+@pytest.fixture(scope="module")
+def box():
+    return uniform_box(120, seed=9)
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("cutoff", [3.0, 5.0, 8.0])
+    def test_kdtree_matches_brute_force(self, box, cutoff):
+        fast = build_pairlist(box, cutoff, min_partners=0)
+        slow = brute_force_pairlist(box, cutoff)
+        assert np.array_equal(fast.pcnt, slow.pcnt)
+        for atom in range(1, box.n_atoms + 1):
+            assert sorted(fast.partners_of(atom)) == sorted(slow.partners_of(atom))
+
+    def test_full_counting(self, box):
+        half = build_pairlist(box, 5.0, half=True, min_partners=0)
+        full = build_pairlist(box, 5.0, half=False, min_partners=0)
+        assert full.total_pairs == 2 * half.total_pairs
+
+
+class TestProperties:
+    def test_half_counting_stores_pair_once(self, box):
+        plist = build_pairlist(box, 5.0, min_partners=0)
+        seen = set()
+        for i, j in plist.iter_pairs():
+            assert (i, j) not in seen
+            seen.add((i, j))
+            assert (j, i) not in seen
+
+    def test_partners_within_cutoff(self, box):
+        plist = build_pairlist(box, 5.0, min_partners=0)
+        for i, j in plist.iter_pairs():
+            dist = np.linalg.norm(box.positions[i - 1] - box.positions[j - 1])
+            assert dist <= 5.0 + 1e-9
+
+    def test_no_self_pairs(self, box):
+        plist = build_pairlist(box, 5.0)
+        for i, j in plist.iter_pairs():
+            assert i != j
+
+    def test_monotone_in_cutoff(self, box):
+        small = build_pairlist(box, 3.0, min_partners=0)
+        big = build_pairlist(box, 6.0, min_partners=0)
+        assert big.total_pairs >= small.total_pairs
+        assert np.all(big.pcnt >= small.pcnt)
+
+    def test_min_partners_backfill(self, box):
+        plist = build_pairlist(box, 2.0, min_partners=1)
+        assert plist.pcnt.min() >= 1
+
+    def test_backfill_adds_no_duplicates(self, box):
+        plist = build_pairlist(box, 2.0, min_partners=2)
+        for atom in range(1, box.n_atoms + 1):
+            partners = plist.partners_of(atom).tolist()
+            assert len(partners) == len(set(partners))
+            assert atom not in partners
+
+    def test_zero_padding(self, box):
+        plist = build_pairlist(box, 4.0, min_partners=0)
+        for atom in range(1, box.n_atoms + 1):
+            count = plist.pcnt[atom - 1]
+            assert np.all(plist.partners[atom - 1, count:] == 0)
+
+    def test_stats_properties(self, box):
+        plist = build_pairlist(box, 5.0, min_partners=0)
+        assert plist.max_pcnt == plist.pcnt.max()
+        assert plist.avg_pcnt == pytest.approx(plist.pcnt.mean())
+        assert plist.total_pairs == plist.pcnt.sum()
+
+    def test_bad_cutoff_rejected(self, box):
+        with pytest.raises(ValueError):
+            build_pairlist(box, -1.0)
+
+
+class TestStatistics:
+    def test_cubic_growth(self, box):
+        rows = pair_statistics(box, [3.0, 6.0])
+        # doubling the cutoff should multiply avg by roughly 8 (volume)
+        ratio = rows[1]["avg"] / max(rows[0]["avg"], 1e-9)
+        assert 4.0 < ratio < 14.0
+
+    def test_row_fields(self, box):
+        [row] = pair_statistics(box, [5.0])
+        assert set(row) == {"cutoff", "max", "avg", "ratio"}
+        assert row["ratio"] == pytest.approx(row["max"] / row["avg"])

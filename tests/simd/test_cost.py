@@ -1,0 +1,150 @@
+"""Machine cost-model tests."""
+
+import pytest
+
+from repro.exec.counters import ExecutionCounters
+from repro.simd.cost import CostBreakdown, MachineModel, MemoryOverflowError
+from repro.simd.machines import cm2, decmpp, sparc2
+
+
+def make_machine(**overrides):
+    base = dict(
+        name="toy",
+        physical_pes=8,
+        gran=8,
+        event_cost={"int_op": 1.0, "store": 2.0, "gather": 5.0},
+        issue_cost=0.0,
+        acu_cost=0.5,
+        call_cost={"force": 10.0},
+        default_call_cost=7.0,
+        layer_cycling="selected",
+        layer_check_cost=0.25,
+        alloc_layer_cost=0.0,
+        memory_per_slot=1000,
+    )
+    base.update(overrides)
+    return MachineModel(**base)
+
+
+class TestPricing:
+    def test_plain_events(self):
+        machine = make_machine()
+        c = ExecutionCounters(8)
+        c.record("int_op", width=8)
+        c.record("store", width=8)
+        assert machine.seconds(c) == pytest.approx(1.0 + 2.0)
+
+    def test_layers_scale_cost(self):
+        machine = make_machine()
+        c = ExecutionCounters(8)
+        c.record("store", width=8, layers=4)
+        assert machine.seconds(c) == pytest.approx(8.0)
+
+    def test_call_cost_by_name(self):
+        machine = make_machine()
+        c = ExecutionCounters(8)
+        c.record_call("force", layers=2)
+        c.record_call("other")
+        bd = machine.price(c)
+        assert bd.seconds["call:force"] == pytest.approx(20.0)
+        assert bd.seconds["call:other"] == pytest.approx(7.0)
+
+    def test_acu_and_issue(self):
+        machine = make_machine(issue_cost=0.1)
+        c = ExecutionCounters(8)
+        c.record("acu")
+        c.record("int_op", width=8)
+        bd = machine.price(c)
+        assert bd.seconds["acu"] == pytest.approx(0.5)
+        assert bd.seconds["issue"] == pytest.approx(0.2)
+
+    def test_all_cycling_scales_sections_to_alloc(self):
+        """CM-2 behavior: explicit 1:Lrs sections still sweep maxLrs."""
+        machine = make_machine(layer_cycling="all")
+        c = ExecutionCounters(8)
+        c.record("store", width=8, layers=5)  # touched = 5
+        priced = machine.price(
+            c, touched_layers=5, alloc_layers=10, explicit_sections=True
+        )
+        # 5 layers repriced at 10: store cost 2.0 * 10
+        assert priced.seconds["store"] == pytest.approx(20.0)
+        # layer check: 1 section instr x 10 alloc layers x 0.25
+        assert priced.seconds["layer_check"] == pytest.approx(2.5)
+
+    def test_selected_cycling_prices_touched_layers(self):
+        machine = make_machine(layer_cycling="selected")
+        c = ExecutionCounters(8)
+        c.record("store", width=8, layers=5)
+        priced = machine.price(
+            c, touched_layers=5, alloc_layers=10, explicit_sections=True
+        )
+        assert priced.seconds["store"] == pytest.approx(10.0)
+        assert priced.seconds["layer_check"] == pytest.approx(5 * 0.25)
+
+    def test_alloc_overhead_applies_to_explicit_sections_only(self):
+        machine = make_machine(alloc_layer_cost=0.1)
+        c = ExecutionCounters(8)
+        c.record("store", width=8, layers=5)
+        implicit = machine.price(c, alloc_layers=10)
+        assert "alloc_overhead" not in implicit.seconds
+        explicit = machine.price(
+            c, touched_layers=5, alloc_layers=10, explicit_sections=True
+        )
+        assert explicit.seconds["alloc_overhead"] == pytest.approx(1.0)
+
+    def test_non_section_ops_not_scaled(self):
+        machine = make_machine(layer_cycling="all")
+        c = ExecutionCounters(8)
+        c.record("int_op", width=8, layers=1)
+        priced = machine.price(
+            c, touched_layers=5, alloc_layers=10, explicit_sections=True
+        )
+        assert priced.seconds["int_op"] == pytest.approx(1.0)
+
+
+class TestMemory:
+    def test_within_budget(self):
+        make_machine().check_memory(999)
+
+    def test_overflow_raises(self):
+        with pytest.raises(MemoryOverflowError):
+            make_machine().check_memory(1001, "kernel")
+
+
+class TestValidation:
+    def test_bad_cycling_mode(self):
+        with pytest.raises(ValueError):
+            make_machine(layer_cycling="sometimes")
+
+    def test_breakdown_total(self):
+        bd = CostBreakdown()
+        bd.add("a", 1.0)
+        bd.add("a", 2.0)
+        bd.add("b", 0.0)  # zero values are dropped
+        assert bd.total == pytest.approx(3.0)
+        assert "b" not in bd.seconds
+
+
+class TestPaperMachines:
+    def test_cm2_granularity(self):
+        machine = cm2(8192)
+        assert machine.gran == 1024
+        assert machine.layer_cycling == "all"
+
+    def test_cm2_rejects_non_multiple_of_8(self):
+        with pytest.raises(ValueError):
+            cm2(1001)
+
+    def test_decmpp_granularity(self):
+        machine = decmpp(4096)
+        assert machine.gran == 4096
+        assert machine.layer_cycling == "selected"
+
+    def test_sparc_is_scalar(self):
+        machine = sparc2()
+        assert machine.scalar
+        assert machine.gran == 1
+
+    def test_force_call_cost_registered(self):
+        for machine in (cm2(), decmpp(), sparc2()):
+            assert "force" in machine.call_cost

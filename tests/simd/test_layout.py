@@ -1,0 +1,125 @@
+"""Data layout / granularity tests (plus hypothesis invariants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.simd.layout import DataDistribution, layers_needed
+
+
+class TestLayers:
+    def test_layers_needed_matches_paper_formula(self):
+        # the paper: Lrs = 1 + (N-1)/Gran; N=6968, Gran=128 -> 55
+        assert layers_needed(6968, 128) == 55
+        assert layers_needed(8192, 128) == 64
+        assert layers_needed(6968, 8192) == 1
+
+    def test_exact_multiple(self):
+        assert layers_needed(8192, 1024) == 8
+
+    def test_zero_elements(self):
+        assert layers_needed(0, 16) == 0
+
+    def test_bad_gran_raises(self):
+        with pytest.raises(ValueError):
+            layers_needed(10, 0)
+
+
+class TestDistribution:
+    def test_paper_example_dimensions(self):
+        dist = DataDistribution(n=6968, gran=128, nmax=8192)
+        assert dist.lrs == 55
+        assert dist.max_lrs == 64
+
+    def test_cyclic_cut_and_stack(self):
+        dist = DataDistribution(n=10, gran=4, scheme="cyclic")
+        assert dist.slot_layer_of(1) == (1, 1)
+        assert dist.slot_layer_of(4) == (4, 1)
+        assert dist.slot_layer_of(5) == (1, 2)
+        assert dist.slot_layer_of(10) == (2, 3)
+
+    def test_block_layout(self):
+        dist = DataDistribution(n=10, gran=4, scheme="block")
+        assert dist.lrs == 3
+        assert dist.slot_layer_of(1) == (1, 1)
+        assert dist.slot_layer_of(3) == (1, 3)
+        assert dist.slot_layer_of(4) == (2, 1)
+
+    def test_elements_of_slot_cyclic(self):
+        dist = DataDistribution(n=10, gran=4, scheme="cyclic")
+        assert dist.elements_of_slot(1).tolist() == [1, 5, 9]
+        assert dist.elements_of_slot(3).tolist() == [3, 7]
+
+    def test_elements_of_slot_block(self):
+        dist = DataDistribution(n=10, gran=4, scheme="block")
+        assert dist.elements_of_slot(1).tolist() == [1, 2, 3]
+        assert dist.elements_of_slot(4).tolist() == [10]
+
+    def test_slot_matrix_holes(self):
+        dist = DataDistribution(n=5, gran=3, scheme="cyclic")
+        matrix = dist.slot_matrix()
+        assert matrix.shape == (3, 2)
+        assert matrix[2, 1] == 0  # hole
+
+    def test_arrange(self):
+        dist = DataDistribution(n=5, gran=3, scheme="cyclic")
+        values = np.array([10, 20, 30, 40, 50])
+        out = dist.arrange(values, fill=-1)
+        assert out[0].tolist() == [10, 40]
+        assert out[2].tolist() == [30, -1]
+
+    def test_arrange_wrong_size_raises(self):
+        dist = DataDistribution(n=5, gran=3)
+        with pytest.raises(ValueError):
+            dist.arrange(np.zeros(4))
+
+    def test_per_slot_sums(self):
+        dist = DataDistribution(n=5, gran=2, scheme="cyclic")
+        sums = dist.per_slot_sums(np.array([1, 2, 3, 4, 5]))
+        assert sums.tolist() == [1 + 3 + 5, 2 + 4]
+
+    def test_per_layer_maxima(self):
+        dist = DataDistribution(n=5, gran=2, scheme="cyclic")
+        maxima = dist.per_layer_maxima(np.array([1, 9, 3, 4, 5]))
+        assert maxima.tolist() == [9, 4, 5]
+
+    def test_invalid_scheme(self):
+        with pytest.raises(ValueError):
+            DataDistribution(n=4, gran=2, scheme="spiral")
+
+    def test_nmax_too_small(self):
+        with pytest.raises(ValueError):
+            DataDistribution(n=10, gran=2, nmax=5)
+
+    def test_bounds_checks(self):
+        dist = DataDistribution(n=4, gran=2)
+        with pytest.raises(IndexError):
+            dist.slot_layer_of(5)
+        with pytest.raises(IndexError):
+            dist.elements_of_slot(3)
+
+
+@given(
+    n=st.integers(1, 200),
+    gran=st.integers(1, 64),
+    scheme=st.sampled_from(["cyclic", "block"]),
+)
+def test_distribution_is_a_partition(n, gran, scheme):
+    """Every element lands in exactly one (slot, layer)."""
+    dist = DataDistribution(n=n, gran=gran, scheme=scheme)
+    seen = []
+    for slot in range(1, gran + 1):
+        seen.extend(dist.elements_of_slot(slot).tolist())
+    assert sorted(seen) == list(range(1, n + 1))
+    # slot_layer_of agrees with elements_of_slot
+    for element in range(1, n + 1):
+        slot, layer = dist.slot_layer_of(element)
+        assert element in dist.elements_of_slot(slot)
+        assert 1 <= layer <= dist.lrs
+
+
+@given(n=st.integers(1, 200), gran=st.integers(1, 64))
+def test_layer_count_bounds(n, gran):
+    dist = DataDistribution(n=n, gran=gran)
+    assert (dist.lrs - 1) * gran < n <= dist.lrs * gran

@@ -1,0 +1,143 @@
+"""Command-line driver tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import _parse_binding, main
+
+EXAMPLE = """PROGRAM example
+  INTEGER i, j, k, l(8), x(8, 4)
+  k = 8
+  DO i = 1, k
+    DO j = 1, l(i)
+      x(i, j) = i * j
+    ENDDO
+  ENDDO
+END
+"""
+
+
+@pytest.fixture()
+def source(tmp_path):
+    path = tmp_path / "example.f"
+    path.write_text(EXAMPLE)
+    return str(path)
+
+
+class TestBindings:
+    def test_scalar_int(self):
+        assert _parse_binding("k=8") == ("k", 8)
+
+    def test_scalar_float(self):
+        name, value = _parse_binding("cut=8.5")
+        assert name == "cut" and value == 8.5
+
+    def test_array(self):
+        name, value = _parse_binding("L=1,2,3")
+        assert name == "l"
+        assert isinstance(value, np.ndarray)
+        assert value.tolist() == [1, 2, 3]
+
+    def test_bad_binding(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError):
+            _parse_binding("oops")
+
+
+class TestCommands:
+    def test_check_ok(self, source, capsys):
+        assert main(["check", source]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_check_reports_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.f"
+        bad.write_text("PROGRAM p\n  GOTO 99\nEND\n")
+        assert main(["check", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/no/such/file.f"]) == 1
+
+    def test_report(self, source, capsys):
+        assert main(["report", source, "--assume-min-trips"]) == 0
+        out = capsys.readouterr().out
+        assert "profitable" in out
+        assert "flatten? True" in out
+
+    def test_report_no_nests(self, tmp_path, capsys):
+        flat = tmp_path / "flat.f"
+        flat.write_text("PROGRAM p\n  x = 1\nEND\n")
+        assert main(["report", str(flat)]) == 1
+
+    def test_flatten_plain(self, source, capsys):
+        assert main(["flatten", source, "--variant", "done",
+                     "--assume-min-trips"]) == 0
+        out = capsys.readouterr().out
+        assert "WHILE (any(" in out
+        assert "ELSEWHERE" in out
+
+    def test_flatten_f77_form(self, source, capsys):
+        assert main(["flatten", source, "--variant", "done",
+                     "--assume-min-trips", "--no-simd"]) == 0
+        out = capsys.readouterr().out
+        assert "WHERE" not in out
+        assert "IF (" in out
+
+    def test_flatten_spmd(self, source, capsys):
+        assert main(["flatten", source, "--variant", "done",
+                     "--assume-min-trips", "-p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "[1 : 4]" in out
+
+    def test_simdize(self, source, capsys):
+        assert main(["simdize", source, "-p", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "max(l(" in out
+
+    def test_run_sequential(self, source, capsys):
+        code = main(["run", source, "--bind", "l=4,1,2,1,1,3,1,3", "--show", "x"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ran sequentially" in out
+        assert "x =" in out
+
+    def test_flatten_then_run_simd(self, source, tmp_path, capsys):
+        assert main(["flatten", source, "--variant", "done",
+                     "--assume-min-trips", "-p", "2"]) == 0
+        flat = tmp_path / "flat.f"
+        flat.write_text(capsys.readouterr().out)
+        code = main(["run", str(flat), "-p", "2",
+                     "--bind", "l=4,1,2,1,1,3,1,3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ran on 2 lockstep PEs" in out
+
+    def test_paper_traces(self, capsys):
+        assert main(["paper", "traces"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "Figure 6" in out
+
+    def test_flatten_with_simplify_block(self, source, capsys):
+        assert main(["flatten", source, "--variant", "done",
+                     "--assume-min-trips", "-p", "2", "--layout", "block",
+                     "--simplify"]) == 0
+        out = capsys.readouterr().out
+        assert "(k + 1) / 2" in out   # chunk expression folded
+
+    def test_flatten_with_simplify_cyclic(self, source, capsys):
+        assert main(["flatten", source, "--variant", "done",
+                     "--assume-min-trips", "-p", "2", "--layout", "cyclic",
+                     "--simplify"]) == 0
+        out = capsys.readouterr().out
+        assert "i = [1 : 2]" in out   # 1 + [1:2] - 1 folded away
+
+    def test_run_with_vm_engine(self, source, tmp_path, capsys):
+        assert main(["flatten", source, "--variant", "done",
+                     "--assume-min-trips", "-p", "2"]) == 0
+        flat = tmp_path / "flat.f"
+        flat.write_text(capsys.readouterr().out)
+        code = main(["run", str(flat), "-p", "2", "--engine", "vm",
+                     "--bind", "l=4,1,2,1,1,3,1,3"])
+        assert code == 0
+        assert "bytecode VM" in capsys.readouterr().out

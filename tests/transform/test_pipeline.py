@@ -1,0 +1,112 @@
+"""Program-level transformation driver tests."""
+
+import numpy as np
+import pytest
+
+from repro.exec import run_program, run_simd_program
+from repro.lang import parse_source
+from repro.lang.errors import TransformError
+from repro.transform import (
+    find_nest_sites,
+    flatten_program,
+    naive_simd_program,
+    structurize_program,
+)
+
+L = np.array([4, 1, 2, 1, 1, 3, 1, 3])
+
+P1 = """
+PROGRAM example
+  INTEGER i, j, k, l(8), x(8, 4)
+  k = 8
+  DO i = 1, k
+    DO j = 1, l(i)
+      x(i, j) = i * j
+    ENDDO
+  ENDDO
+END
+"""
+
+
+def test_find_nest_sites():
+    sites = find_nest_sites(parse_source(P1))
+    assert len(sites) == 1
+    assert sites[0].routine == "example"
+
+
+def test_find_nest_sites_skips_flat_loops():
+    src = parse_source("PROGRAM p\n  DO i = 1, 3\n    x = i\n  ENDDO\nEND")
+    assert find_nest_sites(src) == []
+
+
+def test_flatten_program_preserves_input():
+    tree = parse_source(P1)
+    before = parse_source(P1)
+    flatten_program(tree, variant="done", assume_min_trips=True)
+    assert tree == before
+
+
+def test_flatten_program_sequential_equivalence():
+    tree = parse_source(P1)
+    env0, _ = run_program(tree, bindings={"l": L})
+    for variant in ("general", "optimized", "done"):
+        flat = flatten_program(tree, variant=variant, assume_min_trips=True)
+        env, _ = run_program(flat, bindings={"l": L})
+        assert (env["x"].data == env0["x"].data).all()
+
+
+def test_flatten_program_simd_form_runs_on_one_pe():
+    tree = parse_source(P1)
+    env0, _ = run_program(tree, bindings={"l": L})
+    flat = flatten_program(tree, variant="done", assume_min_trips=True, simd=True)
+    env, _ = run_simd_program(flat, 1, bindings={"l": L})
+    assert (env["x"].data == env0["x"].data).all()
+
+
+def test_flatten_program_on_goto_source():
+    from repro.kernels.example import P1_GOTO
+
+    tree = parse_source(P1_GOTO)
+    env0, _ = run_program(parse_source(P1), bindings={"l": L})
+    flat = flatten_program(tree, variant="general")
+    env, _ = run_program(flat, bindings={"l": L})
+    assert (env["x"].data == env0["x"].data).all()
+
+
+def test_flatten_program_no_nest_raises():
+    src = parse_source("PROGRAM p\n  x = 1\nEND")
+    with pytest.raises(TransformError):
+        flatten_program(src)
+
+
+def test_flatten_program_bad_index_raises():
+    with pytest.raises(TransformError):
+        flatten_program(parse_source(P1), nest_index=3)
+
+
+def test_flatten_program_routine_filter():
+    src = parse_source(
+        P1 + "\nSUBROUTINE other()\n  INTEGER y(4, 4), m(4)\n"
+        "  DO a = 1, 4\n    DO b = 1, m(a)\n      y(a, b) = a\n    ENDDO\n  ENDDO\nEND"
+    )
+    flat = flatten_program(src, routine="other", variant="general")
+    # the main program's nest is untouched
+    assert flat.main == src.main
+
+
+def test_naive_simd_program_driver():
+    tree = parse_source(P1)
+    env0, _ = run_program(tree, bindings={"l": L})
+    naive = naive_simd_program(tree, nproc=4, layout="cyclic")
+    env, _ = run_simd_program(naive, 4, bindings={"l": L})
+    assert (env["x"].data == env0["x"].data).all()
+
+
+def test_structurize_program_clears_gotos():
+    from repro.kernels.example import P1_GOTO
+    from repro.lang import ast
+
+    out = structurize_program(parse_source(P1_GOTO))
+    assert not any(
+        isinstance(node, ast.Goto) for node in ast.walk_body(out.main.body)
+    )
