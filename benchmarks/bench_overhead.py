@@ -11,8 +11,8 @@ from conftest import once
 from repro.eval import flattening_overhead
 
 
-def test_bench_flattening_overhead(benchmark, write_result):
-    data = once(benchmark, flattening_overhead)
+def test_bench_flattening_overhead(benchmark, write_result, engine):
+    data = once(benchmark, flattening_overhead, engine=engine)
 
     naive, flat = data["naive"], data["flattened"]
     # the flattened loop's control overhead stays in the

@@ -11,8 +11,9 @@ from conftest import once
 from repro.eval import utilization_sweep
 
 
-def test_bench_utilization(benchmark, write_result):
-    rows = once(benchmark, utilization_sweep, (4.0, 8.0, 16.0), 1024)
+def test_bench_utilization(benchmark, write_result, engine):
+    rows = once(benchmark, utilization_sweep, (4.0, 8.0, 16.0), 1024,
+                engine=engine)
 
     lines = [
         "force-evaluation efficiency (useful pairs / evaluated elements),",

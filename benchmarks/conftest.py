@@ -32,11 +32,21 @@ def write_result(results_dir):
 
 
 @pytest.fixture(scope="session")
-def table1_rows():
+def engine():
+    """One Engine for the whole benchmark session: every driver that
+    takes ``engine=`` shares its compile cache, so each kernel text is
+    parsed and compiled once no matter how many exhibits run."""
+    from repro.runtime import Engine
+
+    return Engine()
+
+
+@pytest.fixture(scope="session")
+def table1_rows(engine):
     """Table 1's full measurement set, computed once per session."""
     from repro.eval import table1
 
-    return table1()
+    return table1(engine=engine)
 
 
 def once(benchmark, fn, *args, **kwargs):

@@ -19,12 +19,15 @@ Run:  python examples/compiler_pipeline.py
 
 import numpy as np
 
-from repro import evaluate_flattening, format_source, parse_source, run_program
+from repro import Engine, evaluate_flattening, format_source, parse_source
 from repro.kernels import region_growing, spmv
 from repro.kernels.example import P1_GOTO, example_bindings, expected_x
 from repro.lang import ast
 from repro.lang.errors import TransformError
-from repro.transform import coalesce_nest, flatten_program, structurize_program
+from repro.transform import coalesce_nest, structurize_program
+
+#: The compile-and-run pipeline; each kernel compiles exactly once.
+ENGINE = Engine()
 
 
 def report_for(tree, **assumptions):
@@ -51,8 +54,10 @@ def main():
     report = report_for(tree, assume_min_trips=True)
     show("dusty deck", report)
 
-    flat = flatten_program(tree, variant=report.variant, assume_min_trips=True)
-    env, counters = run_program(flat, bindings=example_bindings())
+    program = ENGINE.compile(
+        tree, transform="flatten", variant=report.variant, assume_min_trips=True
+    )
+    env, counters = program.run(example_bindings())
     assert (env["x"].data == expected_x()).all()
     print("flattened dusty deck verified against the original.\n")
 
@@ -61,16 +66,13 @@ def main():
     rowptr, rowlen, col, a, x = matrix
     report = report_for(spmv.parse_kernel(), assume_min_trips=True)
     show("CSR SpMV (indirect reads)", report)
-    flat = flatten_program(
-        spmv.parse_kernel(), variant="done", assume_min_trips=True
-    )
-    env, _ = run_program(
-        flat,
-        bindings={
-            "nrows": len(rowlen), "nnz": len(a), "rowptr": rowptr,
-            "rowlen": rowlen, "col": col, "a": a, "x": x,
-        },
-    )
+    env, _ = ENGINE.compile(
+        spmv.parse_kernel(), transform="flatten", variant="done",
+        assume_min_trips=True,
+    ).run({
+        "nrows": len(rowlen), "nnz": len(a), "rowptr": rowptr,
+        "rowlen": rowlen, "col": col, "a": a, "x": x,
+    })
     assert np.allclose(env["y"].data, spmv.reference_spmv(*matrix))
     print(
         f"flattened SpMV verified; row lengths {rowlen.min()}..{rowlen.max()} "
@@ -83,16 +85,13 @@ def main():
     )
     report = report_for(region_growing.parse_kernel(), assume_min_trips=True)
     show("image region growing", report)
-    flat = flatten_program(
-        region_growing.parse_kernel(), variant="done", assume_min_trips=True
-    )
-    env, _ = run_program(
-        flat,
-        bindings={
-            "nregions": rings.size, "maxrings": ring_sizes.shape[1],
-            "rings": rings, "ring": ring_sizes,
-        },
-    )
+    env, _ = ENGINE.compile(
+        region_growing.parse_kernel(), transform="flatten", variant="done",
+        assume_min_trips=True,
+    ).run({
+        "nregions": rings.size, "maxrings": ring_sizes.shape[1],
+        "rings": rings, "ring": ring_sizes,
+    })
     assert np.array_equal(env["area"].data, ring_sizes.sum(axis=1))
     print(
         f"flattened region growing verified; ring counts "

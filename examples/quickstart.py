@@ -16,16 +16,9 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import (
-    evaluate_flattening,
-    format_source,
-    parse_source,
-    run_simd_program,
-)
-from repro.exec import SIMDInterpreter
+from repro import Engine, evaluate_flattening, format_source, parse_source
 from repro.lang import ast
 from repro.simd import SIMDTraceRecorder
-from repro.transform import naive_simd_program
 from repro.transform.parallel import flatten_spmd
 
 F77_SOURCE = """
@@ -44,6 +37,10 @@ END
 #: The paper's workload: inner trip counts per outer iteration.
 L = np.array([4, 1, 2, 1, 1, 3, 1, 3])
 NPROC = 2
+
+#: One Engine serves the whole walkthrough; repeated compiles of the
+#: same text are cache hits (see ``ENGINE.stats`` at the end).
+ENGINE = Engine()
 
 
 def is_body(stmt):
@@ -64,13 +61,14 @@ def splice_loop(tree, replacement):
 
 def run_traced(tree, label):
     recorder = SIMDTraceRecorder(("i", "j"), NPROC, body_predicate=is_body)
-    interp = SIMDInterpreter(tree, NPROC, statement_hook=recorder.hook)
-    env = interp.run(bindings={"l": L.copy()})
-    steps = interp.counters.events["scatter"]
-    print(f"--- {label}: {steps} body steps ---")
+    result = ENGINE.compile(tree).run(
+        {"l": L.copy()}, nproc=NPROC, statement_hook=recorder.hook
+    )
+    steps = result.counters.events["scatter"]
+    print(f"--- {label}: {steps} body steps ({result.backend} backend) ---")
     print(recorder.table.format())
     print()
-    return env["x"].data, steps
+    return result.env["x"].data, steps
 
 
 def main():
@@ -85,7 +83,9 @@ def main():
     print(f" => recommended: {report.recommended}, overhead: {report.cost}\n")
 
     # 2. naive SIMDization (Figure 5) — Equation 2's bound
-    naive = naive_simd_program(tree, nproc=NPROC, layout="block")
+    naive = ENGINE.compile(
+        tree, transform="simdize", width=NPROC, layout="block"
+    ).tree
     print("=== derived naive SIMD program (the paper's P4) ===")
     print(format_source(naive))
     # rename the derived induction variable for tracing clarity
@@ -106,6 +106,11 @@ def main():
     print(
         f"same result, {naive_steps} steps naive vs {flat_steps} flattened "
         f"({naive_steps / flat_steps:.2f}x) — sum-of-maxima vs max-of-sums."
+    )
+    stats = ENGINE.stats
+    print(
+        f"engine cache: {stats.compiles} compile(s), "
+        f"{stats.hits} hit(s), {stats.misses} miss(es)"
     )
 
 

@@ -23,16 +23,26 @@ The package contains everything the paper's pipeline needs:
   (synthetic SOD, pairlists, forces);
 * :mod:`repro.kernels` — the paper's EXAMPLE and NBFORCE programs
   plus Mandelbrot / region-growing / SpMV workloads;
+* :mod:`repro.runtime` — the :class:`Engine`: cached compile
+  pipeline, backend autoselection, structured :class:`RunResult`;
 * :mod:`repro.eval` — drivers regenerating every table and figure.
 
 Quick start::
 
-    from repro import parse_source, flatten_program, run_simd_program
+    from repro import Engine
 
-    tree = parse_source(F77_TEXT)
-    flat = flatten_program(tree, variant="auto", simd=True)
-    env, counters = run_simd_program(flat, nproc=64, bindings={...})
-    print(counters.total_steps)
+    engine = Engine()
+    program = engine.compile(F77_TEXT, transform="flatten", simd=True)
+    result = program.run({...}, nproc=64)        # backend="auto"
+    print(result.backend, result.counters.total_steps)
+    env, counters = result                       # legacy tuple shape
+
+Repeated ``compile`` calls with the same source and options are cache
+hits (``engine.stats``); artifacts are independent of ``nproc``, so
+one compile serves a whole machine-width sweep.  The historical free
+functions (``flatten_program``, ``run_program``, ``run_simd_program``,
+``run_mimd_program``) remain as stable shims over a shared default
+Engine.
 """
 
 from .analysis import evaluate_flattening
@@ -50,6 +60,12 @@ from .lang import (
     format_source,
     parse_source,
 )
+from .runtime import (
+    CompiledProgram,
+    Engine,
+    RunResult,
+    default_engine,
+)
 from .simd import DataDistribution, cm2, decmpp, sparc2
 from .transform import (
     coalesce_nest,
@@ -64,6 +80,10 @@ from .transform.parallel import flatten_spmd
 __version__ = "1.0.0"
 
 __all__ = [
+    "Engine",
+    "CompiledProgram",
+    "RunResult",
+    "default_engine",
     "parse_source",
     "format_source",
     "check_source",

@@ -21,7 +21,6 @@ import numpy as np
 
 from . import __version__
 from .analysis import evaluate_flattening
-from .exec import run_program, run_simd_program
 from .lang import check_source, format_source, parse_source
 from .lang.errors import MiniFError
 from .transform import (
@@ -128,21 +127,25 @@ def cmd_simdize(args) -> int:
     return 0
 
 
+#: ``--engine`` spellings mapped onto Engine backends.
+_ENGINE_BACKENDS = {"interp": "interpreter", "vm": "vm", "auto": "auto"}
+
+
 def cmd_run(args) -> int:
-    tree = _load(args.file)
+    from .runtime import default_engine
+
+    program = default_engine().compile(_load(args.file))
     bindings = dict(args.bind or [])
     if args.nproc and args.nproc > 0:
-        if args.engine == "vm":
-            from .vm import run_bytecode
-
-            env, counters = run_bytecode(tree, args.nproc, bindings=bindings)
-            print(f"ran on {args.nproc} lockstep PEs (bytecode VM)")
-        else:
-            env, counters = run_simd_program(tree, args.nproc, bindings=bindings)
-            print(f"ran on {args.nproc} lockstep PEs")
+        result = program.run(
+            bindings, nproc=args.nproc, backend=_ENGINE_BACKENDS[args.engine]
+        )
+        suffix = " (bytecode VM)" if result.backend == "vm" else ""
+        print(f"ran on {args.nproc} lockstep PEs{suffix}")
     else:
-        env, counters = run_program(tree, bindings=bindings)
+        result = program.run(bindings, backend="scalar")
         print("ran sequentially")
+    env, counters = result
     summary = counters.summary()
     print(f"lockstep steps : {summary['total_steps']}")
     print(f"vector instrs  : {summary['vector_instructions']}")
@@ -238,9 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="NAME=V[,V...]", help="initial variable binding")
     p.add_argument("--show", action="append", metavar="NAME",
                    help="print a variable after the run")
-    p.add_argument("--engine", default="interp", choices=["interp", "vm"],
-                   help="SIMD execution engine: tree-walking interpreter "
-                        "or the bytecode VM")
+    p.add_argument("--engine", default="interp",
+                   choices=["interp", "vm", "auto"],
+                   help="SIMD execution engine: tree-walking interpreter, "
+                        "the bytecode VM, or autoselection")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("paper", help="regenerate a paper exhibit")

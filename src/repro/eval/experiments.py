@@ -41,6 +41,7 @@ from ..md.distribution import (
 )
 from ..md.forces import make_scalar_force_external
 from ..md.gromos import PAPER_CUTOFFS, NBForceWorkload, sod_workload
+from ..runtime.engine import Engine, default_engine
 from ..md.molecule import synthetic_sod
 from ..md.pairlist import build_pairlist
 from ..simd.cost import MachineModel
@@ -91,13 +92,17 @@ class ExampleTraces:
         return self.flattened_simd.steps
 
 
-def example_traces() -> ExampleTraces:
+def example_traces(engine: Engine | None = None) -> ExampleTraces:
     """Run the EXAMPLE programs and capture the paper's traces."""
-    # Figure 4: MIMD — each processor's own time axis.
+    engine = engine if engine is not None else default_engine()
+    # Figure 4: MIMD — each processor's own time axis.  Trace hooks
+    # force the tree-walking backends; the artifacts are still cached.
     mimd_rec = MIMDTraceRecorder(
         ("i", "j"), ex.EXAMPLE_P, body_predicate=ex.is_body_statement
     )
-    MIMDSimulator(ex.parse_example(ex.P3_MIMD), ex.EXAMPLE_P).run(
+    engine.compile(ex.P3_MIMD).run(
+        nproc=ex.EXAMPLE_P,
+        backend="mimd",
         bindings_for=ex.mimd_bindings,
         statement_hook_for=mimd_rec.hook_for,
     )
@@ -106,23 +111,21 @@ def example_traces() -> ExampleTraces:
     naive_rec = SIMDTraceRecorder(
         ("iprime", "j"), ex.EXAMPLE_P, body_predicate=ex.is_body_statement
     )
-    interp = SIMDInterpreter(
-        ex.parse_example(ex.P4_NAIVE_SIMD),
-        ex.EXAMPLE_P,
+    engine.compile(ex.P4_NAIVE_SIMD).run(
+        ex.example_bindings(),
+        nproc=ex.EXAMPLE_P,
         statement_hook=naive_rec.hook,
     )
-    interp.run(bindings=ex.example_bindings())
 
     # The flattened version traces like the MIMD one.
     flat_rec = SIMDTraceRecorder(
         ("i", "j"), ex.EXAMPLE_P, body_predicate=ex.is_body_statement
     )
-    interp = SIMDInterpreter(
-        ex.parse_example(ex.P5_FLATTENED_SIMD),
-        ex.EXAMPLE_P,
+    engine.compile(ex.P5_FLATTENED_SIMD).run(
+        ex.example_bindings(),
+        nproc=ex.EXAMPLE_P,
         statement_hook=flat_rec.hook,
     )
-    interp.run(bindings=ex.example_bindings())
     return ExampleTraces(mimd_rec.table, naive_rec.table, flat_rec.table)
 
 
@@ -186,6 +189,7 @@ def _run_version(
     workload: NBForceWorkload,
     version: str,
     verify: bool = False,
+    engine: Engine | None = None,
 ) -> Table1Cell:
     dist = workload.distribution(machine.gran)
     try:
@@ -197,7 +201,7 @@ def _run_version(
                 "flattened kernel",
             )
             result, counters = run_flat_kernel(
-                workload.molecule, workload.pairlist, dist
+                workload.molecule, workload.pairlist, dist, engine=engine
             )
             seconds = machine.seconds(counters)
         else:
@@ -209,7 +213,11 @@ def _run_version(
             )
             select = version == "Lu_l"
             result, counters = run_unflat_kernel(
-                workload.molecule, workload.pairlist, dist, select_layers=select
+                workload.molecule,
+                workload.pairlist,
+                dist,
+                select_layers=select,
+                engine=engine,
             )
             seconds = machine.seconds(
                 counters,
@@ -236,8 +244,15 @@ def table1(
     decmpp_configs=TABLE1_DECMPP_CONFIGS,
     verify: bool = False,
     n_atoms: int = 6968,
+    engine: Engine | None = None,
 ) -> list[Table1Row]:
-    """Regenerate Table 1: all configs × cutoffs × loop versions."""
+    """Regenerate Table 1: all configs × cutoffs × loop versions.
+
+    The whole sweep (configs × cutoffs × versions) compiles each of
+    the three kernel texts exactly once: the Engine cache key is
+    ``nproc``-independent, so every machine width reuses the artifact.
+    """
+    engine = engine if engine is not None else default_engine()
     rows: list[Table1Row] = []
     for family, configs in (("cm2", cm2_configs), ("decmpp", decmpp_configs)):
         for physical, gran in configs:
@@ -252,14 +267,17 @@ def table1(
                 workload = sod_workload(cutoff, n_atoms=n_atoms)
                 for version in VERSIONS:
                     row.cells[(float(cutoff), version)] = _run_version(
-                        machine, workload, version, verify
+                        machine, workload, version, verify, engine=engine
                     )
             rows.append(row)
     return rows
 
 
 def sparc_reference(
-    cutoffs=(4.0, 8.0), sample_atoms: int = 192, n_atoms: int = 6968
+    cutoffs=(4.0, 8.0),
+    sample_atoms: int = 192,
+    n_atoms: int = 6968,
+    engine: Engine | None = None,
 ) -> list[dict]:
     """Section 5.5's Sparc 2 times (3.86 s at 4 Å, 31.43 s at 8 Å).
 
@@ -268,6 +286,7 @@ def sparc_reference(
     force routine dominates ~90% of GROMOS runtime, so pair-count
     scaling is accurate to a few percent).
     """
+    engine = engine if engine is not None else default_engine()
     machine = sparc2()
     out = []
     for cutoff in cutoffs:
@@ -281,15 +300,12 @@ def sparc_reference(
             "pcnt": plist.pcnt[:sample].astype(np.int64),
             "partners": plist.partners[:sample].astype(np.int64),
         }
-        source = parse_source(NBFORCE_SEQUENTIAL)
-        from ..exec import run_program
-
-        _, counters = run_program(
-            source,
-            bindings=bindings,
+        result = engine.compile(NBFORCE_SEQUENTIAL).run(
+            bindings,
+            backend="scalar",
             externals={"force": make_scalar_force_external(workload.molecule)},
         )
-        sample_seconds = machine.seconds(counters)
+        sample_seconds = machine.seconds(result.counters)
         scale = plist.total_pairs / max(1, sample_pairs)
         out.append(
             {
@@ -359,16 +375,18 @@ def nmax_sensitivity(
     cutoff: float = 8.0,
     nmax_values=(8192, 16384),
     n_atoms: int = 6968,
+    engine: Engine | None = None,
 ) -> list[dict]:
     """Doubling Nmax: L_u^2 doubles on both machines, L_u^l doubles on
     the CM-2 but grows only ~5% on the DECmpp, and L_f is unchanged."""
+    engine = engine if engine is not None else default_engine()
     out = []
     for family, machine in (("cm2", cm2(8192)), ("decmpp", decmpp(8192))):
         for nmax in nmax_values:
             workload = sod_workload(cutoff, n_atoms=n_atoms, nmax=nmax)
             entry = {"machine": machine.name, "nmax": nmax}
             for version in VERSIONS:
-                cell = _run_version(machine, workload, version)
+                cell = _run_version(machine, workload, version, engine=engine)
                 entry[version] = cell.seconds
             out.append(entry)
     return out
@@ -379,7 +397,7 @@ def nmax_sensitivity(
 # ---------------------------------------------------------------------------
 
 
-def flattening_overhead() -> dict:
+def flattening_overhead(engine: Engine | None = None) -> dict:
     """Per-useful-step control overhead of the flattened EXAMPLE.
 
     The paper: "the additional overhead caused by loop flattening is,
@@ -388,11 +406,14 @@ def flattening_overhead() -> dict:
     (ACU) operations per body execution for the naive and flattened
     SIMD EXAMPLE programs.
     """
+    engine = engine if engine is not None else default_engine()
     bindings = ex.example_bindings()
-    naive = SIMDInterpreter(ex.parse_example(ex.P4_NAIVE_SIMD), ex.EXAMPLE_P)
-    naive.run(bindings=dict(bindings))
-    flat = SIMDInterpreter(ex.parse_example(ex.P5_FLATTENED_SIMD), ex.EXAMPLE_P)
-    flat.run(bindings=dict(bindings))
+    naive = engine.compile(ex.P4_NAIVE_SIMD).run(
+        dict(bindings), nproc=ex.EXAMPLE_P, backend="interpreter"
+    )
+    flat = engine.compile(ex.P5_FLATTENED_SIMD).run(
+        dict(bindings), nproc=ex.EXAMPLE_P, backend="interpreter"
+    )
 
     def per_body(counters):
         body_steps = counters.events.get("scatter", 0)
@@ -406,13 +427,22 @@ def flattening_overhead() -> dict:
     return {"naive": per_body(naive.counters), "flattened": per_body(flat.counters)}
 
 
+def engine_cache_report(engine: Engine | None = None) -> dict:
+    """Cache statistics of the Engine behind the experiment drivers."""
+    engine = engine if engine is not None else default_engine()
+    return engine.stats.snapshot()
+
+
 # ---------------------------------------------------------------------------
 # PE utilization (the Figure 6 idling, quantified at full scale)
 # ---------------------------------------------------------------------------
 
 
 def utilization_sweep(
-    cutoffs=PAPER_CUTOFFS, gran: int = 1024, n_atoms: int = 6968
+    cutoffs=PAPER_CUTOFFS,
+    gran: int = 1024,
+    n_atoms: int = 6968,
+    engine: Engine | None = None,
 ) -> list[dict]:
     """Force-evaluation efficiency of the flattened vs unflattened kernels.
 
@@ -422,14 +452,21 @@ def utilization_sweep(
     useful pairs.  This is the intro's MPP quote — "perform the
     operation or wait in an idle state" — measured.
     """
+    engine = engine if engine is not None else default_engine()
     rows = []
     for cutoff in cutoffs:
         workload = sod_workload(cutoff, n_atoms=n_atoms)
         dist = workload.distribution(gran)
         useful = workload.pairlist.total_pairs
-        _, c_flat = run_flat_kernel(workload.molecule, workload.pairlist, dist)
+        _, c_flat = run_flat_kernel(
+            workload.molecule, workload.pairlist, dist, engine=engine
+        )
         _, c_unflat = run_unflat_kernel(
-            workload.molecule, workload.pairlist, dist, select_layers=True
+            workload.molecule,
+            workload.pairlist,
+            dist,
+            select_layers=True,
+            engine=engine,
         )
         rows.append(
             {
@@ -458,5 +495,6 @@ __all__ = [
     "figure19_series",
     "nmax_sensitivity",
     "flattening_overhead",
+    "engine_cache_report",
     "VERSIONS",
 ]

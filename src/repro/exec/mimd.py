@@ -109,6 +109,19 @@ def run_mimd_program(
     nproc: int,
     bindings_for=None,
     externals: dict | None = None,
-) -> MIMDResult:
-    """Convenience wrapper around :class:`MIMDSimulator`."""
-    return MIMDSimulator(source, nproc, externals).run(bindings_for=bindings_for)
+):
+    """Run the program on P private-namespace processors.
+
+    A stable shim over :class:`repro.runtime.Engine`; the returned
+    :class:`~repro.runtime.RunResult` answers the same aggregate
+    queries as :class:`MIMDResult` (``envs``, ``time_steps``,
+    ``call_counts``, ``time_calls``).
+    """
+    from ..runtime.engine import default_engine
+
+    return default_engine().compile(source).run(
+        nproc=nproc,
+        backend="mimd",
+        externals=externals,
+        bindings_for=bindings_for,
+    )

@@ -412,8 +412,18 @@ def run_program(
     bindings: dict | None = None,
     externals: dict | None = None,
     statement_hook=None,
-) -> tuple[dict, ExecutionCounters]:
-    """Run a program sequentially; return (final env, counters)."""
-    interp = ScalarInterpreter(source, externals, statement_hook=statement_hook)
-    env = interp.run(bindings=bindings)
-    return env, interp.counters
+):
+    """Run a program sequentially; unpacks as ``(final env, counters)``.
+
+    A stable shim over :class:`repro.runtime.Engine` — the parse is
+    cached process-wide; the full :class:`~repro.runtime.RunResult`
+    is returned for callers that want timings and provenance.
+    """
+    from ..runtime.engine import default_engine
+
+    return default_engine().compile(source).run(
+        bindings,
+        backend="scalar",
+        externals=externals,
+        statement_hook=statement_hook,
+    )

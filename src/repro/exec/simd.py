@@ -726,8 +726,20 @@ def run_simd_program(
     bindings: dict | None = None,
     externals: dict | None = None,
     statement_hook=None,
-) -> tuple[dict, ExecutionCounters]:
-    """Run a program on a ``nproc``-PE lockstep machine; return (env, counters)."""
-    interp = SIMDInterpreter(source, nproc, externals, statement_hook=statement_hook)
-    env = interp.run(bindings=bindings)
-    return env, interp.counters
+):
+    """Run a program on a ``nproc``-PE lockstep machine.
+
+    A stable shim over :class:`repro.runtime.Engine`: the parse is
+    cached process-wide and the returned
+    :class:`~repro.runtime.RunResult` unpacks as ``(env, counters)``
+    exactly like the historical tuple.
+    """
+    from ..runtime.engine import default_engine
+
+    return default_engine().compile(source).run(
+        bindings,
+        nproc=nproc,
+        backend="interpreter",
+        externals=externals,
+        statement_hook=statement_hook,
+    )

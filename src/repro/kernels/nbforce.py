@@ -22,6 +22,7 @@ import numpy as np
 
 from ..exec import SIMDInterpreter, run_program
 from ..lang import parse_source
+from ..runtime.engine import Engine, default_engine
 from ..md.distribution import (
     flat_kernel_bindings,
     gather_flat_results,
@@ -120,22 +121,27 @@ END
 
 
 def run_flat_kernel(
-    molecule: Molecule, pairlist: PairList, dist: DataDistribution
+    molecule: Molecule,
+    pairlist: PairList,
+    dist: DataDistribution,
+    engine: Engine | None = None,
 ):
     """Run the flattened NBFORCE kernel on a ``dist.gran``-slot machine.
+
+    The kernel text compiles once per Engine; sweeps over cutoffs and
+    machine widths reuse the cached artifact.
 
     Returns:
         ``(per_atom_f, counters)``.
     """
-    source = parse_source(NBFORCE_FLAT)
-    bindings = flat_kernel_bindings(pairlist, dist)
-    interp = SIMDInterpreter(
-        source,
-        dist.gran,
+    engine = engine if engine is not None else default_engine()
+    result = engine.compile(NBFORCE_FLAT).run(
+        flat_kernel_bindings(pairlist, dist),
+        nproc=dist.gran,
+        backend="interpreter",
         externals={"force": make_simd_force_external(molecule)},
     )
-    env = interp.run(bindings=bindings)
-    return gather_flat_results(env, pairlist), interp.counters
+    return gather_flat_results(result.env, pairlist), result.counters
 
 
 def run_unflat_kernel(
@@ -143,6 +149,7 @@ def run_unflat_kernel(
     pairlist: PairList,
     dist: DataDistribution,
     select_layers: bool,
+    engine: Engine | None = None,
 ):
     """Run an unflattened NBFORCE kernel (L_u^l or L_u^2).
 
@@ -153,33 +160,34 @@ def run_unflat_kernel(
         ``(per_atom_f, counters)``.
     """
     text = NBFORCE_UNFLAT_SELECT if select_layers else NBFORCE_UNFLAT_ALL
-    source = parse_source(text)
-    bindings = unflat_kernel_bindings(pairlist, dist)
-    interp = SIMDInterpreter(
-        source,
-        dist.gran,
+    engine = engine if engine is not None else default_engine()
+    result = engine.compile(text).run(
+        unflat_kernel_bindings(pairlist, dist),
+        nproc=dist.gran,
+        backend="interpreter",
         externals={"force": make_simd_force_external(molecule)},
     )
-    env = interp.run(bindings=bindings)
-    return gather_unflat_results(env, pairlist, dist), interp.counters
+    return gather_unflat_results(result.env, pairlist, dist), result.counters
 
 
-def run_sequential_kernel(molecule: Molecule, pairlist: PairList):
+def run_sequential_kernel(
+    molecule: Molecule, pairlist: PairList, engine: Engine | None = None
+):
     """Run the sequential NBFORCE (the Sparc reference path).
 
     Returns:
         ``(per_atom_f, counters)``.
     """
-    source = parse_source(NBFORCE_SEQUENTIAL)
+    engine = engine if engine is not None else default_engine()
     bindings = {
         "n": pairlist.n_atoms,
         "maxpcnt": int(pairlist.partners.shape[1]),
         "pcnt": pairlist.pcnt.astype(np.int64),
         "partners": pairlist.partners.astype(np.int64),
     }
-    env, counters = run_program(
-        source,
-        bindings=bindings,
+    result = engine.compile(NBFORCE_SEQUENTIAL).run(
+        bindings,
+        backend="scalar",
         externals={"force": make_scalar_force_external(molecule)},
     )
-    return np.asarray(env["f"].data, dtype=float), counters
+    return np.asarray(result.env["f"].data, dtype=float), result.counters

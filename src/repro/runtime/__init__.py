@@ -1,0 +1,26 @@
+"""Cached compile-and-run runtime — the front door for executing MiniF.
+
+:class:`Engine` memoizes the parse/transform/bytecode pipeline;
+:class:`CompiledProgram` is the reusable artifact; :class:`RunResult`
+is the uniform outcome shape shared by every backend.
+"""
+
+from .engine import (
+    CompiledProgram,
+    CompileOptions,
+    Engine,
+    EngineStats,
+    default_engine,
+    reset_default_engine,
+)
+from .result import RunResult
+
+__all__ = [
+    "CompileOptions",
+    "CompiledProgram",
+    "Engine",
+    "EngineStats",
+    "RunResult",
+    "default_engine",
+    "reset_default_engine",
+]

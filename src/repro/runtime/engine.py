@@ -1,0 +1,442 @@
+"""The compile-and-run engine: cached front end, autoselected backend.
+
+The reproduction's pipeline — parse → structurize → flatten/simdize →
+bytecode — is deterministic in the source text and the transform
+options, yet every legacy entry point re-ran it per call.  The
+:class:`Engine` memoizes it the way operator-caching DSL compilers do:
+
+* :meth:`Engine.compile` returns a :class:`CompiledProgram` keyed by
+  the SHA-256 of the source text plus the normalized transform
+  options.  The cached artifacts (transformed AST, bytecode) are
+  independent of ``nproc``, so one compile serves every machine width
+  of a sweep.
+* :meth:`CompiledProgram.run` executes with any backend:
+  ``"auto"`` picks the bytecode VM when the routine compiles cleanly
+  to the linear ISA and falls back to the tree-walking interpreter
+  otherwise (trace hooks and named-routine runs always take the
+  tree-walker, which supports them).  ``"scalar"`` and ``"mimd"``
+  expose the sequential and per-processor execution levels.
+* every run returns a :class:`~repro.runtime.result.RunResult` with
+  the environment, counters, chosen backend, cache provenance, and
+  wall/stage timings.
+
+The VM and the interpreter are maintained in exact observational
+agreement — identical final environments *and* identical
+:class:`~repro.exec.counters.ExecutionCounters` — so backend choice
+never changes what a cost model sees.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import time
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+
+from ..lang import ast
+from ..lang.errors import InterpreterError, TransformError
+from ..lang.parser import parse_source
+from ..lang.printer import format_source
+from ..transform.options import (
+    normalize_layout,
+    normalize_transform,
+    normalize_variant,
+)
+from .result import RunResult
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Normalized, hashable transform options — the cache key's second half.
+
+    Attributes:
+        transform: ``"none"``, ``"flatten"``, ``"simdize"`` or
+            ``"coalesce"`` (see :mod:`repro.transform.options`).
+        variant: Flattening strength (``flatten`` only).
+        simd: Derive the F90simd form of the flattened region.
+        assume_min_trips: Caller-asserted paper condition 2.
+        routine: Restrict the nest search to one routine.
+        nest_index: Which nest (program order) to transform.
+        layout: Data distribution (``simdize`` only).
+        width: PE count baked into the SIMDized program text
+            (``simdize`` only — the paper's naive baseline hard-codes
+            the machine width into the generated chunk loop).
+    """
+
+    transform: str = "none"
+    variant: str = "auto"
+    simd: bool = True
+    assume_min_trips: bool = False
+    routine: str | None = None
+    nest_index: int = 0
+    layout: str = "block"
+    width: int | None = None
+
+
+@dataclass
+class EngineStats:
+    """Cache and dispatch counters for one :class:`Engine`."""
+
+    compiles: int = 0
+    hits: int = 0
+    misses: int = 0
+    runs: Counter = field(default_factory=Counter)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.compiles if self.compiles else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "compiles": self.compiles,
+            "hits": self.hits,
+            "misses": self.misses,
+            "runs": dict(self.runs),
+        }
+
+
+class CompiledProgram:
+    """A cached, reusable compilation artifact.
+
+    Holds the (already transformed) AST and lazily compiles it to
+    bytecode on the first run that wants the VM.  Instances are owned
+    by an :class:`Engine` cache; accessors hand out *clones* of the
+    tree so caller-side mutation can never pollute the cache.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        key: tuple,
+        tree: ast.SourceFile,
+        options: CompileOptions,
+        source_sha: str,
+        stage_seconds: dict,
+    ):
+        self._engine = engine
+        self.key = key
+        self._tree = tree
+        self.options = options
+        self.source_sha = source_sha
+        self.stage_seconds = stage_seconds
+        self.cache_hit = False  # provenance of the *latest* compile() call
+        self._lock = threading.Lock()
+        self._bytecode = None
+        self._bytecode_error: str | None = None
+        self._bytecode_tried = False
+
+    @property
+    def tree(self) -> ast.SourceFile:
+        """A fresh clone of the compiled (transformed) program."""
+        return ast.SourceFile([ast.clone(unit) for unit in self._tree.units])
+
+    @property
+    def bytecode_error(self) -> str | None:
+        """Why the routine does not compile to bytecode (None if it does)."""
+        self.bytecode()
+        return self._bytecode_error
+
+    def bytecode(self):
+        """The routine's :class:`~repro.vm.isa.CodeObject`, or None.
+
+        Compiled lazily on first use and cached — including the
+        *failure*, so an uncompilable routine is diagnosed once.
+        """
+        with self._lock:
+            if not self._bytecode_tried:
+                from ..vm.compiler import compile_program
+
+                start = time.perf_counter()
+                try:
+                    self._bytecode = compile_program(self._tree)
+                except TransformError as error:
+                    self._bytecode_error = str(error)
+                self.stage_seconds["bytecode"] = time.perf_counter() - start
+                self._bytecode_tried = True
+        return self._bytecode
+
+    # -- backend selection ---------------------------------------------------
+
+    _BACKEND_ALIASES = {
+        "interp": "interpreter",
+        "tree": "interpreter",
+        "bytecode": "vm",
+        "sequential": "scalar",
+    }
+
+    def _resolve_backend(
+        self, backend: str, nproc: int, statement_hook, routine_name
+    ) -> str:
+        name = backend.strip().lower()
+        name = self._BACKEND_ALIASES.get(name, name)
+        if name not in ("auto", "vm", "interpreter", "scalar", "mimd"):
+            raise InterpreterError(f"unknown backend {backend!r}")
+        if name == "mimd":
+            return name
+        if not nproc:
+            if name in ("vm", "interpreter"):
+                raise InterpreterError(
+                    f"backend={name!r} needs nproc >= 1 (got {nproc})"
+                )
+            return "scalar"
+        if name == "scalar":
+            raise InterpreterError("backend='scalar' runs with nproc=0")
+        if name == "auto":
+            # The VM supports neither trace hooks nor named-routine
+            # entry; otherwise it runs whenever the routine lowers
+            # cleanly to the linear ISA.
+            if statement_hook is None and routine_name is None and self.bytecode():
+                return "vm"
+            return "interpreter"
+        if name == "vm" and self.bytecode() is None:
+            raise TransformError(
+                f"backend='vm': routine does not compile to bytecode "
+                f"({self._bytecode_error})"
+            )
+        return name
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        bindings: dict | None = None,
+        *,
+        nproc: int = 0,
+        backend: str = "auto",
+        externals: dict | None = None,
+        statement_hook=None,
+        routine_name: str | None = None,
+        bindings_for=None,
+        statement_hook_for=None,
+    ) -> RunResult:
+        """Execute the compiled program and return a :class:`RunResult`.
+
+        Args:
+            bindings: Initial environment (copied, never mutated).
+            nproc: PE count; 0 runs the sequential execution level.
+            backend: ``"auto"``, ``"vm"``, ``"interpreter"``,
+                ``"scalar"`` or ``"mimd"``.
+            externals: External subroutine registry.
+            statement_hook: Trace hook (tree-walking backends only).
+            routine_name: Run a routine other than the main program
+                (tree-walking backends only).
+            bindings_for: MIMD backend — callable ``p -> dict``.
+            statement_hook_for: MIMD backend — callable ``p -> hook``.
+        """
+        chosen = self._resolve_backend(backend, nproc, statement_hook, routine_name)
+        start = time.perf_counter()
+        statements = None
+        if chosen == "vm":
+            from ..vm.machine import SIMDVirtualMachine
+
+            vm = SIMDVirtualMachine(nproc, externals)
+            raw = vm.run(self.bytecode(), bindings=dict(bindings or {}))
+            env = {k: v for k, v in raw.items() if not k.startswith("__")}
+            counters = vm.counters
+            statements = vm.executed
+        elif chosen == "interpreter":
+            from ..exec.simd import SIMDInterpreter
+
+            interp = SIMDInterpreter(
+                self._tree, nproc, externals, statement_hook=statement_hook
+            )
+            env = interp.run(routine_name=routine_name, bindings=bindings)
+            counters = interp.counters
+            statements = interp.executed_statements
+        elif chosen == "scalar":
+            from ..exec.scalar import ScalarInterpreter
+
+            interp = ScalarInterpreter(
+                self._tree, externals, statement_hook=statement_hook
+            )
+            env = interp.run(routine_name=routine_name, bindings=bindings)
+            counters = interp.counters
+            statements = interp.executed_statements
+        else:  # mimd
+            from ..exec.mimd import MIMDSimulator
+
+            sim = MIMDSimulator(self._tree, nproc, externals)
+            mimd = sim.run(
+                bindings_for=bindings_for,
+                routine_name=routine_name,
+                statement_hook_for=statement_hook_for,
+            )
+            env = mimd.envs
+            counters = mimd.counters
+            statements = mimd.statements
+        wall = time.perf_counter() - start
+        self._engine.stats.runs[chosen] += 1
+        return RunResult(
+            env=env,
+            counters=counters,
+            backend=chosen,
+            nproc=nproc,
+            cache_hit=self.cache_hit,
+            wall_seconds=wall,
+            stage_seconds={**self.stage_seconds, "run": wall},
+            statements=statements,
+        )
+
+
+class Engine:
+    """Compiles MiniF programs once and runs them many times.
+
+    Args:
+        cache_size: Maximum number of distinct (source, options)
+            artifacts to retain (LRU eviction).
+    """
+
+    def __init__(self, cache_size: int = 128):
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        self.cache_size = cache_size
+        self.stats = EngineStats()
+        self._cache: OrderedDict[tuple, CompiledProgram] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def clear(self) -> None:
+        """Drop every cached artifact (stats are retained)."""
+        with self._lock:
+            self._cache.clear()
+
+    def compile(
+        self,
+        source: ast.SourceFile | str,
+        *,
+        transform: str | None = None,
+        variant: str = "auto",
+        simd: bool = True,
+        assume_min_trips: bool = False,
+        routine: str | None = None,
+        nest_index: int = 0,
+        layout: str = "block",
+        width: int | None = None,
+    ) -> CompiledProgram:
+        """Compile (or fetch) the program for the given options.
+
+        Args:
+            source: MiniF source text or an already-parsed tree.  A
+                tree is keyed by its canonical printed form, so
+                equivalent trees share one cache entry and the caller
+                keeps ownership of its own AST.
+            transform: Nest transform to apply — ``"none"`` (default),
+                ``"flatten"``, ``"simdize"`` or ``"coalesce"``; legacy
+                spellings are accepted with a DeprecationWarning.
+            variant: Flattening strength for ``transform="flatten"``.
+            simd: Derive the F90simd form when flattening.
+            assume_min_trips: Paper condition 2 assertion.
+            routine: Restrict the nest search to this routine.
+            nest_index: Which nest (program order) to transform.
+            layout: Data distribution for ``transform="simdize"``.
+            width: PE count baked into the SIMDized text
+                (``transform="simdize"`` only, required there).
+
+        Returns:
+            A cached :class:`CompiledProgram`; its ``cache_hit``
+            attribute tells whether this call was served from cache.
+        """
+        options = CompileOptions(
+            transform=normalize_transform(transform),
+            variant=normalize_variant(variant),
+            simd=bool(simd),
+            assume_min_trips=bool(assume_min_trips),
+            routine=routine,
+            nest_index=int(nest_index),
+            layout=normalize_layout(layout),
+            width=None if width is None else int(width),
+        )
+        if isinstance(source, str):
+            text = source
+        elif isinstance(source, ast.SourceFile):
+            text = format_source(source)
+        else:
+            raise TypeError(
+                f"source must be MiniF text or a SourceFile, "
+                f"got {type(source).__name__}"
+            )
+        sha = hashlib.sha256(text.encode()).hexdigest()
+        key = (sha, options)
+        with self._lock:
+            self.stats.compiles += 1
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                self._cache.move_to_end(key)
+                cached.cache_hit = True
+                return cached
+            self.stats.misses += 1
+        program = self._build(text, sha, key, options)
+        with self._lock:
+            # a racing compile may have inserted the same key; keep the
+            # first artifact so callers share one entry
+            winner = self._cache.setdefault(key, program)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        winner.cache_hit = winner is not program
+        return winner
+
+    def _build(
+        self, text: str, sha: str, key: tuple, options: CompileOptions
+    ) -> CompiledProgram:
+        from ..transform.pipeline import (
+            _flatten_program_uncached,
+            coalesce_program,
+            naive_simd_program,
+        )
+
+        stage_seconds: dict = {}
+        start = time.perf_counter()
+        tree = parse_source(text)
+        stage_seconds["parse"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        if options.transform == "flatten":
+            tree = _flatten_program_uncached(
+                tree,
+                variant=options.variant,
+                assume_min_trips=options.assume_min_trips,
+                simd=options.simd,
+                routine=options.routine,
+                nest_index=options.nest_index,
+            )
+        elif options.transform == "simdize":
+            if options.width is None:
+                raise TransformError("transform='simdize' needs width=<PE count>")
+            tree = naive_simd_program(
+                tree,
+                options.width,
+                layout=options.layout,
+                routine=options.routine,
+                nest_index=options.nest_index,
+            )
+        elif options.transform == "coalesce":
+            tree = coalesce_program(
+                tree, routine=options.routine, nest_index=options.nest_index
+            )
+        stage_seconds["transform"] = time.perf_counter() - start
+        return CompiledProgram(self, key, tree, options, sha, stage_seconds)
+
+
+_default_engine: Engine | None = None
+_default_lock = threading.Lock()
+
+
+def default_engine() -> Engine:
+    """The process-wide shared Engine behind the legacy free functions."""
+    global _default_engine
+    with _default_lock:
+        if _default_engine is None:
+            _default_engine = Engine()
+        return _default_engine
+
+
+def reset_default_engine() -> None:
+    """Replace the shared Engine with a fresh one (tests, benchmarks)."""
+    global _default_engine
+    with _default_lock:
+        _default_engine = None

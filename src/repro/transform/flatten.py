@@ -40,9 +40,7 @@ from ..analysis.sideeffects import (
 from ..lang import ast
 from ..lang.errors import TransformError
 from .normalize import NormalizedLoop, is_loop, normalize_loop
-
-#: Recognized variant names, weakest guarantee requirement last.
-VARIANTS = ("general", "optimized", "done", "auto")
+from .options import VARIANTS, normalize_variant  # noqa: F401 — re-exported
 
 
 @dataclass
@@ -471,8 +469,7 @@ def flatten_loop_nest(
     Returns:
         Replacement statement list for ``stmt``.
     """
-    if variant not in VARIANTS:
-        raise TransformError(f"unknown flattening variant '{variant}'")
+    variant = normalize_variant(variant)
     nest = extract_nest(stmt)
     if variant == "general":
         return flatten_general(nest)

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 from ..lang import ast
 from ..lang.errors import TransformError
+from .coalesce import coalesce_nest
 from .flatten import flatten_loop_nest
 from .normalize import is_loop, raise_counted_loops, raise_goto_loops
 from .simdize import simdize_nest, simdize_structured
@@ -69,6 +70,25 @@ def structurize_program(source: ast.SourceFile) -> ast.SourceFile:
     return ast.SourceFile(units)
 
 
+def _locate_nest(
+    source: ast.SourceFile,
+    routine: str | None,
+    nest_index: int,
+    what: str,
+) -> tuple[ast.SourceFile, NestSite]:
+    structured = structurize_program(source)
+    sites = find_nest_sites(structured)
+    if routine is not None:
+        sites = [site for site in sites if site.routine == routine]
+    if not sites:
+        raise TransformError(f"no {what} loop nest found")
+    if not 0 <= nest_index < len(sites):
+        raise TransformError(
+            f"nest index {nest_index} out of range (found {len(sites)} nests)"
+        )
+    return structured, sites[nest_index]
+
+
 def flatten_program(
     source: ast.SourceFile,
     variant: str = "auto",
@@ -78,6 +98,10 @@ def flatten_program(
     nest_index: int = 0,
 ) -> ast.SourceFile:
     """Flatten one loop nest of a program.
+
+    This is a stable shim over :class:`repro.runtime.Engine`: the
+    transformed tree is cached by source text and options, and each
+    call returns a fresh clone of the cached artifact.
 
     Args:
         source: Input program (GOTO loops are structurized first).
@@ -93,22 +117,45 @@ def flatten_program(
     Returns:
         A new :class:`~repro.lang.ast.SourceFile`; the input is unchanged.
     """
-    structured = structurize_program(source)
-    sites = find_nest_sites(structured)
-    if routine is not None:
-        sites = [site for site in sites if site.routine == routine]
-    if not sites:
-        raise TransformError("no flattenable loop nest found")
-    if not 0 <= nest_index < len(sites):
-        raise TransformError(
-            f"nest index {nest_index} out of range (found {len(sites)} nests)"
-        )
-    site = sites[nest_index]
+    from ..runtime.engine import default_engine
+
+    return default_engine().compile(
+        source,
+        transform="flatten",
+        variant=variant,
+        assume_min_trips=assume_min_trips,
+        simd=simd,
+        routine=routine,
+        nest_index=nest_index,
+    ).tree
+
+
+def _flatten_program_uncached(
+    source: ast.SourceFile,
+    variant: str = "auto",
+    assume_min_trips: bool = False,
+    simd: bool = False,
+    routine: str | None = None,
+    nest_index: int = 0,
+) -> ast.SourceFile:
+    """The flattening pipeline itself (no caching) — Engine internals."""
+    structured, site = _locate_nest(source, routine, nest_index, "flattenable")
     replacement = flatten_loop_nest(
         site.stmt, variant=variant, assume_min_trips=assume_min_trips
     )
     if simd:
         replacement = simdize_structured(replacement)
+    return _replace_stmt(structured, site.routine, site.index, replacement)
+
+
+def coalesce_program(
+    source: ast.SourceFile,
+    routine: str | None = None,
+    nest_index: int = 0,
+) -> ast.SourceFile:
+    """Coalesce one loop nest (the related-work baseline transform)."""
+    structured, site = _locate_nest(source, routine, nest_index, "coalescible")
+    replacement = coalesce_nest(site.stmt)
     return _replace_stmt(structured, site.routine, site.index, replacement)
 
 
@@ -120,16 +167,6 @@ def naive_simd_program(
     nest_index: int = 0,
 ) -> ast.SourceFile:
     """Naively SIMDize one parallel loop nest (the Section 3 baseline)."""
-    structured = structurize_program(source)
-    sites = find_nest_sites(structured)
-    if routine is not None:
-        sites = [site for site in sites if site.routine == routine]
-    if not sites:
-        raise TransformError("no SIMDizable loop nest found")
-    if not 0 <= nest_index < len(sites):
-        raise TransformError(
-            f"nest index {nest_index} out of range (found {len(sites)} nests)"
-        )
-    site = sites[nest_index]
+    structured, site = _locate_nest(source, routine, nest_index, "SIMDizable")
     replacement = simdize_nest(site.stmt, nproc, layout)
     return _replace_stmt(structured, site.routine, site.index, replacement)

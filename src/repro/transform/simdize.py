@@ -23,6 +23,7 @@ from __future__ import annotations
 from ..lang import ast
 from ..lang.errors import TransformError
 from .flatten import FreshNames, _used_names
+from .options import normalize_layout
 
 
 def _any(expr: ast.Expr) -> ast.Expr:
@@ -119,8 +120,7 @@ def simdize_nest(
     Returns:
         Replacement statement list.
     """
-    if layout not in ("block", "cyclic"):
-        raise TransformError(f"unknown layout '{layout}'")
+    layout = normalize_layout(layout)
     if isinstance(stmt, ast.Forall):
         var, lo, hi, body = stmt.var, stmt.lo, stmt.hi, stmt.body
         mask = stmt.mask

@@ -18,7 +18,7 @@ CALLs are not inlined — only external routines may be called.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from ..lang import ast
 from ..lang.errors import TransformError
@@ -46,9 +46,9 @@ class Compiler:
 
     # -- low-level emission -----------------------------------------------------
 
-    def _emit(self, op: Op, arg=None, loc=None) -> int:
+    def _emit(self, op: Op, arg=None, loc=None, acu: bool = False) -> int:
         index = len(self._code)
-        self._code.append(Instr(op, arg))
+        self._code.append(Instr(op, arg, acu))
         if loc is not None and loc.line:
             self._source_map[index] = loc.line
         return index
@@ -59,10 +59,16 @@ class Compiler:
     def _bind(self, label: _Label) -> None:
         label.index = len(self._code)
         for site in label.patch_sites:
-            self._code[site] = Instr(self._code[site].op, label.index)
+            old = self._code[site]
+            if old.op is Op.FOR:
+                # the jump target is the last slot of the FOR tuple
+                arg = (*old.arg[:-1], label.index)
+            else:
+                arg = label.index
+            self._code[site] = replace(old, arg=arg)
 
-    def _jump(self, op: Op, label: _Label, loc=None) -> None:
-        site = self._emit(op, label.index, loc)
+    def _jump(self, op: Op, label: _Label, loc=None, acu: bool = False) -> None:
+        site = self._emit(op, label.index, loc, acu=acu)
         if label.index is None:
             label.patch_sites.append(site)
 
@@ -110,7 +116,7 @@ class Compiler:
     def _compile_paramdecl(self, stmt: ast.ParamDecl) -> None:
         for name, value in zip(stmt.names, stmt.values):
             self._compile_expr(value)
-            self._emit(Op.STORE, name, stmt.loc)
+            self._emit(Op.CTL_STORE, (name, "raw"), stmt.loc)
 
     def _compile_decomposition(self, stmt) -> None:
         pass
@@ -141,46 +147,35 @@ class Compiler:
     def _compile_do(self, stmt: ast.Do) -> None:
         limit = self._fresh("limit")
         stride_name = self._fresh("stride")
+        # Bounds are evaluated exactly once (Fortran counted-loop
+        # semantics); the loop-control state lives in hidden names and
+        # is maintained by unpriced control opcodes, so the per-trip
+        # cost is a single ACU event — the same accounting as the
+        # tree-walking interpreter.
         self._compile_expr(stmt.lo)
-        self._emit(Op.STORE, stmt.var, stmt.loc)
         self._compile_expr(stmt.hi)
-        self._emit(Op.STORE, limit, stmt.loc)
         if stmt.stride is not None:
             self._compile_expr(stmt.stride)
         else:
             self._emit(Op.PUSH_CONST, 1)
-        self._emit(Op.STORE, stride_name, stmt.loc)
+        self._emit(Op.CTL_STORE, (stride_name, "int"), stmt.loc)
+        self._emit(Op.CTL_STORE, (limit, "int"), stmt.loc)
+        self._emit(Op.CTL_STORE, (stmt.var, "int"), stmt.loc)
 
         head = self._new_label()
         cont = self._new_label()
         exit_ = self._new_label()
         self._bind(head)
-        # continue while (i - limit) * sign(stride) <= 0; encode as
-        # (i <= limit AND stride > 0) OR (i >= limit AND stride < 0)
-        self._emit(Op.LOAD, stmt.var)
-        self._emit(Op.LOAD, limit)
-        self._emit(Op.BINOP, "<=")
-        self._emit(Op.LOAD, stride_name)
-        self._emit(Op.PUSH_CONST, 0)
-        self._emit(Op.BINOP, ">")
-        self._emit(Op.BINOP, ".AND.")
-        self._emit(Op.LOAD, stmt.var)
-        self._emit(Op.LOAD, limit)
-        self._emit(Op.BINOP, ">=")
-        self._emit(Op.LOAD, stride_name)
-        self._emit(Op.PUSH_CONST, 0)
-        self._emit(Op.BINOP, "<")
-        self._emit(Op.BINOP, ".AND.")
-        self._emit(Op.BINOP, ".OR.")
-        self._jump(Op.JUMP_IF_FALSE, exit_, stmt.loc)
+        site = self._emit(
+            Op.FOR, (stmt.var, limit, stride_name, exit_.index), stmt.loc
+        )
+        if exit_.index is None:
+            exit_.patch_sites.append(site)
         self._loop_stack.append((cont, exit_))
         self._compile_body(stmt.body)
         self._loop_stack.pop()
         self._bind(cont)
-        self._emit(Op.LOAD, stmt.var)
-        self._emit(Op.LOAD, stride_name)
-        self._emit(Op.BINOP, "+")
-        self._emit(Op.STORE, stmt.var)
+        self._emit(Op.FOR_INCR, (stmt.var, stride_name), stmt.loc)
         self._jump(Op.JUMP, head)
         self._bind(exit_)
 
@@ -231,7 +226,7 @@ class Compiler:
         self._compile_expr(stmt.lo)
         self._compile_expr(stmt.hi)
         self._emit(Op.IOTA, None, stmt.loc)
-        self._emit(Op.STORE, stmt.var, stmt.loc)
+        self._emit(Op.CTL_STORE, (stmt.var, "raw"), stmt.loc)
         if stmt.mask is not None:
             self._compile_expr(stmt.mask)
             self._emit(Op.PUSH_MASK, None, stmt.loc)
@@ -243,7 +238,7 @@ class Compiler:
         label = self._stmt_labels.get(stmt.target)
         if label is None:
             raise TransformError(f"GOTO {stmt.target}: no such label", stmt.loc)
-        self._jump(Op.JUMP, label, stmt.loc)
+        self._jump(Op.JUMP, label, stmt.loc, acu=True)
 
     def _compile_exitstmt(self, stmt: ast.ExitStmt) -> None:
         if not self._loop_stack:

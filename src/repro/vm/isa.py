@@ -43,6 +43,9 @@ class Op(Enum):
     POP_MASK = auto()     #: restore the enclosing mask
     JUMP = auto()         #: arg: target index
     JUMP_IF_FALSE = auto()  #: arg: target index — pops a uniform condition
+    CTL_STORE = auto()    #: arg: (name, mode) — control store, not priced
+    FOR = auto()          #: arg: (var, limit, stride, exit index) — loop head
+    FOR_INCR = auto()     #: arg: (var, stride) — env[var] += env[stride]
     NOP = auto()          #: label placeholder (kept for debuggability)
     HALT = auto()         #: end of program / RETURN
 
@@ -57,10 +60,18 @@ SUB_SPECS = ("e", "f", "l", "u", "b")
 
 @dataclass(frozen=True)
 class Instr:
-    """One instruction: an opcode plus its immediate argument."""
+    """One instruction: an opcode plus its immediate argument.
+
+    ``acu`` marks control transfers that represent *source-level*
+    front-end work (GOTO) and are priced as one ACU event; structural
+    jumps the compiler synthesizes (loop back-edges, IF joins, EXIT,
+    CYCLE) carry ``acu=False`` and execute for free, matching the
+    tree-walking interpreter's accounting.
+    """
 
     op: Op
     arg: object = None
+    acu: bool = False
 
     def __repr__(self) -> str:
         if self.arg is None:

@@ -203,14 +203,18 @@ class SIMDVirtualMachine:
                 if not self._mask_stack:
                     raise InterpreterError("ELSE_MASK with empty mask stack")
                 outer, cond = self._mask_stack[-1]
-                self.counters.record("mask", width=self.nproc, mask=self.lanes_active)
+                # the ELSEWHERE mask op runs under the *enclosing* mask
+                self.counters.record(
+                    "mask", width=self.nproc, mask=_lane_mask(outer, self.nproc)
+                )
                 self._mask = self._combine(outer, apply_unop(".NOT.", cond))
             elif op is Op.POP_MASK:
                 if not self._mask_stack:
                     raise InterpreterError("POP_MASK with empty mask stack")
                 self._mask, _ = self._mask_stack.pop()
             elif op is Op.JUMP:
-                self.counters.record("acu")
+                if instr.acu:
+                    self.counters.record("acu")
                 pc = instr.arg
                 continue
             elif op is Op.JUMP_IF_FALSE:
@@ -218,6 +222,29 @@ class SIMDVirtualMachine:
                 if not self._uniform_bool(stack.pop()):
                     pc = instr.arg
                     continue
+            elif op is Op.CTL_STORE:
+                name, mode = instr.arg
+                value = stack.pop()
+                if mode == "int":
+                    env[name] = self._uniform_int(value, f"loop control '{name}'")
+                else:
+                    env[name] = value
+            elif op is Op.FOR:
+                var, limit, stride_name, exit_index = instr.arg
+                current = env[var]
+                stride = env[stride_name]
+                if stride == 0:
+                    raise InterpreterError("DO stride is zero")
+                if (stride > 0 and current <= env[limit]) or (
+                    stride < 0 and current >= env[limit]
+                ):
+                    self.counters.record("acu")
+                else:
+                    pc = exit_index
+                    continue
+            elif op is Op.FOR_INCR:
+                var, stride_name = instr.arg
+                env[var] = env[var] + env[stride_name]
             elif op is Op.NOP:
                 pass
             elif op is Op.HALT:

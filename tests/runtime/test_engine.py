@@ -1,0 +1,176 @@
+"""Engine cache-key correctness and artifact isolation."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.example import P1_SEQUENTIAL, example_bindings, expected_x
+from repro.lang import ast, format_source, parse_source
+from repro.lang.errors import TransformError
+from repro.runtime import Engine, default_engine, reset_default_engine
+
+OTHER = """
+PROGRAM other
+  INTEGER i, y(4)
+  DO i = 1, 4
+    y(i) = i
+  ENDDO
+END
+"""
+
+
+@pytest.fixture()
+def engine():
+    return Engine()
+
+
+class TestCacheKeys:
+    def test_same_source_same_options_hits(self, engine):
+        first = engine.compile(P1_SEQUENTIAL)
+        second = engine.compile(P1_SEQUENTIAL)
+        assert second is first
+        assert second.cache_hit
+        assert engine.stats.hits == 1 and engine.stats.misses == 1
+
+    def test_different_source_never_aliases(self, engine):
+        assert engine.compile(P1_SEQUENTIAL) is not engine.compile(OTHER)
+        assert engine.stats.misses == 2
+
+    def test_different_transform_never_aliases(self, engine):
+        plain = engine.compile(P1_SEQUENTIAL)
+        flat = engine.compile(P1_SEQUENTIAL, transform="flatten",
+                              assume_min_trips=True)
+        assert plain is not flat
+        assert engine.stats.misses == 2
+
+    def test_different_variant_never_aliases(self, engine):
+        done = engine.compile(P1_SEQUENTIAL, transform="flatten",
+                              variant="done", assume_min_trips=True)
+        general = engine.compile(P1_SEQUENTIAL, transform="flatten",
+                                 variant="general", assume_min_trips=True)
+        assert done is not general
+
+    def test_option_flags_participate_in_key(self, engine):
+        a = engine.compile(P1_SEQUENTIAL, transform="flatten",
+                           variant="done", assume_min_trips=True, simd=True)
+        b = engine.compile(P1_SEQUENTIAL, transform="flatten",
+                           variant="done", assume_min_trips=True, simd=False)
+        assert a is not b
+
+    def test_simdize_width_participates_in_key(self, engine):
+        a = engine.compile(P1_SEQUENTIAL, transform="simdize", width=2)
+        b = engine.compile(P1_SEQUENTIAL, transform="simdize", width=4)
+        assert a is not b
+
+    def test_tree_and_text_share_an_entry(self, engine):
+        tree = parse_source(P1_SEQUENTIAL)
+        first = engine.compile(tree)
+        second = engine.compile(format_source(tree))
+        assert second is first
+        assert engine.stats.hits == 1
+
+    def test_artifact_is_nproc_independent(self, engine):
+        program = engine.compile(P1_SEQUENTIAL, transform="flatten",
+                                 assume_min_trips=True)
+        for nproc in (2, 4, 8):
+            result = program.run(example_bindings(), nproc=nproc,
+                                 backend="interpreter")
+            assert (result.env["x"].data == expected_x()).all()
+        assert engine.stats.compiles == 1 and engine.stats.misses == 1
+
+    def test_simdize_requires_width(self, engine):
+        with pytest.raises(TransformError, match="width"):
+            engine.compile(P1_SEQUENTIAL, transform="simdize")
+
+    def test_bad_source_type(self, engine):
+        with pytest.raises(TypeError, match="SourceFile"):
+            engine.compile(42)
+
+
+class TestIsolation:
+    def test_caller_tree_mutation_never_pollutes_cache(self, engine):
+        tree = parse_source(P1_SEQUENTIAL)
+        program = engine.compile(tree)
+        tree.units[0].body.clear()  # vandalize the caller's copy
+        result = program.run(example_bindings())
+        assert (result.env["x"].data == expected_x()).all()
+
+    def test_returned_tree_is_a_fresh_clone(self, engine):
+        program = engine.compile(P1_SEQUENTIAL)
+        clone = program.tree
+        clone.units[0].body.clear()
+        assert program.tree.units[0].body  # cache copy untouched
+        assert program.tree is not clone
+
+    def test_env_mutation_never_pollutes_cache(self, engine):
+        program = engine.compile(P1_SEQUENTIAL)
+        first = program.run(example_bindings())
+        first.env["x"].data[:] = -1
+        first.env["k"] = 99
+        second = program.run(example_bindings())
+        assert (second.env["x"].data == expected_x()).all()
+
+    def test_bindings_are_not_mutated(self, engine):
+        bindings = example_bindings()
+        keep = bindings["l"].copy()
+        engine.compile(P1_SEQUENTIAL).run(bindings, nproc=2)
+        assert list(bindings) == ["l"]
+        assert (bindings["l"] == keep).all()
+
+
+class TestLRU:
+    def test_eviction_keeps_most_recent(self):
+        engine = Engine(cache_size=2)
+        a = engine.compile(P1_SEQUENTIAL)
+        b = engine.compile(OTHER)
+        engine.compile(P1_SEQUENTIAL)  # refresh a
+        engine.compile(OTHER.replace("other", "third"))  # evicts b (LRU)
+        assert len(engine) == 2
+        assert engine.compile(P1_SEQUENTIAL) is a
+        assert engine.compile(OTHER) is not b  # was evicted, rebuilt
+
+    def test_clear_drops_artifacts_but_keeps_stats(self, engine):
+        engine.compile(P1_SEQUENTIAL)
+        engine.clear()
+        assert len(engine) == 0
+        assert engine.stats.compiles == 1
+
+    def test_cache_size_validated(self):
+        with pytest.raises(ValueError):
+            Engine(cache_size=0)
+
+
+class TestDefaultEngine:
+    def test_shared_and_resettable(self):
+        reset_default_engine()
+        shared = default_engine()
+        assert default_engine() is shared
+        reset_default_engine()
+        assert default_engine() is not shared
+
+    def test_legacy_shims_share_the_default_engine(self):
+        from repro import run_program
+
+        reset_default_engine()
+        run_program(parse_source(P1_SEQUENTIAL), bindings=example_bindings())
+        run_program(parse_source(P1_SEQUENTIAL), bindings=example_bindings())
+        stats = default_engine().stats
+        assert stats.hits == 1 and stats.misses == 1
+        reset_default_engine()
+
+
+class TestStats:
+    def test_hit_rate_and_snapshot(self, engine):
+        assert engine.stats.hit_rate == 0.0
+        engine.compile(P1_SEQUENTIAL)
+        engine.compile(P1_SEQUENTIAL)
+        assert engine.stats.hit_rate == 0.5
+        snap = engine.stats.snapshot()
+        assert snap["compiles"] == 2 and snap["hits"] == 1
+
+    def test_stage_timings_exposed(self, engine):
+        program = engine.compile(P1_SEQUENTIAL, transform="flatten",
+                                 assume_min_trips=True)
+        assert set(program.stage_seconds) >= {"parse", "transform"}
+        result = program.run(example_bindings())
+        assert "run" in result.stage_seconds
+        assert result.wall_seconds >= 0.0

@@ -1,0 +1,110 @@
+"""The shared option vocabulary and its deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro.kernels.example import P1_SEQUENTIAL
+from repro.lang.errors import TransformError
+from repro.lang.parser import parse_source
+from repro.runtime import Engine
+from repro.transform.options import (
+    LAYOUTS,
+    TRANSFORMS,
+    VARIANTS,
+    normalize_layout,
+    normalize_transform,
+    normalize_variant,
+)
+
+
+class TestCanonical:
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_variants_pass_through_silently(self, variant):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert normalize_variant(variant) == variant
+
+    @pytest.mark.parametrize("layout", LAYOUTS)
+    def test_layouts_pass_through_silently(self, layout):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert normalize_layout(layout) == layout
+
+    @pytest.mark.parametrize("transform", TRANSFORMS)
+    def test_transforms_pass_through_silently(self, transform):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert normalize_transform(transform) == transform
+
+    def test_none_transform_means_none(self):
+        assert normalize_transform(None) == "none"
+
+    def test_case_and_whitespace_insensitive(self):
+        assert normalize_variant("  DONE ") == "done"
+        assert normalize_layout("Block") == "block"
+
+
+class TestDeprecatedSpellings:
+    @pytest.mark.parametrize("legacy, canonical", [
+        ("fig10", "general"),
+        ("fig11", "optimized"),
+        ("fig12", "done"),
+        ("best", "auto"),
+    ])
+    def test_variant_aliases_warn(self, legacy, canonical):
+        with pytest.warns(DeprecationWarning, match=canonical):
+            assert normalize_variant(legacy) == canonical
+
+    @pytest.mark.parametrize("legacy, canonical", [
+        ("cm2", "block"),
+        ("cut-and-stack", "cyclic"),
+        ("decmpp", "cyclic"),
+    ])
+    def test_layout_aliases_warn(self, legacy, canonical):
+        with pytest.warns(DeprecationWarning, match=canonical):
+            assert normalize_layout(legacy) == canonical
+
+    @pytest.mark.parametrize("legacy, canonical", [
+        ("flattened", "flatten"),
+        ("naive", "simdize"),
+        ("coalesced", "coalesce"),
+    ])
+    def test_transform_aliases_warn(self, legacy, canonical):
+        with pytest.warns(DeprecationWarning, match=canonical):
+            assert normalize_transform(legacy) == canonical
+
+    def test_legacy_spelling_reaches_the_same_cache_entry(self):
+        engine = Engine()
+        canonical = engine.compile(P1_SEQUENTIAL, transform="flatten",
+                                   variant="done", assume_min_trips=True)
+        with pytest.warns(DeprecationWarning):
+            legacy = engine.compile(P1_SEQUENTIAL, transform="flatten",
+                                    variant="fig12", assume_min_trips=True)
+        assert legacy is canonical
+        assert engine.stats.hits == 1
+
+    def test_flatten_program_accepts_legacy_variant(self):
+        from repro.transform import flatten_program
+
+        tree = parse_source(P1_SEQUENTIAL)
+        with pytest.warns(DeprecationWarning):
+            flatten_program(tree, variant="fig12", assume_min_trips=True)
+
+
+class TestRejections:
+    def test_unknown_variant(self):
+        with pytest.raises(TransformError, match="unknown flattening variant"):
+            normalize_variant("figure99")
+
+    def test_unknown_layout(self):
+        with pytest.raises(TransformError, match="unknown layout"):
+            normalize_layout("diagonal")
+
+    def test_unknown_transform(self):
+        with pytest.raises(TransformError, match="unknown transform"):
+            normalize_transform("unroll")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TransformError, match="must be a string"):
+            normalize_variant(12)
