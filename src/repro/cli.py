@@ -131,20 +131,65 @@ def cmd_simdize(args) -> int:
 _ENGINE_BACKENDS = {"interp": "interpreter", "vm": "vm", "auto": "auto"}
 
 
+def _run_guards(args):
+    """Build the Budget / FallbackPolicy requested on the command line."""
+    from .reliability import Budget, FallbackPolicy
+
+    budget = None
+    if args.max_steps is not None or args.deadline is not None:
+        spec = {}
+        if args.max_steps is not None:
+            spec["max_steps"] = args.max_steps
+        if args.deadline is not None:
+            spec["deadline_seconds"] = args.deadline
+        budget = Budget(**spec)
+    policy = None
+    if args.fallback:
+        chain = tuple(b.strip() for b in args.fallback.split(",") if b.strip())
+        policy = FallbackPolicy(chain=chain)
+    return budget, policy
+
+
+def _write_crash_dump(path: str, error) -> None:
+    import json
+
+    from .reliability import crash_dump_for
+
+    with open(path, "w") as handle:
+        json.dump(crash_dump_for(error), handle, indent=2, default=str)
+    print(f"crash dump written to {path}", file=sys.stderr)
+
+
 def cmd_run(args) -> int:
+    from .lang.errors import InterpreterError
     from .runtime import default_engine
 
     program = default_engine().compile(_load(args.file))
     bindings = dict(args.bind or [])
-    if args.nproc and args.nproc > 0:
-        result = program.run(
-            bindings, nproc=args.nproc, backend=_ENGINE_BACKENDS[args.engine]
-        )
-        suffix = " (bytecode VM)" if result.backend == "vm" else ""
-        print(f"ran on {args.nproc} lockstep PEs{suffix}")
-    else:
-        result = program.run(bindings, backend="scalar")
-        print("ran sequentially")
+    budget, policy = _run_guards(args)
+    try:
+        if args.nproc and args.nproc > 0:
+            result = program.run(
+                bindings,
+                nproc=args.nproc,
+                backend=_ENGINE_BACKENDS[args.engine],
+                budget=budget,
+                policy=policy,
+            )
+            suffix = " (bytecode VM)" if result.backend == "vm" else ""
+            print(f"ran on {args.nproc} lockstep PEs{suffix}")
+        else:
+            result = program.run(
+                bindings, backend="scalar", budget=budget, policy=policy
+            )
+            print("ran sequentially")
+    except InterpreterError as exc:
+        if args.crash_dump:
+            _write_crash_dump(args.crash_dump, exc)
+        raise
+    for attempt in getattr(result, "attempts", []) or []:
+        status = "ok" if attempt.ok else f"failed ({attempt.error})"
+        print(f"attempt[{attempt.backend}]: {status}", file=sys.stderr)
     env, counters = result
     summary = counters.summary()
     print(f"lockstep steps : {summary['total_steps']}")
@@ -153,9 +198,11 @@ def cmd_run(args) -> int:
         print(f"external calls : {summary['calls']}")
     print(f"mean utilization: {summary['mean_utilization']:.1%}")
     if args.show:
+        from .exec.values import FArray
+
         for name in args.show:
             value = env.get(name.lower())
-            data = getattr(value, "data", value)
+            data = value.data if isinstance(value, FArray) else value
             print(f"{name} = {data}")
     return 0
 
@@ -245,6 +292,17 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["interp", "vm", "auto"],
                    help="SIMD execution engine: tree-walking interpreter, "
                         "the bytecode VM, or autoselection")
+    p.add_argument("--max-steps", type=int, default=None,
+                   help="abort with a budget fault after this many "
+                        "executed instructions/statements")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget for the run")
+    p.add_argument("--crash-dump", metavar="PATH",
+                   help="on failure, write the postmortem (pc, mask stack, "
+                        "per-PE environment, last opcodes) as JSON")
+    p.add_argument("--fallback", metavar="CHAIN",
+                   help="comma-separated backend fallback chain, e.g. "
+                        "'vm,interpreter'; retryable faults degrade along it")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("paper", help="regenerate a paper exhibit")

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..lang import ast
+from ..reliability import Budget
 from .counters import ExecutionCounters
 from .scalar import ScalarInterpreter
 
@@ -60,12 +61,25 @@ class MIMDSimulator:
         nproc: Number of processors.
         externals: External subroutine registry shared by all
             processors (called with each processor's interpreter).
+        budget: Per-processor execution guard
+            (:class:`~repro.reliability.Budget`).
+        fault_plan: Deterministic fault injection shared by all
+            processors (:class:`~repro.reliability.FaultPlan`).
     """
 
-    def __init__(self, source: ast.SourceFile, nproc: int, externals: dict | None = None):
+    def __init__(
+        self,
+        source: ast.SourceFile,
+        nproc: int,
+        externals: dict | None = None,
+        budget: Budget | None = None,
+        fault_plan=None,
+    ):
         self.source = source
         self.nproc = nproc
         self.externals = externals or {}
+        self.budget = budget
+        self.fault_plan = fault_plan
 
     def run(
         self,
@@ -86,6 +100,8 @@ class MIMDSimulator:
         Returns:
             A :class:`MIMDResult` with per-processor envs and counters.
         """
+        if self.fault_plan is not None:
+            self.fault_plan.check_backend("mimd")
         envs: list[dict] = []
         counters: list[ExecutionCounters] = []
         statements: list[int] = []
@@ -95,7 +111,11 @@ class MIMDSimulator:
             bindings.setdefault("nproc", self.nproc)
             hook = statement_hook_for(p) if statement_hook_for is not None else None
             interp = ScalarInterpreter(
-                self.source, self.externals, statement_hook=hook
+                self.source,
+                self.externals,
+                statement_hook=hook,
+                budget=self.budget,
+                fault_plan=self.fault_plan,
             )
             env = interp.run(routine_name=routine_name, bindings=bindings)
             envs.append(env)

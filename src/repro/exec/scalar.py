@@ -12,11 +12,21 @@ sections are supported Fortran-90 style.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from ..lang import ast
-from ..lang.errors import InterpreterError
+from ..lang.errors import InterpreterError, MiniFError
 from ..lang.symbols import implicit_type
+from ..reliability import (
+    Budget,
+    MachineSnapshot,
+    TRACE_DEPTH,
+    attach_snapshot,
+    locate,
+    snapshot_env,
+)
 from .counters import ExecutionCounters
 from .intrinsics import call_intrinsic, coerce
 from .ops import apply_binop, apply_unop, op_event_kind, value_event_kind
@@ -40,7 +50,11 @@ class ScalarInterpreter:
         counters: Event accumulator (created fresh when omitted).
         statement_hook: Optional callable ``hook(stmt, env)`` invoked
             before each executed statement — used by trace recorders.
-        max_statements: Safety bound on executed statements.
+        max_statements: Safety bound on executed statements (shorthand
+            for a ``Budget(max_steps=...)``).
+        budget: Execution guard; overrides ``max_statements``.
+        fault_plan: Deterministic fault injection
+            (:class:`~repro.reliability.FaultPlan`).
     """
 
     def __init__(
@@ -50,27 +64,58 @@ class ScalarInterpreter:
         counters: ExecutionCounters | None = None,
         statement_hook=None,
         max_statements: int = 20_000_000,
+        budget: Budget | None = None,
+        fault_plan=None,
     ):
         self.source = source
         self.externals = externals or {}
         self.counters = counters if counters is not None else ExecutionCounters(1)
         self.statement_hook = statement_hook
         self.max_statements = max_statements
+        self.budget = budget if budget is not None else Budget(max_steps=max_statements)
+        self.fault_plan = fault_plan
         self.executed_statements = 0
+        self._meter = self.budget.meter()
+        self._trace: deque = deque(maxlen=TRACE_DEPTH)
+        self._env: dict = {}
         self._routines = {unit.name: unit for unit in source.units}
+
+    def snapshot(self) -> MachineSnapshot:
+        """The interpreter's state right now (for crash dumps)."""
+        return MachineSnapshot(
+            backend="scalar",
+            pc=self.executed_statements,
+            steps=self.executed_statements,
+            mask=[True],
+            mask_stack=[],
+            env=snapshot_env(self._env),
+            last_ops=list(self._trace),
+        )
 
     # -- entry points -----------------------------------------------------------
 
     def run(self, routine_name: str | None = None, bindings: dict | None = None) -> dict:
-        """Execute a routine (the main PROGRAM by default); return its env."""
+        """Execute a routine (the main PROGRAM by default); return its env.
+
+        Errors raised mid-run carry a :meth:`snapshot` of the machine.
+        """
         routine = (
             self.source.main if routine_name is None else self._routines[routine_name]
         )
         env: dict = dict(bindings or {})
+        self._env = env
+        self._meter = self.budget.meter()
+        if self.fault_plan is not None:
+            try:
+                self.fault_plan.check_backend("scalar")
+            except MiniFError as error:
+                raise attach_snapshot(error, self.snapshot())
         try:
             self.exec_body(routine.body, env)
         except (ReturnSignal, StopSignal):
             pass
+        except MiniFError as error:
+            raise attach_snapshot(error, self.snapshot())
         return env
 
     # -- statements --------------------------------------------------------------
@@ -95,12 +140,17 @@ class ScalarInterpreter:
 
     def exec_stmt(self, stmt: ast.Stmt, env: dict) -> None:
         self.executed_statements += 1
-        if self.executed_statements > self.max_statements:
-            raise InterpreterError(
-                f"statement budget exceeded ({self.max_statements}); "
-                "suspected infinite loop",
-                stmt.loc,
-            )
+        self._env = env
+        self._meter.tick(stmt.loc)
+        if self.fault_plan is not None:
+            self.fault_plan.raise_op_fault(self.executed_statements, "scalar")
+        self._trace.append(
+            {
+                "pc": self.executed_statements,
+                "op": type(stmt).__name__,
+                "line": stmt.loc.line or None,
+            }
+        )
         if self.statement_hook is not None:
             self.statement_hook(stmt, env)
         method = getattr(self, f"_exec_{type(stmt).__name__.lower()}", None)
@@ -108,7 +158,13 @@ class ScalarInterpreter:
             raise InterpreterError(
                 f"statement {type(stmt).__name__} not supported here", stmt.loc
             )
-        method(stmt, env)
+        try:
+            method(stmt, env)
+        except MiniFError as error:
+            # The innermost statement wins; outer re-wraps are no-ops.
+            if not error.location.line:
+                locate(error, stmt.loc)
+            raise
 
     # individual statements ------------------------------------------------------
 

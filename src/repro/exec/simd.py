@@ -27,11 +27,24 @@ machine models in :mod:`repro.simd` turn them into cycles and seconds.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from ..lang import ast
-from ..lang.errors import InterpreterError
+from ..lang.errors import InterpreterError, MiniFError
 from ..lang.symbols import implicit_type
+from ..reliability import (
+    Budget,
+    DivergenceFault,
+    MachineSnapshot,
+    OutOfBoundsFault,
+    TRACE_DEPTH,
+    attach_snapshot,
+    locate,
+    render_mask,
+    snapshot_env,
+)
 from .counters import ExecutionCounters
 from .intrinsics import call_intrinsic, coerce, is_reduction_call
 from .ops import apply_binop, apply_unop, op_event_kind
@@ -76,7 +89,11 @@ class SIMDInterpreter:
         counters: Event accumulator (fresh one when omitted).
         statement_hook: Optional ``hook(stmt, env, mask)`` called before
             each executed statement (trace recording).
-        max_statements: Safety bound on executed statements.
+        max_statements: Safety bound on executed statements (shorthand
+            for a ``Budget(max_steps=...)``).
+        budget: Execution guard; overrides ``max_statements``.
+        fault_plan: Deterministic fault injection
+            (:class:`~repro.reliability.FaultPlan`).
     """
 
     def __init__(
@@ -87,6 +104,8 @@ class SIMDInterpreter:
         counters: ExecutionCounters | None = None,
         statement_hook=None,
         max_statements: int = 20_000_000,
+        budget: Budget | None = None,
+        fault_plan=None,
     ):
         if nproc < 1:
             raise InterpreterError(f"need at least one PE, got {nproc}")
@@ -96,22 +115,55 @@ class SIMDInterpreter:
         self.counters = counters if counters is not None else ExecutionCounters(nproc)
         self.statement_hook = statement_hook
         self.max_statements = max_statements
+        self.budget = budget if budget is not None else Budget(max_steps=max_statements)
+        self.fault_plan = fault_plan
         self.executed_statements = 0
+        self._meter = self.budget.meter()
+        self._trace: deque = deque(maxlen=TRACE_DEPTH)
+        self._mask_frames: list = []
+        self._env: dict = {}
         self._routines = {unit.name: unit for unit in source.units}
         self._mask = np.ones(nproc, dtype=bool)
+
+    def snapshot(self) -> MachineSnapshot:
+        """The interpreter's state right now (for crash dumps)."""
+        return MachineSnapshot(
+            backend="interpreter",
+            pc=self.executed_statements,
+            steps=self.executed_statements,
+            mask=render_mask(self._mask),
+            mask_stack=[render_mask(outer) for outer in self._mask_frames],
+            env=snapshot_env(self._env),
+            last_ops=list(self._trace),
+        )
 
     # -- entry point -----------------------------------------------------------
 
     def run(self, routine_name: str | None = None, bindings: dict | None = None) -> dict:
-        """Execute a routine on the full PE array; return its env."""
+        """Execute a routine on the full PE array; return its env.
+
+        Errors raised mid-run carry a :meth:`snapshot` of the machine.
+        """
         routine = (
             self.source.main if routine_name is None else self._routines[routine_name]
         )
         env: dict = dict(bindings or {})
+        self._env = env
+        self._meter = self.budget.meter()
+        if self.fault_plan is not None:
+            try:
+                self.fault_plan.check_backend("interpreter")
+            except MiniFError as error:
+                raise attach_snapshot(error, self.snapshot())
+            self._mask = self._mask & self.fault_plan.dropout_mask(
+                self.nproc, "interpreter"
+            )
         try:
             self.exec_body(routine.body, env)
         except (ReturnSignal, StopSignal):
             pass
+        except MiniFError as error:
+            raise attach_snapshot(error, self.snapshot())
         return env
 
     # -- mask helpers -----------------------------------------------------------
@@ -147,7 +199,7 @@ class SIMDInterpreter:
                 raise InterpreterError(f"{what}: no active processors")
             first = selected.flat[0]
             if not np.all(selected == first):
-                raise InterpreterError(
+                raise DivergenceFault(
                     f"{what} diverges across active processors — "
                     "a SIMD machine needs a uniform value here "
                     "(use MAXVAL/WHERE, i.e. SIMDize the loop)"
@@ -165,7 +217,7 @@ class SIMDInterpreter:
                 return False
             first = selected.flat[0]
             if not np.all(selected == first):
-                raise InterpreterError(
+                raise DivergenceFault(
                     f"{what} diverges across active processors — "
                     "use WHERE for per-PE control flow"
                 )
@@ -193,10 +245,17 @@ class SIMDInterpreter:
 
     def exec_stmt(self, stmt: ast.Stmt, env: dict) -> None:
         self.executed_statements += 1
-        if self.executed_statements > self.max_statements:
-            raise InterpreterError(
-                f"statement budget exceeded ({self.max_statements})", stmt.loc
-            )
+        self._env = env
+        self._meter.tick(stmt.loc)
+        if self.fault_plan is not None:
+            self.fault_plan.raise_op_fault(self.executed_statements, "interpreter")
+        self._trace.append(
+            {
+                "pc": self.executed_statements,
+                "op": type(stmt).__name__,
+                "line": stmt.loc.line or None,
+            }
+        )
         if self.statement_hook is not None:
             self.statement_hook(stmt, env, self._mask)
         method = getattr(self, f"_exec_{type(stmt).__name__.lower()}", None)
@@ -204,7 +263,13 @@ class SIMDInterpreter:
             raise InterpreterError(
                 f"statement {type(stmt).__name__} not supported on SIMD", stmt.loc
             )
-        method(stmt, env)
+        try:
+            method(stmt, env)
+        except MiniFError as error:
+            # The innermost statement wins; outer re-wraps are no-ops.
+            if not error.location.line:
+                locate(error, stmt.loc)
+            raise
 
     # declarations ------------------------------------------------------------------
 
@@ -441,16 +506,20 @@ class SIMDInterpreter:
         self.counters.record("mask", width=self.nproc, mask=self.lanes_active)
         outer = self._mask
         self._mask = self._combine(outer, cond)
+        self._mask_frames.append(outer)
         try:
             self.exec_body(stmt.then_body, env)
         finally:
+            self._mask_frames.pop()
             self._mask = outer
         if stmt.else_body:
             self.counters.record("mask", width=self.nproc, mask=self.lanes_active)
             self._mask = self._combine(outer, apply_unop(".NOT.", cond))
+            self._mask_frames.append(outer)
             try:
                 self.exec_body(stmt.else_body, env)
             finally:
+                self._mask_frames.pop()
                 self._mask = outer
 
     def _exec_forall(self, stmt: ast.Forall, env: dict) -> None:
@@ -466,9 +535,12 @@ class SIMDInterpreter:
                 cond = self.eval(stmt.mask, env)
                 self.counters.record("mask", width=self.nproc, mask=self.lanes_active)
                 self._mask = self._combine(outer, cond)
+                self._mask_frames.append(outer)
             try:
                 self.exec_body(stmt.body, env)
             finally:
+                if stmt.mask is not None:
+                    self._mask_frames.pop()
                 self._mask = outer
                 if saved is not None:
                     env[stmt.var] = saved
@@ -697,14 +769,14 @@ class SIMDInterpreter:
             self.counters.record("gather", width=self.nproc, layers=1, mask=lanes)
             idx = int(arr)
             if not 1 <= idx <= array.shape[0]:
-                raise InterpreterError(
+                raise OutOfBoundsFault(
                     f"subscript {idx} out of bounds for '{expr.name}'", expr.loc
                 )
             return array[idx - 1]
         if lanes.any():
             active = arr[lanes]
             if np.any((active < 1) | (active > array.shape[0])):
-                raise InterpreterError(
+                raise OutOfBoundsFault(
                     f"subscript out of bounds for '{expr.name}'", expr.loc
                 )
         clamped = np.clip(arr, 1, array.shape[0])

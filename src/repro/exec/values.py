@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..lang.errors import InterpreterError
+from ..reliability.errors import OutOfBoundsFault
 
 #: numpy dtypes for the MiniF base types.
 DTYPES = {
@@ -68,7 +69,7 @@ class FArray:
         bad = (idx < 1) | (idx > extent)
         if np.any(bad):
             offender = int(np.asarray(idx)[np.argmax(bad)]) if idx.ndim else int(idx)
-            raise InterpreterError(
+            raise OutOfBoundsFault(
                 f"subscript {offender} out of bounds for dimension "
                 f"{dim + 1} of '{self.name}' (extent {extent})"
             )

@@ -1,0 +1,55 @@
+"""Execution guardrails, fault taxonomy, fallback chain, fault injection.
+
+The cross-cutting robustness layer of the runtime:
+
+* :class:`Budget` / :class:`BudgetMeter` — step and wall-clock guards
+  threaded into every backend, so runaway flattened loops raise a
+  structured :class:`BudgetExceeded` instead of hanging;
+* the :class:`ReliabilityError` taxonomy (:class:`BudgetExceeded`,
+  :class:`BackendFault`, :class:`DivergenceFault`,
+  :class:`OutOfBoundsFault`) carrying source locations and
+  :class:`MachineSnapshot` crash dumps;
+* :class:`FallbackPolicy` — the Engine's degrading backend chain with
+  per-attempt records (:class:`Attempt`) and optional cross-backend
+  agreement checking;
+* :class:`FaultPlan` — seeded, deterministic fault injection (PE
+  dropout, transient op faults, forced backend failure) for chaos
+  tests.
+"""
+
+from .budget import DEFAULT_MAX_STEPS, Budget, BudgetMeter
+from .errors import (
+    BackendFault,
+    BudgetExceeded,
+    DivergenceFault,
+    OutOfBoundsFault,
+    ReliabilityError,
+    attach_snapshot,
+    crash_dump_for,
+    locate,
+)
+from .faults import FaultPlan
+from .policy import Attempt, FallbackPolicy, check_agreement
+from .snapshot import MachineSnapshot, TRACE_DEPTH, render_mask, snapshot_env
+
+__all__ = [
+    "Attempt",
+    "BackendFault",
+    "Budget",
+    "BudgetExceeded",
+    "BudgetMeter",
+    "DEFAULT_MAX_STEPS",
+    "DivergenceFault",
+    "FallbackPolicy",
+    "FaultPlan",
+    "MachineSnapshot",
+    "OutOfBoundsFault",
+    "ReliabilityError",
+    "TRACE_DEPTH",
+    "attach_snapshot",
+    "check_agreement",
+    "crash_dump_for",
+    "locate",
+    "render_mask",
+    "snapshot_env",
+]

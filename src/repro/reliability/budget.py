@@ -1,0 +1,86 @@
+"""Execution guards: step budgets and wall-clock deadlines.
+
+A :class:`Budget` is an immutable spec — *how much* work a run may
+do.  Each backend derives a private :class:`BudgetMeter` from it and
+ticks the meter once per VM instruction / interpreter statement; when
+the budget is exhausted the meter raises
+:class:`~repro.reliability.errors.BudgetExceeded` instead of letting a
+malformed flattened loop (zero-progress ``next``/``done`` flag logic,
+a ``DO`` stride bug) spin forever.
+
+Deadlines are polled every :attr:`Budget.check_every` ticks so the
+guard costs one integer compare on the hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..lang.errors import UNKNOWN_LOCATION
+from .errors import BudgetExceeded
+
+#: Default step ceiling — matches the interpreters' historical guard.
+DEFAULT_MAX_STEPS = 20_000_000
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Bounds on one execution attempt.
+
+    Attributes:
+        max_steps: Maximum VM instructions / interpreter statements
+            (None = unbounded).
+        deadline_seconds: Wall-clock ceiling per attempt
+            (None = unbounded).
+        check_every: How many ticks between deadline polls.
+    """
+
+    max_steps: int | None = DEFAULT_MAX_STEPS
+    deadline_seconds: float | None = None
+    check_every: int = 256
+
+    def meter(self) -> "BudgetMeter":
+        """A fresh meter enforcing this budget for one attempt."""
+        return BudgetMeter(self)
+
+
+class BudgetMeter:
+    """Counts execution steps against a :class:`Budget`.
+
+    Attributes:
+        budget: The spec being enforced.
+        steps: Steps ticked so far.
+    """
+
+    __slots__ = ("budget", "steps", "_deadline")
+
+    def __init__(self, budget: Budget):
+        self.budget = budget
+        self.steps = 0
+        self._deadline = (
+            time.monotonic() + budget.deadline_seconds
+            if budget.deadline_seconds is not None
+            else None
+        )
+
+    def tick(self, location=UNKNOWN_LOCATION) -> None:
+        """Account one step; raise :class:`BudgetExceeded` past the limit."""
+        self.steps += 1
+        max_steps = self.budget.max_steps
+        if max_steps is not None and self.steps > max_steps:
+            raise BudgetExceeded(
+                f"step budget exceeded ({max_steps} steps); "
+                "suspected runaway loop",
+                location if location is not None else UNKNOWN_LOCATION,
+            )
+        if (
+            self._deadline is not None
+            and self.steps % self.budget.check_every == 0
+            and time.monotonic() > self._deadline
+        ):
+            raise BudgetExceeded(
+                f"deadline exceeded ({self.budget.deadline_seconds}s "
+                f"after {self.steps} steps)",
+                location if location is not None else UNKNOWN_LOCATION,
+            )

@@ -1,0 +1,133 @@
+"""The execution-fault taxonomy.
+
+The interpreters historically raised a flat
+:class:`~repro.lang.errors.InterpreterError` for every runtime
+problem — a runaway loop, a divergent branch condition, an injected
+hardware fault and a plain type clash all looked the same to callers.
+The reliability layer splits them into classes the
+:class:`~repro.reliability.policy.FallbackPolicy` can act on:
+
+* :class:`BudgetExceeded` — an execution guard tripped (step budget
+  or wall-clock deadline).  Not retryable: a different backend would
+  spin just as long.
+* :class:`BackendFault` — the backend itself failed (injected fault,
+  infrastructure error).  Retryable by default: another backend — or
+  the same one again, for a transient fault — may well succeed.
+* :class:`DivergenceFault` — the program asked the single SIMD
+  program counter to follow per-PE divergent control flow.  A
+  program-level error; not retryable.
+* :class:`OutOfBoundsFault` — a subscript left its array.  Also
+  program-level; not retryable.
+
+Every reliability error is an :class:`InterpreterError` (so existing
+``except InterpreterError`` sites keep working), carries the usual
+:class:`~repro.lang.errors.SourceLocation`, and may carry a
+:class:`~repro.reliability.snapshot.MachineSnapshot` of the machine at
+the moment of death — :meth:`ReliabilityError.crash_dump` serializes
+both into a postmortem dict.
+"""
+
+from __future__ import annotations
+
+from ..lang.errors import (
+    InterpreterError,
+    MiniFError,
+    SourceLocation,
+    UNKNOWN_LOCATION,
+)
+
+
+class ReliabilityError(InterpreterError):
+    """Base class for classified execution faults.
+
+    Attributes:
+        snapshot: :class:`~repro.reliability.snapshot.MachineSnapshot`
+            of the failing machine, when one could be captured.
+        retryable: Whether a :class:`FallbackPolicy` may re-execute
+            the program (same or next backend) after this fault.
+    """
+
+    default_retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        location: SourceLocation = UNKNOWN_LOCATION,
+        *,
+        snapshot=None,
+        retryable: bool | None = None,
+    ):
+        super().__init__(message, location)
+        self.snapshot = snapshot
+        self.retryable = self.default_retryable if retryable is None else retryable
+
+    def crash_dump(self) -> dict:
+        """A JSON-serializable postmortem of this fault."""
+        return crash_dump_for(self)
+
+
+class BudgetExceeded(ReliabilityError):
+    """An execution guard (step budget / wall-clock deadline) tripped."""
+
+
+class BackendFault(ReliabilityError):
+    """The execution backend itself failed (injected or real)."""
+
+    default_retryable = True
+
+
+class DivergenceFault(ReliabilityError):
+    """Per-PE divergent control flow reached the single program counter."""
+
+
+class OutOfBoundsFault(ReliabilityError):
+    """A subscript left the bounds of its array."""
+
+
+def locate(error: MiniFError, location) -> MiniFError:
+    """Fill in a missing source location on an execution error, in place.
+
+    The location baked into ``str(error)`` is rebuilt; an error that
+    already knows where it happened is returned untouched.
+    """
+    if (
+        location is not None
+        and getattr(location, "line", 0)
+        and not error.location.line
+    ):
+        error.location = location
+        error.args = (f"{location}: {error.message}",)
+    return error
+
+
+def attach_snapshot(error: MiniFError, snapshot) -> MiniFError:
+    """Attach a machine snapshot to an execution error, in place.
+
+    Works on any :class:`MiniFError` — plain interpreter errors gain a
+    ``snapshot`` attribute so :func:`crash_dump_for` can serialize the
+    machine state even for unclassified faults.  An existing snapshot
+    is never overwritten.
+    """
+    if snapshot is not None and getattr(error, "snapshot", None) is None:
+        error.snapshot = snapshot
+    return error
+
+
+def crash_dump_for(error: MiniFError) -> dict:
+    """A JSON-serializable postmortem dict for any execution error.
+
+    Always contains ``error`` (class name), ``message``, ``location``
+    and ``retryable``; when a machine snapshot was captured, its
+    fields (``backend``, ``pc``, ``steps``, ``mask``, ``mask_stack``,
+    ``env``, ``last_ops``) are merged in.
+    """
+    dump = {
+        "error": type(error).__name__,
+        "message": error.message,
+        "location": str(error.location),
+        "retryable": bool(getattr(error, "retryable", False)),
+    }
+    snapshot = getattr(error, "snapshot", None)
+    if snapshot is not None:
+        dump.update(snapshot.to_dict())
+    return dump

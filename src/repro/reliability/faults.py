@@ -1,0 +1,92 @@
+"""Deterministic fault injection for chaos testing.
+
+A :class:`FaultPlan` describes, up front and reproducibly, what is
+going to go wrong: which PEs are dead, at which step indices a
+transient fault fires, which backends refuse to run at all.  Any
+machine (VM, SIMD/scalar tree-walkers, MIMD simulator) accepts a plan
+and consults it during execution, so chaos tests can *prove* that the
+fallback chain and the crash dumps work — the same plan always
+produces the same failure.
+
+Injected faults surface as
+:class:`~repro.reliability.errors.BackendFault` (retryable).  With
+``transient=True`` (the default) each op fault fires exactly once per
+plan instance, so a retry — on the same backend or the next one in
+the chain — succeeds; a plan is therefore *stateful* and should be
+built fresh per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .errors import BackendFault
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, deterministic schedule of injected failures.
+
+    Attributes:
+        seed: RNG seed for the random components (PE dropout).
+        dropout_pes: Explicit 0-based PE indices to kill.
+        dropout_rate: Additionally kill each PE with this probability
+            (drawn deterministically from ``seed``).
+        op_faults: Step indices (1-based executed-step counts) at
+            which a transient fault fires.
+        fail_backends: Backends that fail outright at run start.
+        backends: Restrict dropout and op faults to these backends
+            (empty = apply on every backend).
+        transient: Each op fault fires once per plan instance; a
+            retry proceeds past it.
+    """
+
+    seed: int = 0
+    dropout_pes: tuple[int, ...] = ()
+    dropout_rate: float = 0.0
+    op_faults: tuple[int, ...] = ()
+    fail_backends: tuple[str, ...] = ()
+    backends: tuple[str, ...] = ()
+    transient: bool = True
+    _fired: set = field(default_factory=set, repr=False, compare=False)
+
+    def targets(self, backend: str) -> bool:
+        """Whether dropout / op faults apply on this backend."""
+        return not self.backends or backend in self.backends
+
+    def check_backend(self, backend: str) -> None:
+        """Raise the forced failure for a backend listed in ``fail_backends``."""
+        if backend in self.fail_backends:
+            raise BackendFault(f"injected backend failure on '{backend}'")
+
+    def dropout_mask(self, nproc: int, backend: str) -> np.ndarray:
+        """Alive-lanes mask (True = alive), deterministic in ``seed``."""
+        alive = np.ones(nproc, dtype=bool)
+        if not self.targets(backend):
+            return alive
+        for pe in self.dropout_pes:
+            if 0 <= pe < nproc:
+                alive[pe] = False
+        if self.dropout_rate > 0.0:
+            rng = np.random.default_rng(self.seed)
+            alive &= rng.random(nproc) >= self.dropout_rate
+        return alive
+
+    def op_fault(self, step: int, backend: str) -> bool:
+        """Whether an injected fault fires at this executed-step count."""
+        if not self.targets(backend) or step not in self.op_faults:
+            return False
+        if self.transient:
+            if step in self._fired:
+                return False
+            self._fired.add(step)
+        return True
+
+    def raise_op_fault(self, step: int, backend: str) -> None:
+        """Consult :meth:`op_fault` and raise the injected fault."""
+        if self.op_fault(step, backend):
+            raise BackendFault(
+                f"injected transient fault at step {step} on '{backend}'"
+            )

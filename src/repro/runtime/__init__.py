@@ -2,9 +2,23 @@
 
 :class:`Engine` memoizes the parse/transform/bytecode pipeline;
 :class:`CompiledProgram` is the reusable artifact; :class:`RunResult`
-is the uniform outcome shape shared by every backend.
+is the uniform outcome shape shared by every backend.  The reliability
+layer's run-facing names (:class:`Budget`, :class:`FallbackPolicy`,
+:class:`FaultPlan`, the fault taxonomy) are re-exported here so a
+guarded run needs only one import.
 """
 
+from ..reliability import (
+    Attempt,
+    BackendFault,
+    Budget,
+    BudgetExceeded,
+    DivergenceFault,
+    FallbackPolicy,
+    FaultPlan,
+    OutOfBoundsFault,
+    ReliabilityError,
+)
 from .engine import (
     CompiledProgram,
     CompileOptions,
@@ -16,10 +30,19 @@ from .engine import (
 from .result import RunResult
 
 __all__ = [
+    "Attempt",
+    "BackendFault",
+    "Budget",
+    "BudgetExceeded",
     "CompileOptions",
     "CompiledProgram",
+    "DivergenceFault",
     "Engine",
     "EngineStats",
+    "FallbackPolicy",
+    "FaultPlan",
+    "OutOfBoundsFault",
+    "ReliabilityError",
     "RunResult",
     "default_engine",
     "reset_default_engine",

@@ -35,9 +35,16 @@ from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 
 from ..lang import ast
-from ..lang.errors import InterpreterError, TransformError
+from ..lang.errors import InterpreterError, MiniFError, TransformError
 from ..lang.parser import parse_source
 from ..lang.printer import format_source
+from ..reliability import (
+    Attempt,
+    FallbackPolicy,
+    ReliabilityError,
+    check_agreement,
+    crash_dump_for,
+)
 from ..transform.options import (
     normalize_layout,
     normalize_transform,
@@ -209,6 +216,9 @@ class CompiledProgram:
         routine_name: str | None = None,
         bindings_for=None,
         statement_hook_for=None,
+        budget=None,
+        fault_plan=None,
+        policy: FallbackPolicy | None = None,
     ) -> RunResult:
         """Execute the compiled program and return a :class:`RunResult`.
 
@@ -216,56 +226,109 @@ class CompiledProgram:
             bindings: Initial environment (copied, never mutated).
             nproc: PE count; 0 runs the sequential execution level.
             backend: ``"auto"``, ``"vm"``, ``"interpreter"``,
-                ``"scalar"`` or ``"mimd"``.
+                ``"scalar"`` or ``"mimd"``.  Ignored when ``policy``
+                supplies its own chain.
             externals: External subroutine registry.
             statement_hook: Trace hook (tree-walking backends only).
             routine_name: Run a routine other than the main program
                 (tree-walking backends only).
             bindings_for: MIMD backend — callable ``p -> dict``.
             statement_hook_for: MIMD backend — callable ``p -> hook``.
+            budget: Execution guard (:class:`~repro.reliability.Budget`)
+                applied to the run; runaway programs raise
+                :class:`~repro.reliability.BudgetExceeded`.
+            fault_plan: Deterministic fault injection
+                (:class:`~repro.reliability.FaultPlan`) for chaos
+                testing the run.
+            policy: A :class:`~repro.reliability.FallbackPolicy`; when
+                given, faults retry and degrade along its backend chain
+                and every attempt is recorded in
+                :attr:`RunResult.attempts`.
         """
+        kwargs = dict(
+            bindings=bindings,
+            nproc=nproc,
+            externals=externals,
+            statement_hook=statement_hook,
+            routine_name=routine_name,
+            bindings_for=bindings_for,
+            statement_hook_for=statement_hook_for,
+            budget=budget,
+            fault_plan=fault_plan,
+        )
+        if policy is not None:
+            return self._run_with_policy(policy, **kwargs)
         chosen = self._resolve_backend(backend, nproc, statement_hook, routine_name)
         start = time.perf_counter()
-        statements = None
+        env, counters, statements = self._execute(chosen, **kwargs)
+        wall = time.perf_counter() - start
+        return self._result(chosen, nproc, env, counters, statements, wall)
+
+    def _execute(
+        self,
+        chosen: str,
+        *,
+        bindings,
+        nproc,
+        externals,
+        statement_hook,
+        routine_name,
+        bindings_for,
+        statement_hook_for,
+        budget,
+        fault_plan,
+    ):
+        """Run one already-resolved backend; return (env, counters, statements)."""
         if chosen == "vm":
             from ..vm.machine import SIMDVirtualMachine
 
-            vm = SIMDVirtualMachine(nproc, externals)
+            vm = SIMDVirtualMachine(
+                nproc, externals, budget=budget, fault_plan=fault_plan
+            )
             raw = vm.run(self.bytecode(), bindings=dict(bindings or {}))
             env = {k: v for k, v in raw.items() if not k.startswith("__")}
-            counters = vm.counters
-            statements = vm.executed
-        elif chosen == "interpreter":
+            return env, vm.counters, vm.executed
+        if chosen == "interpreter":
             from ..exec.simd import SIMDInterpreter
 
             interp = SIMDInterpreter(
-                self._tree, nproc, externals, statement_hook=statement_hook
+                self._tree,
+                nproc,
+                externals,
+                statement_hook=statement_hook,
+                budget=budget,
+                fault_plan=fault_plan,
             )
             env = interp.run(routine_name=routine_name, bindings=bindings)
-            counters = interp.counters
-            statements = interp.executed_statements
-        elif chosen == "scalar":
+            return env, interp.counters, interp.executed_statements
+        if chosen == "scalar":
             from ..exec.scalar import ScalarInterpreter
 
             interp = ScalarInterpreter(
-                self._tree, externals, statement_hook=statement_hook
+                self._tree,
+                externals,
+                statement_hook=statement_hook,
+                budget=budget,
+                fault_plan=fault_plan,
             )
             env = interp.run(routine_name=routine_name, bindings=bindings)
-            counters = interp.counters
-            statements = interp.executed_statements
-        else:  # mimd
-            from ..exec.mimd import MIMDSimulator
+            return env, interp.counters, interp.executed_statements
+        # mimd
+        from ..exec.mimd import MIMDSimulator
 
-            sim = MIMDSimulator(self._tree, nproc, externals)
-            mimd = sim.run(
-                bindings_for=bindings_for,
-                routine_name=routine_name,
-                statement_hook_for=statement_hook_for,
-            )
-            env = mimd.envs
-            counters = mimd.counters
-            statements = mimd.statements
-        wall = time.perf_counter() - start
+        sim = MIMDSimulator(
+            self._tree, nproc, externals, budget=budget, fault_plan=fault_plan
+        )
+        mimd = sim.run(
+            bindings_for=bindings_for,
+            routine_name=routine_name,
+            statement_hook_for=statement_hook_for,
+        )
+        return mimd.envs, mimd.counters, mimd.statements
+
+    def _result(
+        self, chosen, nproc, env, counters, statements, wall, attempts=None
+    ) -> RunResult:
         self._engine.stats.runs[chosen] += 1
         return RunResult(
             env=env,
@@ -276,7 +339,130 @@ class CompiledProgram:
             wall_seconds=wall,
             stage_seconds={**self.stage_seconds, "run": wall},
             statements=statements,
+            attempts=attempts if attempts is not None else [],
         )
+
+    def _run_with_policy(self, policy: FallbackPolicy, **kwargs) -> RunResult:
+        """Try the policy's backend chain, recording every attempt.
+
+        Semantics:
+
+        * A backend that will not even resolve for this program/run
+          shape (e.g. ``"vm"`` when the routine has no bytecode form)
+          records one failed attempt and the chain degrades.
+        * A *retryable* :class:`~repro.reliability.ReliabilityError`
+          (transient backend faults) retries the same backend up to
+          ``policy.retries`` more times, then degrades.
+        * A non-retryable fault — budget exhaustion, divergence, bounds
+          violations, genuine program errors — raises immediately with
+          the attempt log attached as ``error.attempts``: deterministic
+          failures would only re-fail downstream.
+        * With ``policy.verify`` the rest of the chain runs after a
+          success and must agree on env + counters.
+        """
+        nproc = kwargs["nproc"]
+        attempts: list[Attempt] = []
+        last_error: Exception | None = None
+        for backend in policy.chain:
+            try:
+                chosen = self._resolve_backend(
+                    backend,
+                    nproc,
+                    kwargs["statement_hook"],
+                    kwargs["routine_name"],
+                )
+            except MiniFError as error:
+                attempts.append(
+                    Attempt(
+                        backend=backend,
+                        ok=False,
+                        error=f"{type(error).__name__}: {error}",
+                        crash_dump=crash_dump_for(error),
+                    )
+                )
+                last_error = error
+                continue
+            for _try in range(1 + policy.retries):
+                start = time.perf_counter()
+                try:
+                    env, counters, statements = self._execute(chosen, **kwargs)
+                except ReliabilityError as error:
+                    wall = time.perf_counter() - start
+                    snapshot = error.snapshot
+                    attempts.append(
+                        Attempt(
+                            backend=chosen,
+                            ok=False,
+                            wall_seconds=wall,
+                            steps=None if snapshot is None else snapshot.steps,
+                            error=f"{type(error).__name__}: {error}",
+                            crash_dump=error.crash_dump(),
+                        )
+                    )
+                    last_error = error
+                    if not policy.is_retryable(error):
+                        error.attempts = attempts
+                        raise
+                    continue
+                wall = time.perf_counter() - start
+                attempts.append(
+                    Attempt(
+                        backend=chosen, ok=True, wall_seconds=wall, steps=statements
+                    )
+                )
+                if policy.verify:
+                    self._verify_rest(policy, chosen, env, counters, attempts, kwargs)
+                return self._result(
+                    chosen, nproc, env, counters, statements, wall, attempts
+                )
+        if last_error is not None:
+            last_error.attempts = attempts
+            raise last_error
+        raise InterpreterError(
+            f"fallback chain {policy.chain!r} resolved no backend"
+        )
+
+    def _verify_rest(self, policy, chosen, env, counters, attempts, kwargs) -> None:
+        """Differential check: run the rest of the chain, demand agreement."""
+        seen = {chosen}
+        for other in policy.chain:
+            try:
+                resolved = self._resolve_backend(
+                    other,
+                    kwargs["nproc"],
+                    kwargs["statement_hook"],
+                    kwargs["routine_name"],
+                )
+            except MiniFError:
+                continue
+            if resolved in seen:
+                continue
+            seen.add(resolved)
+            start = time.perf_counter()
+            try:
+                env_b, counters_b, statements_b = self._execute(resolved, **kwargs)
+            except ReliabilityError as error:
+                attempts.append(
+                    Attempt(
+                        backend=resolved,
+                        ok=False,
+                        wall_seconds=time.perf_counter() - start,
+                        error=f"{type(error).__name__}: {error}",
+                        crash_dump=error.crash_dump(),
+                    )
+                )
+                continue
+            attempts.append(
+                Attempt(
+                    backend=resolved,
+                    ok=True,
+                    wall_seconds=time.perf_counter() - start,
+                    steps=statements_b,
+                )
+            )
+            check_agreement(
+                env, counters, env_b, counters_b, backends=(chosen, resolved)
+            )
 
 
 class Engine:
@@ -379,6 +565,41 @@ class Engine:
                 self._cache.popitem(last=False)
         winner.cache_hit = winner is not program
         return winner
+
+    def run(
+        self,
+        source: ast.SourceFile | str,
+        bindings: dict | None = None,
+        *,
+        transform: str | None = None,
+        variant: str = "auto",
+        simd: bool = True,
+        assume_min_trips: bool = False,
+        routine: str | None = None,
+        nest_index: int = 0,
+        layout: str = "block",
+        width: int | None = None,
+        **run_kwargs,
+    ) -> RunResult:
+        """Compile (cached) and run in one call.
+
+        Compile keywords are those of :meth:`compile`; everything else
+        (``nproc``, ``backend``, ``externals``, ``budget``,
+        ``fault_plan``, ``policy``, ...) is forwarded to
+        :meth:`CompiledProgram.run`.
+        """
+        program = self.compile(
+            source,
+            transform=transform,
+            variant=variant,
+            simd=simd,
+            assume_min_trips=assume_min_trips,
+            routine=routine,
+            nest_index=nest_index,
+            layout=layout,
+            width=width,
+        )
+        return program.run(bindings, **run_kwargs)
 
     def _build(
         self, text: str, sha: str, key: tuple, options: CompileOptions

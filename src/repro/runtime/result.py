@@ -45,6 +45,11 @@ class RunResult:
         statements: Backend work metric — statements executed by the
             tree-walkers, instructions retired by the VM, or a
             per-processor statement list for MIMD.
+        attempts: Execution attempts made under a
+            :class:`~repro.reliability.FallbackPolicy`, in order
+            (empty for plain single-backend runs).  Each is an
+            :class:`~repro.reliability.Attempt`; failed ones carry a
+            crash dump.
     """
 
     env: object
@@ -55,6 +60,7 @@ class RunResult:
     wall_seconds: float = 0.0
     stage_seconds: dict = field(default_factory=dict)
     statements: object = None
+    attempts: list = field(default_factory=list)
 
     # -- legacy (env, counters) tuple protocol ------------------------------
 

@@ -48,7 +48,7 @@ class Compiler:
 
     def _emit(self, op: Op, arg=None, loc=None, acu: bool = False) -> int:
         index = len(self._code)
-        self._code.append(Instr(op, arg, acu))
+        self._code.append(Instr(op, arg, acu, loc if loc is not None and loc.line else None))
         if loc is not None and loc.line:
             self._source_map[index] = loc.line
         return index

@@ -67,11 +67,17 @@ class Instr:
     jumps the compiler synthesizes (loop back-edges, IF joins, EXIT,
     CYCLE) carry ``acu=False`` and execute for free, matching the
     tree-walking interpreter's accounting.
+
+    ``loc`` is the :class:`~repro.lang.errors.SourceLocation` of the
+    AST node the instruction was compiled from (None for synthesized
+    instructions); the VM stamps it onto every error it raises so
+    runtime diagnostics point back at the original source line.
     """
 
     op: Op
     arg: object = None
     acu: bool = False
+    loc: object = None
 
     def __repr__(self) -> str:
         if self.arg is None:

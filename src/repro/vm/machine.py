@@ -14,6 +14,8 @@ differentially against each other.
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from ..exec.counters import ExecutionCounters
@@ -22,7 +24,18 @@ from ..exec.ops import apply_binop, apply_unop, op_event_kind
 from ..exec.simd import SIMDInterpreter, _align_mask, _lane_mask
 from ..exec.values import FArray
 from ..lang import ast
-from ..lang.errors import InterpreterError
+from ..lang.errors import InterpreterError, MiniFError
+from ..reliability import (
+    Budget,
+    DivergenceFault,
+    MachineSnapshot,
+    OutOfBoundsFault,
+    TRACE_DEPTH,
+    attach_snapshot,
+    locate,
+    render_mask,
+    snapshot_env,
+)
 from .isa import CodeObject, Instr, Op
 
 
@@ -34,7 +47,11 @@ class SIMDVirtualMachine:
         externals: Mapping name -> callable with the interpreter
             external convention ``fn(vm, arg_exprs, args, env, mask)``.
         counters: Event accumulator (fresh when omitted).
-        max_instructions: Runaway-loop guard.
+        max_instructions: Runaway-loop guard (shorthand for a
+            ``Budget(max_steps=...)``).
+        budget: Execution guard; overrides ``max_instructions``.
+        fault_plan: Deterministic fault injection
+            (:class:`~repro.reliability.FaultPlan`).
     """
 
     def __init__(
@@ -43,6 +60,8 @@ class SIMDVirtualMachine:
         externals: dict | None = None,
         counters: ExecutionCounters | None = None,
         max_instructions: int = 20_000_000,
+        budget: Budget | None = None,
+        fault_plan=None,
     ):
         if nproc < 1:
             raise InterpreterError(f"need at least one PE, got {nproc}")
@@ -50,7 +69,13 @@ class SIMDVirtualMachine:
         self.externals = externals or {}
         self.counters = counters if counters is not None else ExecutionCounters(nproc)
         self.max_instructions = max_instructions
+        self.budget = budget if budget is not None else Budget(max_steps=max_instructions)
+        self.fault_plan = fault_plan
         self.executed = 0
+        self._meter = self.budget.meter()
+        self._trace: deque = deque(maxlen=TRACE_DEPTH)
+        self._env: dict = {}
+        self._last_pc = 0
         self._mask_stack: list[tuple[np.ndarray, np.ndarray]] = []
         self._mask = np.ones(nproc, dtype=bool)
         # a shadow interpreter provides assign_to for external writebacks
@@ -58,6 +83,18 @@ class SIMDVirtualMachine:
             ast.SourceFile([ast.Routine("program", "__vm__", [], [])]),
             nproc,
             counters=self.counters,
+        )
+
+    def snapshot(self) -> MachineSnapshot:
+        """The machine's state right now (for crash dumps)."""
+        return MachineSnapshot(
+            backend="vm",
+            pc=self._last_pc,
+            steps=self.executed,
+            mask=render_mask(self._mask),
+            mask_stack=[render_mask(outer) for outer, _ in self._mask_stack],
+            env=snapshot_env(self._env),
+            last_ops=list(self._trace),
         )
 
     # -- mask helpers --------------------------------------------------------------
@@ -79,7 +116,7 @@ class SIMDVirtualMachine:
                 return False
             first = selected.flat[0]
             if not np.all(selected == first):
-                raise InterpreterError(
+                raise DivergenceFault(
                     "branch condition diverges across active PEs — the "
                     "single program counter cannot follow; use WHERE"
                 )
@@ -95,7 +132,7 @@ class SIMDVirtualMachine:
                 raise InterpreterError(f"{what}: no active PEs")
             first = selected.flat[0]
             if not np.all(selected == first):
-                raise InterpreterError(f"{what} diverges across active PEs")
+                raise DivergenceFault(f"{what} diverges across active PEs")
             return int(first)
         return int(value)
 
@@ -109,150 +146,181 @@ class SIMDVirtualMachine:
     # -- execution -------------------------------------------------------------------
 
     def run(self, code: CodeObject, bindings: dict | None = None) -> dict:
-        """Execute a code object; returns the final environment."""
+        """Execute a code object; returns the final environment.
+
+        Every error raised mid-run is stamped with the current
+        instruction's source location and a :meth:`snapshot` of the
+        machine before propagating.
+        """
         env: dict = dict(bindings or {})
+        self._env = env
+        self._meter = self.budget.meter()
         stack: list = []
         pc = 0
         instructions = code.instructions
+        if self.fault_plan is not None:
+            try:
+                self.fault_plan.check_backend("vm")
+            except MiniFError as error:
+                raise attach_snapshot(error, self.snapshot())
+            self._mask = self._mask & self.fault_plan.dropout_mask(
+                self.nproc, "vm"
+            )
         while pc < len(instructions):
             self.executed += 1
-            if self.executed > self.max_instructions:
-                raise InterpreterError(
-                    f"instruction budget exceeded ({self.max_instructions})"
-                )
+            self._last_pc = pc
             instr = instructions[pc]
-            op = instr.op
-            if op is Op.PUSH_CONST:
-                stack.append(instr.arg)
-            elif op is Op.LOAD:
-                if instr.arg not in env:
-                    raise InterpreterError(f"'{instr.arg}' used before assignment")
-                stack.append(env[instr.arg])
-            elif op is Op.STORE:
-                self._store(env, instr.arg, stack.pop())
-            elif op is Op.ALLOC:
-                self._alloc(env, stack, instr.arg)
-            elif op is Op.LOAD_INDEXED:
-                stack.append(self._load_indexed(env, stack, instr.arg))
-            elif op is Op.STORE_INDEXED:
-                self._store_indexed(env, stack, instr.arg)
-            elif op is Op.BINOP:
-                right = stack.pop()
-                left = stack.pop()
-                result = apply_binop(instr.arg, left, right)
-                self.counters.record(
-                    op_event_kind(instr.arg, result),
-                    width=self.nproc,
-                    layers=self._layers_of(result),
-                    mask=self.lanes_active,
-                )
-                stack.append(result)
-            elif op is Op.UNOP:
-                result = apply_unop(instr.arg, stack.pop())
-                self.counters.record(
-                    op_event_kind(instr.arg, result),
-                    width=self.nproc,
-                    layers=self._layers_of(result),
-                    mask=self.lanes_active,
-                )
-                stack.append(result)
-            elif op is Op.INTRINSIC:
-                name, argc = instr.arg
-                args = stack[-argc:] if argc else []
-                del stack[len(stack) - argc:]
-                if is_reduction_call(name, argc):
-                    self.counters.record(
-                        "reduce", width=self.nproc, mask=self.lanes_active
-                    )
-                    stack.append(call_intrinsic(name, args, mask=self.lanes_active))
-                else:
-                    self.counters.record(
-                        "real_op", width=self.nproc, mask=self.lanes_active
-                    )
-                    stack.append(call_intrinsic(name, args))
-            elif op is Op.IOTA:
-                hi = self._uniform_int(stack.pop(), "range upper bound")
-                lo = self._uniform_int(stack.pop(), "range lower bound")
-                vec = np.arange(lo, hi + 1, dtype=np.int64)
-                if vec.shape[0] != self.nproc:
-                    raise InterpreterError(
-                        f"range vector [{lo} : {hi}] has {vec.shape[0]} "
-                        f"elements, machine has {self.nproc} PEs"
-                    )
-                stack.append(vec)
-            elif op is Op.VECTOR:
-                count = instr.arg
-                items = [coerce(v) for v in stack[-count:]]
-                del stack[len(stack) - count:]
-                vec = np.array(items)
-                if vec.shape[0] != self.nproc:
-                    raise InterpreterError(
-                        f"vector literal has {vec.shape[0]} elements, "
-                        f"machine has {self.nproc} PEs"
-                    )
-                stack.append(vec)
-            elif op is Op.CALL:
-                self._call(env, stack, instr.arg)
-            elif op is Op.PUSH_MASK:
-                cond = stack.pop()
-                self.counters.record("mask", width=self.nproc, mask=self.lanes_active)
-                outer = self._mask
-                self._mask_stack.append((outer, np.asarray(coerce(cond))))
-                self._mask = self._combine(outer, cond)
-            elif op is Op.ELSE_MASK:
-                if not self._mask_stack:
-                    raise InterpreterError("ELSE_MASK with empty mask stack")
-                outer, cond = self._mask_stack[-1]
-                # the ELSEWHERE mask op runs under the *enclosing* mask
-                self.counters.record(
-                    "mask", width=self.nproc, mask=_lane_mask(outer, self.nproc)
-                )
-                self._mask = self._combine(outer, apply_unop(".NOT.", cond))
-            elif op is Op.POP_MASK:
-                if not self._mask_stack:
-                    raise InterpreterError("POP_MASK with empty mask stack")
-                self._mask, _ = self._mask_stack.pop()
-            elif op is Op.JUMP:
-                if instr.acu:
-                    self.counters.record("acu")
-                pc = instr.arg
-                continue
-            elif op is Op.JUMP_IF_FALSE:
-                self.counters.record("acu")
-                if not self._uniform_bool(stack.pop()):
-                    pc = instr.arg
-                    continue
-            elif op is Op.CTL_STORE:
-                name, mode = instr.arg
-                value = stack.pop()
-                if mode == "int":
-                    env[name] = self._uniform_int(value, f"loop control '{name}'")
-                else:
-                    env[name] = value
-            elif op is Op.FOR:
-                var, limit, stride_name, exit_index = instr.arg
-                current = env[var]
-                stride = env[stride_name]
-                if stride == 0:
-                    raise InterpreterError("DO stride is zero")
-                if (stride > 0 and current <= env[limit]) or (
-                    stride < 0 and current >= env[limit]
-                ):
-                    self.counters.record("acu")
-                else:
-                    pc = exit_index
-                    continue
-            elif op is Op.FOR_INCR:
-                var, stride_name = instr.arg
-                env[var] = env[var] + env[stride_name]
-            elif op is Op.NOP:
-                pass
-            elif op is Op.HALT:
+            try:
+                next_pc = self._step(instr, pc, env, stack)
+            except MiniFError as error:
+                locate(error, instr.loc)
+                attach_snapshot(error, self.snapshot())
+                raise
+            if next_pc is None:  # HALT
                 break
-            else:  # pragma: no cover - exhaustive
-                raise InterpreterError(f"unknown opcode {op}")
-            pc += 1
+            pc = next_pc
         return env
+
+    def _step(self, instr: Instr, pc: int, env: dict, stack: list) -> int:
+        """Execute one instruction; returns the next program counter."""
+        self._meter.tick(instr.loc)
+        if self.fault_plan is not None:
+            self.fault_plan.raise_op_fault(self.executed, "vm")
+        self._trace.append(
+            {
+                "pc": pc,
+                "op": instr.op.name,
+                "line": instr.loc.line if instr.loc is not None else None,
+            }
+        )
+        op = instr.op
+        if op is Op.PUSH_CONST:
+            stack.append(instr.arg)
+        elif op is Op.LOAD:
+            if instr.arg not in env:
+                raise InterpreterError(f"'{instr.arg}' used before assignment")
+            stack.append(env[instr.arg])
+        elif op is Op.STORE:
+            self._store(env, instr.arg, stack.pop())
+        elif op is Op.ALLOC:
+            self._alloc(env, stack, instr.arg)
+        elif op is Op.LOAD_INDEXED:
+            stack.append(self._load_indexed(env, stack, instr.arg))
+        elif op is Op.STORE_INDEXED:
+            self._store_indexed(env, stack, instr.arg)
+        elif op is Op.BINOP:
+            right = stack.pop()
+            left = stack.pop()
+            result = apply_binop(instr.arg, left, right)
+            self.counters.record(
+                op_event_kind(instr.arg, result),
+                width=self.nproc,
+                layers=self._layers_of(result),
+                mask=self.lanes_active,
+            )
+            stack.append(result)
+        elif op is Op.UNOP:
+            result = apply_unop(instr.arg, stack.pop())
+            self.counters.record(
+                op_event_kind(instr.arg, result),
+                width=self.nproc,
+                layers=self._layers_of(result),
+                mask=self.lanes_active,
+            )
+            stack.append(result)
+        elif op is Op.INTRINSIC:
+            name, argc = instr.arg
+            args = stack[-argc:] if argc else []
+            del stack[len(stack) - argc:]
+            if is_reduction_call(name, argc):
+                self.counters.record(
+                    "reduce", width=self.nproc, mask=self.lanes_active
+                )
+                stack.append(call_intrinsic(name, args, mask=self.lanes_active))
+            else:
+                self.counters.record(
+                    "real_op", width=self.nproc, mask=self.lanes_active
+                )
+                stack.append(call_intrinsic(name, args))
+        elif op is Op.IOTA:
+            hi = self._uniform_int(stack.pop(), "range upper bound")
+            lo = self._uniform_int(stack.pop(), "range lower bound")
+            vec = np.arange(lo, hi + 1, dtype=np.int64)
+            if vec.shape[0] != self.nproc:
+                raise InterpreterError(
+                    f"range vector [{lo} : {hi}] has {vec.shape[0]} "
+                    f"elements, machine has {self.nproc} PEs"
+                )
+            stack.append(vec)
+        elif op is Op.VECTOR:
+            count = instr.arg
+            items = [coerce(v) for v in stack[-count:]]
+            del stack[len(stack) - count:]
+            vec = np.array(items)
+            if vec.shape[0] != self.nproc:
+                raise InterpreterError(
+                    f"vector literal has {vec.shape[0]} elements, "
+                    f"machine has {self.nproc} PEs"
+                )
+            stack.append(vec)
+        elif op is Op.CALL:
+            self._call(env, stack, instr.arg)
+        elif op is Op.PUSH_MASK:
+            cond = stack.pop()
+            self.counters.record("mask", width=self.nproc, mask=self.lanes_active)
+            outer = self._mask
+            self._mask_stack.append((outer, np.asarray(coerce(cond))))
+            self._mask = self._combine(outer, cond)
+        elif op is Op.ELSE_MASK:
+            if not self._mask_stack:
+                raise InterpreterError("ELSE_MASK with empty mask stack")
+            outer, cond = self._mask_stack[-1]
+            # the ELSEWHERE mask op runs under the *enclosing* mask
+            self.counters.record(
+                "mask", width=self.nproc, mask=_lane_mask(outer, self.nproc)
+            )
+            self._mask = self._combine(outer, apply_unop(".NOT.", cond))
+        elif op is Op.POP_MASK:
+            if not self._mask_stack:
+                raise InterpreterError("POP_MASK with empty mask stack")
+            self._mask, _ = self._mask_stack.pop()
+        elif op is Op.JUMP:
+            if instr.acu:
+                self.counters.record("acu")
+            return instr.arg
+        elif op is Op.JUMP_IF_FALSE:
+            self.counters.record("acu")
+            if not self._uniform_bool(stack.pop()):
+                return instr.arg
+        elif op is Op.CTL_STORE:
+            name, mode = instr.arg
+            value = stack.pop()
+            if mode == "int":
+                env[name] = self._uniform_int(value, f"loop control '{name}'")
+            else:
+                env[name] = value
+        elif op is Op.FOR:
+            var, limit, stride_name, exit_index = instr.arg
+            current = env[var]
+            stride = env[stride_name]
+            if stride == 0:
+                raise InterpreterError("DO stride is zero")
+            if (stride > 0 and current <= env[limit]) or (
+                stride < 0 and current >= env[limit]
+            ):
+                self.counters.record("acu")
+            else:
+                return exit_index
+        elif op is Op.FOR_INCR:
+            var, stride_name = instr.arg
+            env[var] = env[var] + env[stride_name]
+        elif op is Op.NOP:
+            pass
+        elif op is Op.HALT:
+            return None
+        else:  # pragma: no cover - exhaustive
+            raise InterpreterError(f"unknown opcode {op}")
+        return pc + 1
 
     # -- helpers -------------------------------------------------------------------
 
@@ -363,7 +431,7 @@ class SIMDVirtualMachine:
             if lanes.any():
                 active = arr[lanes]
                 if np.any((active < 1) | (active > array.shape[0])):
-                    raise InterpreterError(f"subscript out of bounds for '{name}'")
+                    raise OutOfBoundsFault(f"subscript out of bounds for '{name}'")
             clamped = np.clip(arr, 1, array.shape[0])
             self.counters.record("gather", width=self.nproc, mask=lanes)
             return array[clamped - 1]

@@ -174,3 +174,28 @@ class TestStats:
         result = program.run(example_bindings())
         assert "run" in result.stage_seconds
         assert result.wall_seconds >= 0.0
+
+
+class TestFailedCompiles:
+    """A compile that raises must never poison the cache."""
+
+    def test_transform_error_not_cached(self, engine):
+        with pytest.raises(TransformError, match="width"):
+            engine.compile(P1_SEQUENTIAL, transform="simdize")
+        assert len(engine) == 0
+
+    def test_corrected_options_never_hit_a_poisoned_entry(self, engine):
+        with pytest.raises(TransformError):
+            engine.compile(P1_SEQUENTIAL, transform="simdize")
+        program = engine.compile(P1_SEQUENTIAL, transform="simdize", width=2)
+        assert not program.cache_hit
+        assert len(engine) == 1
+        env, _ = program.run(example_bindings(), nproc=2)
+        np.testing.assert_allclose(env["x"].data, expected_x())
+
+    def test_refailing_compile_raises_every_time(self, engine):
+        for _ in range(2):
+            with pytest.raises(TransformError):
+                engine.compile(P1_SEQUENTIAL, transform="simdize")
+        assert engine.stats.hits == 0
+        assert len(engine) == 0

@@ -141,3 +141,70 @@ class TestCommands:
                      "--bind", "l=4,1,2,1,1,3,1,3"])
         assert code == 0
         assert "bytecode VM" in capsys.readouterr().out
+
+
+SPIN = """PROGRAM p
+  i = 1
+  WHILE (i >= 1)
+    i = i + 1
+  ENDWHILE
+END
+"""
+
+STRAIGHT = """PROGRAM p
+  v = [1 : 4]
+  w = v * 2
+END
+"""
+
+
+class TestRunGuards:
+    @pytest.fixture()
+    def spin(self, tmp_path):
+        path = tmp_path / "spin.f"
+        path.write_text(SPIN)
+        return str(path)
+
+    @pytest.fixture()
+    def straight(self, tmp_path):
+        path = tmp_path / "straight.f"
+        path.write_text(STRAIGHT)
+        return str(path)
+
+    def test_max_steps_kills_spin_loop(self, spin, capsys):
+        assert main(["run", spin, "-p", "2", "--max-steps", "500"]) == 1
+        assert "budget" in capsys.readouterr().err
+
+    def test_max_steps_applies_sequentially(self, spin, capsys):
+        assert main(["run", spin, "--max-steps", "500"]) == 1
+        assert "budget" in capsys.readouterr().err
+
+    def test_crash_dump_written(self, spin, tmp_path, capsys):
+        import json
+
+        dump_path = tmp_path / "dump.json"
+        assert main([
+            "run", spin, "-p", "2", "--engine", "vm",
+            "--max-steps", "500", "--crash-dump", str(dump_path),
+        ]) == 1
+        dump = json.loads(dump_path.read_text())
+        assert dump["error"] == "BudgetExceeded"
+        assert dump["backend"] == "vm"
+        assert {"pc", "mask", "mask_stack", "env", "last_ops"} <= set(dump)
+        assert "crash dump written" in capsys.readouterr().err
+
+    def test_fallback_chain_reported(self, straight, capsys):
+        assert main([
+            "run", straight, "-p", "4", "--fallback", "vm,interpreter",
+            "--show", "w",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "attempt[vm]: ok" in captured.err
+        assert "w = [2 4 6 8]" in captured.out
+
+    def test_successful_run_with_guards(self, straight, capsys):
+        assert main([
+            "run", straight, "-p", "4", "--max-steps", "1000",
+            "--deadline", "5",
+        ]) == 0
+        assert "ran on 4" in capsys.readouterr().out
