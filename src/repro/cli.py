@@ -7,6 +7,7 @@ Usage::
     python -m repro flatten FILE          # print the flattened program
     python -m repro simdize FILE -p 8     # naive SIMDization baseline
     python -m repro run FILE -p 8 --bind l=4,1,2,1  # execute, show counters
+    python -m repro fuzz --seed 0 -n 500  # differential fuzz the transforms
     python -m repro paper traces          # regenerate a paper exhibit
 
 Array bindings are comma-separated numbers; scalars are plain numbers.
@@ -207,6 +208,45 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .fuzz import run_fuzz
+    from .fuzz.corpus import iter_corpus, replay_entry
+
+    if args.replay:
+        if not args.corpus:
+            print("error: --replay needs --corpus DIR", file=sys.stderr)
+            return 2
+        failures = 0
+        entries = 0
+        for entry in iter_corpus(args.corpus):
+            entries += 1
+            divergence = replay_entry(entry, nproc=args.nproc)
+            if divergence is None:
+                print(f"{entry.name}: no longer reproduces")
+            else:
+                failures += 1
+                print(
+                    f"{entry.name}: still fails [{divergence.kind}] on "
+                    f"{divergence.config}: {divergence.detail}"
+                )
+        print(f"replayed {entries} corpus entr{'y' if entries == 1 else 'ies'}")
+        return 1 if failures else 0
+
+    report = run_fuzz(
+        seed=args.seed,
+        iterations=args.iterations,
+        nproc=args.nproc,
+        corpus_dir=args.corpus,
+        shrink=args.shrink,
+        max_failures=args.max_failures,
+        start=args.start,
+    )
+    print(report.summary())
+    for path in report.saved_paths:
+        print(f"  saved {path}")
+    return 0 if report.ok else 1
+
+
 def cmd_paper(args) -> int:
     from . import eval as evaluation
 
@@ -304,6 +344,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated backend fallback chain, e.g. "
                         "'vm,interpreter'; retryable faults degrade along it")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the transform pipeline "
+             "(every legal variant x backend must agree)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p.add_argument("-n", "--iterations", type=int, default=500,
+                   help="number of generated programs (default 500)")
+    p.add_argument("-p", "--nproc", type=int, default=4,
+                   help="lockstep PE count for the SIMD/SPMD/MIMD legs")
+    p.add_argument("--corpus", metavar="DIR",
+                   help="persist failures (program, bindings, divergence, "
+                        "crash dump) as replayable JSON under DIR")
+    p.add_argument("--shrink", action="store_true",
+                   help="delta-debug each failure to a minimal reproducer")
+    p.add_argument("--max-failures", type=int, default=10,
+                   help="stop the campaign after this many failing programs")
+    p.add_argument("--start", type=int, default=0,
+                   help="first program index (for sharding campaigns)")
+    p.add_argument("--replay", action="store_true",
+                   help="re-run the stored corpus instead of generating "
+                        "new programs")
+    p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("paper", help="regenerate a paper exhibit")
     p.add_argument("exhibit",

@@ -389,12 +389,35 @@ class SIMDInterpreter:
         if any(isinstance(s, np.ndarray) and s.ndim >= 1 for s in subs):
             self._scatter(array, subs, value, target)
             return
-        index = array.np_index(subs)
+        # Issued with no active lane: the store writes nothing, so the
+        # (possibly garbage) address must not trap — clamp, don't check.
+        index = array.np_index(subs, clamp=not self.lanes_active.any())
         region = array.data[index]
         layers = self._layers_of(region)
         self.counters.record(
             "store", width=self.nproc, layers=layers, mask=self.lanes_active
         )
+        if not (isinstance(region, np.ndarray) and region.ndim >= 1):
+            # All lanes address the same element.  A per-lane value is
+            # legal lockstep only when the active lanes agree (they all
+            # write the same thing); otherwise the store is a race.
+            varr = np.asarray(value)
+            if varr.ndim >= 1:
+                if varr.ndim != 1 or varr.shape[0] != self.nproc:
+                    raise InterpreterError(
+                        f"cannot store an array value into element of "
+                        f"'{target.name}'",
+                        target.loc,
+                    )
+                lanes = _lane_mask(self._mask, self.nproc)
+                active = varr[lanes] if lanes.any() else varr
+                if not np.all(active == active.flat[0]):
+                    raise InterpreterError(
+                        f"divergent lanes race on scalar element store to "
+                        f"'{target.name}'",
+                        target.loc,
+                    )
+                value = active.flat[0].item()
         if bool(np.all(self._mask)):
             array.data[index] = value
             return
@@ -716,7 +739,8 @@ class SIMDInterpreter:
         if isinstance(array, FArray):
             if any(isinstance(s, np.ndarray) and s.ndim >= 1 for s in subs):
                 return self._gather(array, subs, expr)
-            index = array.np_index(subs)
+            # No active lane consumes this load; clamp instead of trap.
+            index = array.np_index(subs, clamp=not self.lanes_active.any())
             result = array.data[index]
             if isinstance(result, np.ndarray):
                 return result.copy()
@@ -769,9 +793,11 @@ class SIMDInterpreter:
             self.counters.record("gather", width=self.nproc, layers=1, mask=lanes)
             idx = int(arr)
             if not 1 <= idx <= array.shape[0]:
-                raise OutOfBoundsFault(
-                    f"subscript {idx} out of bounds for '{expr.name}'", expr.loc
-                )
+                if lanes.any():
+                    raise OutOfBoundsFault(
+                        f"subscript {idx} out of bounds for '{expr.name}'", expr.loc
+                    )
+                idx = min(max(idx, 1), array.shape[0])
             return array[idx - 1]
         if lanes.any():
             active = arr[lanes]

@@ -74,8 +74,17 @@ class FArray:
                 f"{dim + 1} of '{self.name}' (extent {extent})"
             )
 
-    def np_index(self, subs: list) -> tuple:
-        """Translate checked 1-based subscripts into a numpy index tuple."""
+    def np_index(self, subs: list, clamp: bool = False) -> tuple:
+        """Translate checked 1-based subscripts into a numpy index tuple.
+
+        With ``clamp=True``, out-of-range subscripts are clamped into
+        the extent instead of raising.  A lockstep machine still
+        *issues* WHERE-masked statements when every lane is inactive;
+        the addresses such an issue computes may be garbage and must
+        not trap (no active PE consumes the load, and masked stores
+        write nothing).  Zero-extent dimensions cannot be clamped and
+        keep the checked behaviour.
+        """
         if len(subs) != self.rank:
             raise InterpreterError(
                 f"'{self.name}' has rank {self.rank}, got {len(subs)} subscripts"
@@ -84,6 +93,10 @@ class FArray:
         for dim, sub in enumerate(subs):
             if isinstance(sub, slice):
                 out.append(sub)
+            elif clamp and self.shape[dim] >= 1:
+                arr = np.asarray(sub)
+                clamped = np.clip(arr, 1, self.shape[dim])
+                out.append(clamped - 1 if arr.ndim else int(clamped) - 1)
             else:
                 self.check_subscript(dim, sub)
                 arr = np.asarray(sub)

@@ -1,0 +1,277 @@
+"""Seeded, deterministic generator of random loop nests.
+
+Every program is a well-formed MiniF main program built around one
+two-level (sometimes three-level) loop nest — the shape the paper's
+transformation applies to — with concrete input bindings and
+ground-truth metadata computed at generation time:
+
+* the actual per-outer-iteration inner trip counts (so the oracle
+  knows when ``assume_min_trips`` is a *true* assertion and when a
+  divergence under a violated assumption is the caller's fault, not a
+  transform bug);
+* whether the program is partitionable across PEs without write
+  conflicts (scalar accumulators and ``y(j)``-style stores serialize
+  the outer loop);
+* the predicted total useful iterations (for the work-conservation
+  invariant).
+
+Generation is reproducible: program ``index`` under ``seed`` is a pure
+function of ``(seed, index)`` — no global RNG state is consulted, so
+test order (or ``pytest-randomly``) cannot change what is generated.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Inner-trip-shape feature names (one per program).
+TRIP_SHAPES = (
+    "array",        # DO j = 1, l(i)
+    "triangular",   # DO j = 1, i
+    "triangular2",  # DO j = i, k
+    "indirect",     # DO j = 1, l(idx(i))
+    "literal",      # DO j = 1, C
+    "clamped",      # DO j = 1, min(l(i), 2)
+    "shifted",      # DO j = 1, l(i) - 1  (can be negative -> 0 trips)
+)
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Knobs for the program generator.
+
+    Attributes:
+        max_outer: Largest outer trip count drawn.
+        max_trip: Largest per-iteration inner trip count drawn.
+        guard_prob: Probability of guarding a body store with an IF.
+        deep_prob: Probability of a third (literal-bound) loop level.
+        acc_prob: Probability of planting a scalar accumulator
+            (``s = s + ...`` — serializes the outer loop).
+        ywrite_prob: Probability of a ``y(j)`` store (an outer-loop
+            output dependence — also serializes).
+        pre_prob / post_prob: Probability of imperfect-nest statements
+            before/after the inner loop.
+    """
+
+    max_outer: int = 7
+    max_trip: int = 4
+    guard_prob: float = 0.35
+    deep_prob: float = 0.15
+    acc_prob: float = 0.30
+    ywrite_prob: float = 0.20
+    pre_prob: float = 0.30
+    post_prob: float = 0.30
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generated test program with its ground truth.
+
+    Attributes:
+        seed: Campaign seed.
+        index: Program number within the campaign.
+        source: MiniF text of the program.
+        bindings: Initial environment (``k``, ``l``, ``idx``).
+        features: Shape/feature tags drawn for this program.
+        trip_counts: Actual inner trips of each executed outer
+            iteration (empty when the outer loop runs zero times).
+        outer_trips: Actual outer trip count.
+        min_trips_ok: True when asserting paper condition 2
+            (``assume_min_trips``) is consistent with the data.
+        partitionable: No cross-iteration write conflicts — the
+            generator's ground truth for outer-loop parallelism.
+        outputs: Array names whose final contents are observable.
+        observables: Scalar names whose final values are observable.
+    """
+
+    seed: int
+    index: int
+    source: str
+    bindings: dict
+    features: tuple[str, ...]
+    trip_counts: tuple[int, ...]
+    outer_trips: int
+    min_trips_ok: bool
+    partitionable: bool
+    outputs: tuple[str, ...] = ("x", "y", "w", "z")
+    observables: tuple[str, ...] = ("s", "k")
+
+    @property
+    def total_work(self) -> int:
+        """Predicted total useful inner iterations (Eq. 1 numerator)."""
+        return int(sum(self.trip_counts))
+
+    def line_count(self) -> int:
+        return len(self.source.splitlines())
+
+
+def _int_expr(rng: random.Random, vars_: tuple[str, ...]) -> str:
+    """A small integer expression over the given variables."""
+    leaves = list(vars_) + [str(rng.randint(1, 9))]
+    kind = rng.randrange(4)
+    if kind == 0:
+        return rng.choice(leaves)
+    a, b = rng.choice(leaves), rng.choice(leaves)
+    op = rng.choice(["+", "-", "*"])
+    if kind == 1:
+        return f"{a} {op} {b}"
+    if kind == 2:
+        return f"mod({a} + {b}, {rng.randint(2, 5)}) + {rng.choice(leaves)}"
+    c = rng.choice(leaves)
+    return f"{a} {op} {b} + {c}"
+
+
+def _cond_expr(rng: random.Random) -> str:
+    return rng.choice(
+        [
+            "mod(i + j, 2) == 0",
+            "mod(j, 2) == 1",
+            "j < l(i)",
+            "i <= j",
+            "x(i, j) == 0",
+        ]
+    )
+
+
+class ProgramGenerator:
+    """Deterministic stream of :class:`GeneratedProgram`.
+
+    Args:
+        seed: Campaign seed; ``generate(i)`` depends only on
+            ``(seed, i)`` and the config.
+        config: Generator knobs.
+    """
+
+    def __init__(self, seed: int = 0, config: GenConfig | None = None):
+        self.seed = int(seed)
+        self.config = config or GenConfig()
+
+    def programs(self, count: int, start: int = 0):
+        """Yield ``count`` programs starting at ``start``."""
+        for index in range(start, start + count):
+            yield self.generate(index)
+
+    def generate(self, index: int) -> GeneratedProgram:
+        """Build program ``index`` of this campaign (pure function)."""
+        cfg = self.config
+        rng = random.Random(f"repro-fuzz/{self.seed}/{index}")
+        features: list[str] = []
+
+        # --- outer extent and inner-bound data ---------------------------
+        k = rng.choice([0, 1, 1, 2, 3, 3, 5, cfg.max_outer])
+        if k == 0:
+            features.append("outer-zero")
+        elif k == 1:
+            features.append("outer-one")
+        kext = max(k, 1)
+        all_positive = rng.random() < 0.4
+        lo_trip = 1 if all_positive else 0
+        l_values = [rng.randint(lo_trip, cfg.max_trip) for _ in range(kext)]
+        idx_values = list(range(1, kext + 1))
+        rng.shuffle(idx_values)
+
+        shape = rng.choice(TRIP_SHAPES)
+        features.append(f"shape-{shape}")
+        if shape == "array":
+            hi, trips = "l(i)", [l_values[i - 1] for i in range(1, k + 1)]
+        elif shape == "triangular":
+            hi, trips = "i", list(range(1, k + 1))
+        elif shape == "triangular2":
+            # DO j = i, k  ->  rewrite as trips = k - i + 1 via hi = k
+            hi, trips = "k", [k - i + 1 for i in range(1, k + 1)]
+        elif shape == "indirect":
+            hi = "l(idx(i))"
+            trips = [l_values[idx_values[i - 1] - 1] for i in range(1, k + 1)]
+        elif shape == "literal":
+            lit = rng.choice([0, 1, 1, 2, 3])
+            hi, trips = str(lit), [lit] * k
+        elif shape == "clamped":
+            hi = "min(l(i), 2)"
+            trips = [min(l_values[i - 1], 2) for i in range(1, k + 1)]
+        else:  # shifted
+            hi = "l(i) - 1"
+            trips = [max(0, l_values[i - 1] - 1) for i in range(1, k + 1)]
+        inner_lo = "i" if shape == "triangular2" else "1"
+        if 0 in trips:
+            features.append("zero-trip")
+        if 1 in trips:
+            features.append("one-trip")
+        maxj = max([cfg.max_trip, k, 2])
+
+        # --- body --------------------------------------------------------
+        partitionable = True
+        pre: list[str] = []
+        post: list[str] = []
+        body: list[str] = []
+
+        if rng.random() < cfg.pre_prob:
+            features.append("pre")
+            pre.append(f"z(i) = {_int_expr(rng, ('i', 'k'))}")
+        store = f"x(i, j) = {_int_expr(rng, ('i', 'j', 'k'))}"
+        if rng.random() < cfg.guard_prob:
+            features.append("guard")
+            if rng.random() < 0.5:
+                body += [f"IF ({_cond_expr(rng)}) THEN", f"  {store}", "ENDIF"]
+            else:
+                alt = f"x(i, j) = {_int_expr(rng, ('i', 'j'))}"
+                body += [
+                    f"IF ({_cond_expr(rng)}) THEN",
+                    f"  {store}",
+                    "ELSE",
+                    f"  {alt}",
+                    "ENDIF",
+                ]
+        else:
+            body.append(store)
+        if rng.random() < cfg.deep_prob:
+            features.append("deep")
+            body += ["DO m = 1, 2", "  x(i, j) = x(i, j) + m", "ENDDO"]
+        if rng.random() < cfg.ywrite_prob:
+            features.append("ywrite")
+            partitionable = False
+            body.append(f"y(j) = {_int_expr(rng, ('i', 'j'))}")
+        if rng.random() < cfg.acc_prob:
+            features.append("scalar-acc")
+            partitionable = False
+            body.append(f"s = s + {_int_expr(rng, ('i', 'j'))}")
+        body.append("w(i) = w(i) + 1")
+        if rng.random() < cfg.post_prob:
+            features.append("post")
+            post.append("z(i) = z(i) + w(i)")
+
+        # --- assemble ----------------------------------------------------
+        lines = [
+            f"      PROGRAM FZ{index}",
+            "      INTEGER i, j, m, k, s",
+            f"      INTEGER l({kext}), idx({kext}), w({kext}), z({kext})",
+            f"      INTEGER y({maxj})",
+            f"      INTEGER x({kext}, {maxj})",
+            "      s = 0",
+            "      DO i = 1, k",
+        ]
+        lines += [f"        {stmt}" for stmt in pre]
+        lines.append(f"        DO j = {inner_lo}, {hi}")
+        lines += [f"          {stmt}" for stmt in body]
+        lines.append("        ENDDO")
+        lines += [f"        {stmt}" for stmt in post]
+        lines += ["      ENDDO", "      END"]
+
+        bindings = {
+            "k": k,
+            "l": np.array(l_values, dtype=np.int64),
+            "idx": np.array(idx_values, dtype=np.int64),
+        }
+        return GeneratedProgram(
+            seed=self.seed,
+            index=index,
+            source="\n".join(lines) + "\n",
+            bindings=bindings,
+            features=tuple(features),
+            trip_counts=tuple(trips),
+            outer_trips=k,
+            min_trips_ok=(k == 0) or all(t >= 1 for t in trips),
+            partitionable=partitionable,
+        )

@@ -1,0 +1,609 @@
+"""The differential oracle: all legal variants must agree.
+
+For each generated program the oracle runs a matrix of
+transform x backend legs and compares every leg's observable final
+state against the sequential reference:
+
+====================  ===========================  ====================
+leg                   backends                     legality
+====================  ===========================  ====================
+none                  scalar (reference)           always
+none                  vm + interpreter (lockstep)  always
+none                  mimd (P private procs)       always
+flatten general       scalar (F77 form)            always
+flatten general       vm + interpreter             always
+flatten optimized     vm + interpreter             checker accepts, or
+                                                   condition 2 holds on
+                                                   the data
+flatten done          vm + interpreter             same as optimized +
+                                                   derivable done test
+flatten auto          vm + interpreter             always (falls back)
+coalesce              scalar                       rectangular nests
+simdize (Sec. 3)      vm + interpreter             partitionable outer
+spmd (Fig. 15)        vm + interpreter             partitionable outer
+====================  ===========================  ====================
+
+Lockstep legs run with ``verify=True``, so the VM and the tree-walking
+interpreter are *also* checked against each other on env and exact
+operation counters (:func:`repro.reliability.check_agreement` — the
+same code path ``Engine.run(verify=True)`` uses).
+
+The applicability analysis (:mod:`repro.analysis.applicability`) is
+consulted for every variant/assumption combination and must agree with
+what the transform actually accepts: a variant the report promises but
+the transform rejects (or vice versa) is a **checker gap**, as is a
+program the checker accepts without assumptions that then computes the
+wrong answer.  A divergence under a *violated* ``assume_min_trips``
+assertion is the caller's fault and is never compared.
+
+Verdict kinds: ``env-divergence`` (legal leg disagrees with the
+reference), ``backend-disagreement`` (vm vs interpreter),
+``fault`` (a legal leg crashed), ``checker-gap``, ``invariant``
+(translation validation failed: flag monotonicity, Eq. 1 per-lane
+work, total-work conservation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..analysis import evaluate_flattening
+from ..lang import ast
+from ..lang.errors import MiniFError, TransformError
+from ..lang.parser import parse_source
+from ..reliability import crash_dump_for
+from ..reliability.errors import BackendFault
+from ..runtime.engine import Engine
+from ..transform.pipeline import find_nest_sites, structurize_program
+from .generator import GeneratedProgram
+from .invariants import (
+    ValidatingHook,
+    check_work_conservation,
+    predicted_lane_work,
+)
+
+#: Variant strength order used to cross-check the applicability report.
+_RANK = {"general": 0, "optimized": 1, "done": 2}
+
+
+@dataclass
+class Divergence:
+    """One detected bug candidate.
+
+    Attributes:
+        kind: ``env-divergence`` / ``backend-disagreement`` / ``fault``
+            / ``checker-gap`` / ``invariant``.
+        config: The leg it occurred on (e.g. ``"flatten/general/simd"``).
+        detail: Human-readable description of the disagreement.
+        crash_dump: Postmortem from :mod:`repro.reliability` when the
+            leg faulted.
+    """
+
+    kind: str
+    config: str
+    detail: str
+    crash_dump: dict | None = None
+
+    def key(self) -> tuple[str, str]:
+        """Identity used by the reducer: same kind on the same leg."""
+        return (self.kind, self.config)
+
+
+@dataclass
+class LegOutcome:
+    """How one leg of the matrix went: ``ok``/``rejected``/``skipped``."""
+
+    label: str
+    status: str
+    detail: str = ""
+
+
+@dataclass
+class ProgramVerdict:
+    """Oracle result for one program."""
+
+    program: GeneratedProgram
+    legs: list[LegOutcome] = field(default_factory=list)
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def _outer_flag_name(tree: ast.SourceFile) -> str | None:
+    """Name of the flattened loop's latched continue flag.
+
+    The flattening emits ``WHILE (any(flag))`` around the fused body;
+    only that outermost flag is monotone per lane (inner-level flags
+    re-arm when a lane advances to its next outer iteration).  The
+    first WHILE in document order is the outermost one.
+    """
+    for node in ast.walk_body(tree.main.body):
+        if isinstance(node, ast.While):
+            cond = node.cond
+            if (
+                isinstance(cond, (ast.Call, ast.ArrayRef))
+                and cond.name == "any"
+            ):
+                args = cond.args if isinstance(cond, ast.Call) else cond.subs
+                if len(args) == 1 and isinstance(args[0], ast.Var):
+                    return args[0].name
+            if isinstance(cond, ast.Var):
+                return cond.name
+            return None
+    return None
+
+
+def _dump(error: BaseException) -> dict:
+    """Postmortem for any exception (MiniF errors carry snapshots)."""
+    if isinstance(error, MiniFError):
+        return crash_dump_for(error)
+    return {"error": type(error).__name__, "message": str(error)}
+
+
+def _copy_bindings(bindings: dict) -> dict:
+    return {
+        name: value.copy() if isinstance(value, np.ndarray) else value
+        for name, value in bindings.items()
+    }
+
+
+class DifferentialOracle:
+    """Runs the variant x backend matrix for generated programs.
+
+    Args:
+        nproc: Lockstep PE count for the SIMD/SPMD/MIMD legs.
+        engine: Compile cache to use (fresh when omitted — the fuzz
+            session must never share a cache with a mutated transform
+            under mutation testing).
+    """
+
+    def __init__(self, nproc: int = 4, engine: Engine | None = None):
+        if nproc < 2:
+            raise ValueError(f"the oracle needs nproc >= 2, got {nproc}")
+        self.nproc = nproc
+        self.engine = engine if engine is not None else Engine(cache_size=512)
+
+    # -- public API ----------------------------------------------------------
+
+    def check(self, prog: GeneratedProgram) -> ProgramVerdict:
+        """Run the full matrix for one program."""
+        verdict = ProgramVerdict(prog)
+        try:
+            ref_env = self._reference(prog)
+        except Exception as error:
+            verdict.divergences.append(
+                Divergence(
+                    "fault",
+                    "none/scalar",
+                    f"reference run failed: {type(error).__name__}: {error}",
+                    crash_dump=_dump(error),
+                )
+            )
+            return verdict
+        conserved = check_work_conservation(ref_env, prog.total_work)
+        if conserved is not None:
+            verdict.divergences.append(
+                Divergence("invariant", "none/scalar", conserved)
+            )
+            return verdict
+
+        report = self._consult_applicability(prog, verdict)
+        self._untransformed_legs(prog, ref_env, verdict)
+        self._flatten_legs(prog, ref_env, verdict)
+        self._coalesce_leg(prog, ref_env, verdict)
+        if prog.partitionable and report is not None and report.safe is True:
+            self._partitioned_legs(prog, ref_env, verdict)
+        else:
+            verdict.legs.append(
+                LegOutcome(
+                    "spmd+simdize",
+                    "skipped",
+                    "outer loop not partitionable "
+                    f"(generator={prog.partitionable}, "
+                    f"checker={None if report is None else report.safe})",
+                )
+            )
+        return verdict
+
+    def check_leg(self, prog: GeneratedProgram, config: str) -> Divergence | None:
+        """Re-run the matrix and return the first divergence on ``config``.
+
+        The reducer's predicate: a shrunk program still "fails the same
+        way" when the same leg reports the same kind of divergence.
+        """
+        verdict = self.check(prog)
+        for divergence in verdict.divergences:
+            if divergence.config == config:
+                return divergence
+        return None
+
+    # -- reference and comparison --------------------------------------------
+
+    def _reference(self, prog: GeneratedProgram) -> dict:
+        result = self.engine.run(
+            prog.source, _copy_bindings(prog.bindings), backend="scalar"
+        )
+        return result.env
+
+    def _compare(
+        self,
+        prog: GeneratedProgram,
+        ref_env: dict,
+        env: dict,
+        partitioned: bool,
+    ) -> str | None:
+        """First observable disagreement with the reference, or None."""
+        for name in prog.outputs:
+            ref = ref_env.get(name)
+            if ref is None:
+                continue
+            got = env.get(name)
+            if got is None:
+                return f"array '{name}' missing from final environment"
+            a = np.asarray(getattr(ref, "data", ref))
+            b = np.asarray(getattr(got, "data", got))
+            if a.shape != b.shape:
+                return f"array '{name}' shape {b.shape} != {a.shape}"
+            if not np.array_equal(a, b):
+                where = np.argwhere(a != b)[0].tolist()
+                return (
+                    f"array '{name}' differs first at {where}: "
+                    f"{b[tuple(where)]} != {a[tuple(where)]}"
+                )
+        # Scalar accumulators replicate per lane in partitioned runs and
+        # carry per-lane partials; only the unpartitioned legs compare
+        # them (partitioned legs exclude accumulator programs anyway).
+        scalar_names = prog.observables if not partitioned else ("k",)
+        for name in scalar_names:
+            ref = ref_env.get(name)
+            if ref is None:
+                continue
+            got = env.get(name)
+            if got is None:
+                return f"scalar '{name}' missing from final environment"
+            value = np.asarray(got)
+            if value.ndim >= 1:
+                if not np.all(value == value.flat[0]):
+                    return (
+                        f"scalar '{name}' diverged across lanes: "
+                        f"{value.tolist()}"
+                    )
+                value = value.flat[0]
+            if int(value) != int(ref):
+                return f"scalar '{name}' = {int(value)}, expected {int(ref)}"
+        return None
+
+    # -- applicability consultation ------------------------------------------
+
+    def _consult_applicability(
+        self, prog: GeneratedProgram, verdict: ProgramVerdict
+    ):
+        """Cross-check the Section 6 checker against the transform.
+
+        Returns the no-assumption report (for the safety verdict), and
+        records a checker-gap divergence whenever the strongest variant
+        the report promises is not exactly what the transform accepts.
+        """
+        tree = structurize_program(parse_source(prog.source))
+        sites = find_nest_sites(tree)
+        if not sites:
+            verdict.divergences.append(
+                Divergence(
+                    "checker-gap",
+                    "analysis/applicability",
+                    "generator emitted a nest the site finder cannot see",
+                )
+            )
+            return None
+        stmt = sites[0].stmt
+        base_report = None
+        for amt in (False, True):
+            report = evaluate_flattening(stmt, assume_min_trips=amt)
+            if base_report is None:
+                base_report = report
+            promised = _RANK.get(report.variant, -1)
+            for variant in ("optimized", "done"):
+                compiled = True
+                try:
+                    self.engine.compile(
+                        prog.source,
+                        transform="flatten",
+                        variant=variant,
+                        assume_min_trips=amt,
+                        simd=True,
+                    )
+                except TransformError:
+                    compiled = False
+                expected = _RANK[variant] <= promised
+                if compiled != expected:
+                    verdict.divergences.append(
+                        Divergence(
+                            "checker-gap",
+                            f"flatten/{variant}/assume={amt}",
+                            f"applicability promises '{report.variant}' "
+                            f"but variant '{variant}' "
+                            f"{'compiled' if compiled else 'was rejected'}",
+                        )
+                    )
+        # "Safe" on a serializing loop is accepted-but-wrong — unless
+        # the analysis itself qualifies it as needing reduction
+        # support, which partition_outer does not provide (and the
+        # partitioned legs stay off either way).
+        if (
+            not prog.partitionable
+            and base_report.safe is True
+            and not base_report.parallelism.reductions
+        ):
+            verdict.divergences.append(
+                Divergence(
+                    "checker-gap",
+                    "analysis/dependence",
+                    "dependence test calls a serializing outer loop "
+                    "parallel (accepted-but-wrong risk)",
+                )
+            )
+        return base_report
+
+    def _latched_flag(self, prog: GeneratedProgram, kwargs: dict) -> str | None:
+        """Continue-flag name of the compiled flattened form (or None)."""
+        try:
+            return _outer_flag_name(
+                self.engine.compile(prog.source, **kwargs).tree
+            )
+        except Exception:
+            return None
+
+    # -- matrix legs ---------------------------------------------------------
+
+    def _run_and_compare(
+        self,
+        prog: GeneratedProgram,
+        ref_env: dict,
+        verdict: ProgramVerdict,
+        label: str,
+        compile_kwargs: dict,
+        *,
+        partitioned: bool = False,
+        assumed: bool = False,
+        mode: str = "simd",
+        statement_hook=None,
+    ):
+        """Compile + run one leg, record its outcome/divergence.
+
+        Returns the leg's final env (or None when it did not run).
+        """
+        try:
+            program = self.engine.compile(prog.source, **compile_kwargs)
+            program.tree  # force any lazy transform error
+        except TransformError as error:
+            verdict.legs.append(LegOutcome(label, "rejected", str(error)))
+            return None
+        except Exception as error:
+            verdict.divergences.append(
+                Divergence(
+                    "fault",
+                    label,
+                    f"compiler crashed: {type(error).__name__}: {error}",
+                    crash_dump=_dump(error),
+                )
+            )
+            verdict.legs.append(LegOutcome(label, "ok", "faulted"))
+            return None
+        bindings = _copy_bindings(prog.bindings)
+        try:
+            if mode == "scalar":
+                result = program.run(bindings, backend="scalar")
+            elif mode == "mimd":
+                result = program.run(
+                    nproc=self.nproc,
+                    backend="mimd",
+                    bindings_for=lambda p: _copy_bindings(prog.bindings),
+                )
+            elif statement_hook is not None:
+                result = program.run(
+                    bindings,
+                    nproc=self.nproc,
+                    backend="interpreter",
+                    statement_hook=statement_hook,
+                )
+            else:
+                result = program.run(bindings, nproc=self.nproc, verify=True)
+        except BackendFault as error:
+            verdict.divergences.append(
+                Divergence(
+                    "backend-disagreement",
+                    label,
+                    str(error),
+                    crash_dump=crash_dump_for(error),
+                )
+            )
+            verdict.legs.append(LegOutcome(label, "ok", "diverged"))
+            return None
+        except Exception as error:
+            detail = f"{type(error).__name__}: {error}"
+            if not isinstance(error, MiniFError):
+                detail = f"unwrapped exception escaped the backend: {detail}"
+            verdict.divergences.append(
+                Divergence("fault", label, detail, crash_dump=_dump(error))
+            )
+            verdict.legs.append(LegOutcome(label, "ok", "faulted"))
+            return None
+        envs = result.env if isinstance(result.env, list) else [result.env]
+        for proc, env in enumerate(envs):
+            mismatch = self._compare(prog, ref_env, env, partitioned)
+            if mismatch is None:
+                mismatch = check_work_conservation(env, prog.total_work)
+                kind = "invariant" if mismatch else None
+            else:
+                # A wrong answer the checker accepted without any
+                # caller assertion is a safety-checker bug; under a
+                # (true) assertion or on always-legal variants it is a
+                # transform bug.
+                kind = "env-divergence"
+            if mismatch is not None:
+                prefix = f"proc {proc + 1}: " if len(envs) > 1 else ""
+                verdict.divergences.append(
+                    Divergence(kind, label, prefix + mismatch)
+                )
+                verdict.legs.append(LegOutcome(label, "ok", "diverged"))
+                return None
+        verdict.legs.append(LegOutcome(label, "ok"))
+        return envs[0]
+
+    def _untransformed_legs(self, prog, ref_env, verdict) -> None:
+        self._run_and_compare(
+            prog, ref_env, verdict, "none/simd", {}, mode="simd"
+        )
+        self._run_and_compare(
+            prog, ref_env, verdict, "none/mimd", {}, mode="mimd"
+        )
+
+    def _flatten_legs(self, prog, ref_env, verdict) -> None:
+        base = {"transform": "flatten", "simd": True}
+        self._run_and_compare(
+            prog,
+            ref_env,
+            verdict,
+            "flatten/general/f77",
+            {"transform": "flatten", "variant": "general", "simd": False},
+            mode="scalar",
+        )
+        self._run_and_compare(
+            prog,
+            ref_env,
+            verdict,
+            "flatten/general/simd",
+            dict(base, variant="general"),
+        )
+        # Monotonicity of the conservative variant's latched flag.
+        flag = self._latched_flag(prog, dict(base, variant="general"))
+        hook = ValidatingHook(self.nproc, flag=flag, marker=None)
+        self._run_and_compare(
+            prog,
+            ref_env,
+            verdict,
+            "flatten/general/hooked",
+            dict(base, variant="general"),
+            statement_hook=hook,
+        )
+        for violation in hook.violations:
+            verdict.divergences.append(
+                Divergence("invariant", "flatten/general/hooked", violation)
+            )
+        for variant in ("optimized", "done"):
+            label = f"flatten/{variant}/simd"
+            kwargs = dict(base, variant=variant)
+            accepted_plain = True
+            try:
+                self.engine.compile(prog.source, **kwargs)
+            except TransformError:
+                accepted_plain = False
+            if accepted_plain:
+                self._run_and_compare(prog, ref_env, verdict, label, kwargs)
+            elif prog.min_trips_ok:
+                self._run_and_compare(
+                    prog,
+                    ref_env,
+                    verdict,
+                    label,
+                    dict(kwargs, assume_min_trips=True),
+                    assumed=True,
+                )
+            else:
+                verdict.legs.append(
+                    LegOutcome(
+                        label,
+                        "skipped",
+                        "assume_min_trips would be a false assertion "
+                        "(data has a zero-trip inner loop)",
+                    )
+                )
+        self._run_and_compare(
+            prog,
+            ref_env,
+            verdict,
+            "flatten/auto/simd",
+            dict(base, variant="auto", assume_min_trips=prog.min_trips_ok),
+            assumed=prog.min_trips_ok,
+        )
+
+    def _coalesce_leg(self, prog, ref_env, verdict) -> None:
+        self._run_and_compare(
+            prog,
+            ref_env,
+            verdict,
+            "coalesce/f77",
+            {"transform": "coalesce"},
+            mode="scalar",
+        )
+
+    def _partitioned_legs(self, prog, ref_env, verdict) -> None:
+        self._run_and_compare(
+            prog,
+            ref_env,
+            verdict,
+            "simdize/block",
+            {"transform": "simdize", "width": self.nproc, "layout": "block"},
+            partitioned=True,
+        )
+        for variant, layout in (("general", "block"), ("auto", "cyclic")):
+            label = f"spmd/{variant}/{layout}"
+            assumed = variant != "general" and prog.min_trips_ok
+            self._run_and_compare(
+                prog,
+                ref_env,
+                verdict,
+                label,
+                {
+                    "transform": "spmd",
+                    "variant": variant,
+                    "layout": layout,
+                    "width": self.nproc,
+                    "assume_min_trips": assumed,
+                },
+                partitioned=True,
+                assumed=assumed,
+            )
+        # Eq. 1: per-lane useful iterations must match the layout's
+        # assignment of outer iterations (hooked interpreter run).
+        spmd_kwargs = {
+            "transform": "spmd",
+            "variant": "general",
+            "layout": "block",
+            "width": self.nproc,
+        }
+        flag = self._latched_flag(prog, spmd_kwargs)
+        hook = ValidatingHook(self.nproc, flag=flag, marker="w")
+        env = self._run_and_compare(
+            prog,
+            ref_env,
+            verdict,
+            "spmd/general/block/hooked",
+            spmd_kwargs,
+            partitioned=True,
+            statement_hook=hook,
+        )
+        if env is not None:
+            expected = predicted_lane_work(
+                prog.trip_counts, self.nproc, "block"
+            )
+            actual = hook.lane_work.tolist()
+            if actual != expected:
+                verdict.divergences.append(
+                    Divergence(
+                        "invariant",
+                        "spmd/general/block/hooked",
+                        f"Eq. 1 violated: per-lane useful iterations "
+                        f"{actual} != layout-assigned work {expected}",
+                    )
+                )
+            for violation in hook.violations:
+                verdict.divergences.append(
+                    Divergence(
+                        "invariant", "spmd/general/block/hooked", violation
+                    )
+                )

@@ -1,0 +1,250 @@
+"""Delta-debugging reducer for failing fuzz programs.
+
+Given a :class:`~repro.fuzz.generator.GeneratedProgram` and a predicate
+("does this still fail the same way?"), greedily applies shrinking
+passes until a fixpoint:
+
+* delete a statement (recursively, inside guards and nested loops);
+* replace an ``IF`` by one of its branches;
+* shrink integer literals toward 1;
+* shrink the ``k`` binding and the ``l`` trip-count data toward 0/1.
+
+Every candidate is validated (parse + semantic check) and its
+ground-truth metadata is *re-measured* by a sequential run — the
+planted ``w`` marker yields the actual inner trip counts, so
+``min_trips_ok``/``total_work`` stay truthful and the oracle never
+asserts a false ``assume_min_trips`` on a shrunk program.  The marker
+assignment and the loop-nest spine are never deleted (removing them
+would change what is being tested, and the metadata would go stale).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from ..lang import ast
+from ..lang.errors import MiniFError
+from ..lang.parser import parse_source
+from ..lang.printer import format_source
+from ..lang.semantic import check_source
+from ..runtime.engine import Engine
+
+#: A path addresses one statement: ``((i, b), ..., last_index)`` where
+#: each pair descends into sub-body ``b`` of statement ``i``.
+Path = tuple
+
+
+def _stmt_paths(body: list, prefix: Path = ()):  # document order
+    for i, stmt in enumerate(body):
+        yield prefix + (i,)
+        for b, sub in enumerate(ast.sub_bodies(stmt)):
+            yield from _stmt_paths(sub, prefix + ((i, b),))
+
+
+def _resolve(body: list, path: Path):
+    cur = body
+    for i, b in path[:-1]:
+        cur = ast.sub_bodies(cur[i])[b]
+    return cur, path[-1]
+
+
+def _is_marker(stmt, marker: str = "w") -> bool:
+    return (
+        isinstance(stmt, ast.Assign)
+        and isinstance(stmt.target, ast.ArrayRef)
+        and stmt.target.name == marker
+    )
+
+
+def _contains_marker(stmt) -> bool:
+    return any(_is_marker(node) for node in ast.walk(stmt))
+
+
+def _recompute_partitionable(routine: ast.Routine) -> bool:
+    """Generator ground truth re-derived after an edit: the outer loop
+    serializes iff its body still writes a scalar or the ``y`` array."""
+    outer = next(
+        (
+            node
+            for node in ast.walk_body(routine.body)
+            if isinstance(node, ast.Do) and node.var == "i"
+        ),
+        None,
+    )
+    if outer is None:
+        return False
+    for node in ast.walk_body(outer.body):
+        if isinstance(node, ast.Assign):
+            if isinstance(node.target, ast.Var):
+                return False
+            if (
+                isinstance(node.target, ast.ArrayRef)
+                and node.target.name == "y"
+            ):
+                return False
+    return True
+
+
+class _Reducer:
+    def __init__(self, prog, predicate, engine: Engine | None, max_tests: int):
+        self.predicate = predicate
+        self.engine = engine if engine is not None else Engine(cache_size=512)
+        self.budget = max_tests
+        self.tests = 0
+        self.best = prog
+
+    # -- candidate construction ----------------------------------------------
+
+    def _rebuild(self, tree: ast.SourceFile, bindings: dict):
+        """Validate an edited tree and re-measure its ground truth.
+
+        Returns a candidate GeneratedProgram, or None when the edit is
+        not a well-formed program (or lost the marker/nest).
+        """
+        routine = tree.main
+        if not any(_is_marker(node) for node in ast.walk_body(routine.body)):
+            return None
+        source = format_source(tree)
+        try:
+            check_source(parse_source(source))
+        except MiniFError:
+            return None
+        k = int(bindings.get("k", 0))
+        try:
+            env = self.engine.run(
+                source,
+                {
+                    name: value.copy() if isinstance(value, np.ndarray) else value
+                    for name, value in bindings.items()
+                },
+                backend="scalar",
+            ).env
+        except MiniFError:
+            # The reference itself faults; only a "none/scalar" failure
+            # can match, and it needs no trip metadata.
+            trips: tuple = ()
+        else:
+            w = np.asarray(getattr(env.get("w"), "data", ()))
+            trips = tuple(int(w[i]) for i in range(min(k, len(w))))
+        return dataclasses.replace(
+            self.best,
+            source=source,
+            bindings=bindings,
+            trip_counts=trips,
+            outer_trips=k,
+            min_trips_ok=(k == 0) or all(t >= 1 for t in trips),
+            partitionable=_recompute_partitionable(routine),
+        )
+
+    def _try(self, tree: ast.SourceFile, bindings: dict) -> bool:
+        if self.tests >= self.budget:
+            return False
+        candidate = self._rebuild(tree, bindings)
+        if candidate is None:
+            return False
+        self.tests += 1
+        if self.predicate(candidate):
+            self.best = candidate
+            return True
+        return False
+
+    # -- shrinking passes ----------------------------------------------------
+
+    def _pass_statements(self) -> bool:
+        """Delete statements / unwrap IF branches.  True on progress."""
+        tree = parse_source(self.best.source)
+        routine = tree.main
+        for path in list(_stmt_paths(routine.body)):
+            parent, i = _resolve(routine.body, path)
+            stmt = parent[i]
+            if isinstance(stmt, ast.Decl) or _is_marker(stmt):
+                continue
+            edits: list[list] = []
+            if not _contains_marker(stmt):
+                edits.append([])  # plain deletion
+            if isinstance(stmt, ast.If):
+                edits.append(stmt.then_body)
+                if stmt.else_body:
+                    edits.append(stmt.else_body)
+            for replacement in edits:
+                work = parse_source(self.best.source)
+                parent, i = _resolve(work.main.body, path)
+                parent[i : i + 1] = ast.clone(replacement)
+                if self._try(work, dict(self.best.bindings)):
+                    return True
+        return False
+
+    def _pass_literals(self) -> bool:
+        """Shrink integer literals toward 1 (loop bounds, RHS constants)."""
+        tree = parse_source(self.best.source)
+        literals = [
+            node
+            for stmt in tree.main.body
+            if not isinstance(stmt, ast.Decl)
+            for node in ast.walk(stmt)
+            if isinstance(node, ast.IntLit) and node.value > 1
+        ]
+        for which in range(len(literals)):
+            work = parse_source(self.best.source)
+            targets = [
+                node
+                for stmt in work.main.body
+                if not isinstance(stmt, ast.Decl)
+                for node in ast.walk(stmt)
+                if isinstance(node, ast.IntLit) and node.value > 1
+            ]
+            targets[which].value = 1
+            if self._try(work, dict(self.best.bindings)):
+                return True
+        return False
+
+    def _pass_bindings(self) -> bool:
+        """Shrink ``k`` and the ``l`` trip-count array toward 0/1."""
+        k = int(self.best.bindings.get("k", 0))
+        for smaller in sorted({0, 1, k // 2, k - 1}):
+            if not 0 <= smaller < k:
+                continue
+            tree = parse_source(self.best.source)
+            if self._try(tree, dict(self.best.bindings, k=smaller)):
+                return True
+        l_values = self.best.bindings.get("l")
+        if isinstance(l_values, np.ndarray):
+            for i, value in enumerate(l_values.tolist()):
+                for smaller in (0, 1):
+                    if value <= smaller:
+                        continue
+                    shrunk = l_values.copy()
+                    shrunk[i] = smaller
+                    tree = parse_source(self.best.source)
+                    if self._try(tree, dict(self.best.bindings, l=shrunk)):
+                        return True
+        return False
+
+    def run(self):
+        progress = True
+        while progress and self.tests < self.budget:
+            progress = (
+                self._pass_statements()
+                or self._pass_literals()
+                or self._pass_bindings()
+            )
+        return self.best
+
+
+def shrink_program(prog, predicate, *, engine=None, max_tests: int = 400):
+    """Shrink ``prog`` to a minimal program still satisfying ``predicate``.
+
+    Args:
+        prog: The failing :class:`GeneratedProgram`.
+        predicate: ``candidate -> bool``; True when the candidate still
+            exhibits the original failure (typically
+            ``lambda p: oracle.check_leg(p, config) is not None``).
+        engine: Compile cache to reuse (the oracle's, ideally).
+        max_tests: Hard cap on predicate evaluations.
+
+    Returns:
+        The smallest program found (``prog`` itself if nothing shrank).
+    """
+    return _Reducer(prog, predicate, engine, max_tests).run()

@@ -1,0 +1,133 @@
+"""Fuzzing campaign driver behind ``repro fuzz``.
+
+Generates ``iterations`` programs from a seed, pushes each through the
+differential oracle, optionally shrinks failures with the reducer, and
+persists them to a corpus directory.  Everything is deterministic in
+``(seed, iterations, nproc)``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from .corpus import CorpusEntry, save_entry
+from .generator import GenConfig, ProgramGenerator
+from .oracle import DifferentialOracle
+from .reduce import shrink_program
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    seed: int
+    iterations: int
+    nproc: int
+    checked: int = 0
+    failures: list[CorpusEntry] = field(default_factory=list)
+    leg_stats: dict[str, int] = field(default_factory=dict)
+    feature_stats: dict[str, int] = field(default_factory=dict)
+    saved_paths: list[str] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz seed={self.seed}: {self.checked}/{self.iterations} "
+            f"programs checked on {self.nproc} PEs in {self.elapsed:.1f}s, "
+            f"{len(self.failures)} failure(s)",
+        ]
+        legs = ", ".join(
+            f"{label}={count}" for label, count in sorted(self.leg_stats.items())
+        )
+        if legs:
+            lines.append(f"  legs run: {legs}")
+        for entry in self.failures:
+            program = entry.shrunk or entry.program
+            lines.append(
+                f"  [{entry.divergence.kind}] program {entry.index} on "
+                f"{entry.divergence.config}: {entry.divergence.detail} "
+                f"({program.line_count()} lines)"
+            )
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    seed: int = 0,
+    iterations: int = 100,
+    nproc: int = 4,
+    corpus_dir: str | None = None,
+    shrink: bool = False,
+    max_failures: int = 10,
+    start: int = 0,
+    config: GenConfig | None = None,
+    progress=None,
+) -> FuzzReport:
+    """Run one campaign.
+
+    Args:
+        seed: Campaign seed (program ``i`` depends only on ``(seed, i)``).
+        iterations: Number of programs to generate and check.
+        nproc: Lockstep PE count for the SIMD/SPMD/MIMD legs.
+        corpus_dir: Directory to persist failures into (None: no I/O).
+        shrink: Run the delta-debugging reducer on each failure.
+        max_failures: Stop the campaign after this many failing programs.
+        start: First program index (for sharding long campaigns).
+        config: Generator knobs override.
+        progress: Optional callable ``(index, verdict) -> None``.
+
+    Returns:
+        A :class:`FuzzReport`; ``report.ok`` is the pass/fail verdict.
+    """
+    began = time.monotonic()
+    generator = ProgramGenerator(seed, config)
+    oracle = DifferentialOracle(nproc=nproc)
+    report = FuzzReport(seed=seed, iterations=iterations, nproc=nproc)
+    for program in generator.programs(iterations, start=start):
+        verdict = oracle.check(program)
+        report.checked += 1
+        for feature in program.features:
+            report.feature_stats[feature] = (
+                report.feature_stats.get(feature, 0) + 1
+            )
+        for leg in verdict.legs:
+            if leg.status == "ok":
+                report.leg_stats[leg.label] = (
+                    report.leg_stats.get(leg.label, 0) + 1
+                )
+        if progress is not None:
+            progress(program.index, verdict)
+        if verdict.ok:
+            continue
+        divergence = verdict.divergences[0]
+        shrunk = None
+        if shrink:
+            kind, config_label = divergence.kind, divergence.config
+            shrunk = shrink_program(
+                program,
+                lambda p: (
+                    (d := oracle.check_leg(p, config_label)) is not None
+                    and d.kind == kind
+                ),
+                engine=oracle.engine,
+            )
+            if shrunk is program:
+                shrunk = None
+        entry = CorpusEntry(
+            seed=seed,
+            index=program.index,
+            program=program,
+            divergence=divergence,
+            shrunk=shrunk,
+        )
+        report.failures.append(entry)
+        if corpus_dir is not None:
+            report.saved_paths.append(str(save_entry(corpus_dir, entry)))
+        if len(report.failures) >= max_failures:
+            break
+    report.elapsed = time.monotonic() - began
+    return report

@@ -63,18 +63,22 @@ class CompileOptions:
         variant: Flattening strength (``flatten`` only).
         simd: Derive the F90simd form of the flattened region.
         assume_min_trips: Caller-asserted paper condition 2.
+        assume_parallel: Caller-asserted outer-loop parallelism
+            (``spmd`` only — overrides the Section 6 dependence test).
         routine: Restrict the nest search to one routine.
         nest_index: Which nest (program order) to transform.
-        layout: Data distribution (``simdize`` only).
+        layout: Data distribution (``simdize`` and ``spmd``).
         width: PE count baked into the SIMDized program text
-            (``simdize`` only — the paper's naive baseline hard-codes
-            the machine width into the generated chunk loop).
+            (``simdize`` and ``spmd``, required there — partitioned
+            texts hard-code the machine width into the generated
+            per-PE loop bounds).
     """
 
     transform: str = "none"
     variant: str = "auto"
     simd: bool = True
     assume_min_trips: bool = False
+    assume_parallel: bool = False
     routine: str | None = None
     nest_index: int = 0
     layout: str = "block"
@@ -219,6 +223,7 @@ class CompiledProgram:
         budget=None,
         fault_plan=None,
         policy: FallbackPolicy | None = None,
+        verify: bool = False,
     ) -> RunResult:
         """Execute the compiled program and return a :class:`RunResult`.
 
@@ -244,7 +249,35 @@ class CompiledProgram:
                 given, faults retry and degrade along its backend chain
                 and every attempt is recorded in
                 :attr:`RunResult.attempts`.
+            verify: Differentially check the run: after the primary
+                backend succeeds, the other lockstep backend also runs
+                and the two must agree on env and counters
+                (:func:`~repro.reliability.check_agreement` — the same
+                oracle :mod:`repro.fuzz` uses).  Needs ``nproc >= 1``
+                and a vm/interpreter/auto backend; composes with
+                ``policy`` by switching its ``verify`` flag on.
         """
+        if verify:
+            if policy is not None:
+                if not policy.verify:
+                    import dataclasses
+
+                    policy = dataclasses.replace(policy, verify=True)
+            else:
+                name = backend.strip().lower()
+                name = self._BACKEND_ALIASES.get(name, name)
+                if nproc < 1 or name in ("scalar", "mimd"):
+                    raise InterpreterError(
+                        "verify=True cross-checks the lockstep backends; "
+                        "it needs nproc >= 1 and backend "
+                        "'auto'/'vm'/'interpreter'"
+                    )
+                chain = (
+                    ("interpreter", "vm")
+                    if name == "interpreter"
+                    else ("vm", "interpreter")
+                )
+                policy = FallbackPolicy(chain=chain, retries=0, verify=True)
         kwargs = dict(
             bindings=bindings,
             nproc=nproc,
@@ -497,6 +530,7 @@ class Engine:
         variant: str = "auto",
         simd: bool = True,
         assume_min_trips: bool = False,
+        assume_parallel: bool = False,
         routine: str | None = None,
         nest_index: int = 0,
         layout: str = "block",
@@ -510,11 +544,14 @@ class Engine:
                 equivalent trees share one cache entry and the caller
                 keeps ownership of its own AST.
             transform: Nest transform to apply — ``"none"`` (default),
-                ``"flatten"``, ``"simdize"`` or ``"coalesce"``; legacy
-                spellings are accepted with a DeprecationWarning.
+                ``"flatten"``, ``"simdize"``, ``"coalesce"`` or
+                ``"spmd"``; legacy spellings are accepted with a
+                DeprecationWarning.
             variant: Flattening strength for ``transform="flatten"``.
             simd: Derive the F90simd form when flattening.
             assume_min_trips: Paper condition 2 assertion.
+            assume_parallel: Outer-loop parallelism assertion
+                (``transform="spmd"`` only).
             routine: Restrict the nest search to this routine.
             nest_index: Which nest (program order) to transform.
             layout: Data distribution for ``transform="simdize"``.
@@ -530,6 +567,7 @@ class Engine:
             variant=normalize_variant(variant),
             simd=bool(simd),
             assume_min_trips=bool(assume_min_trips),
+            assume_parallel=bool(assume_parallel),
             routine=routine,
             nest_index=int(nest_index),
             layout=normalize_layout(layout),
@@ -575,6 +613,7 @@ class Engine:
         variant: str = "auto",
         simd: bool = True,
         assume_min_trips: bool = False,
+        assume_parallel: bool = False,
         routine: str | None = None,
         nest_index: int = 0,
         layout: str = "block",
@@ -594,6 +633,7 @@ class Engine:
             variant=variant,
             simd=simd,
             assume_min_trips=assume_min_trips,
+            assume_parallel=assume_parallel,
             routine=routine,
             nest_index=nest_index,
             layout=layout,
@@ -608,6 +648,7 @@ class Engine:
             _flatten_program_uncached,
             coalesce_program,
             naive_simd_program,
+            spmd_program,
         )
 
         stage_seconds: dict = {}
@@ -632,6 +673,20 @@ class Engine:
                 tree,
                 options.width,
                 layout=options.layout,
+                routine=options.routine,
+                nest_index=options.nest_index,
+            )
+        elif options.transform == "spmd":
+            if options.width is None:
+                raise TransformError("transform='spmd' needs width=<PE count>")
+            tree = spmd_program(
+                tree,
+                options.width,
+                layout=options.layout,
+                variant=options.variant,
+                assume_min_trips=options.assume_min_trips,
+                assume_parallel=options.assume_parallel,
+                simd=options.simd,
                 routine=options.routine,
                 nest_index=options.nest_index,
             )

@@ -27,6 +27,7 @@ from .pipeline import (
     find_nest_sites,
     flatten_program,
     naive_simd_program,
+    spmd_program,
     structurize_program,
 )
 from .simdize import simdize_nest, simdize_structured
@@ -59,5 +60,6 @@ __all__ = [
     "NestSite",
     "flatten_program",
     "naive_simd_program",
+    "spmd_program",
     "structurize_program",
 ]

@@ -27,6 +27,16 @@ outer body before the inner loop (``pre``) run whenever a processor
 starts an outer iteration, statements after it (``post``) run whenever
 it finishes one; both are placed on the outer-iteration transition,
 which preserves the original execution order.
+
+Masked-issue safety: in the SIMDized form every flattened statement
+*issues* on all PEs each step, including steps where a lane's flag is
+down or its trip count is zero — only the masked *write-back* is
+suppressed.  The emitted code must therefore be safe to merely
+evaluate under a false mask: addresses computed from lane-varying
+subscripts are clamped (never trapped) on inactive lanes, and a store
+through a scalar subscript is legal only while the active lanes agree
+on the value.  The differential fuzzer (:mod:`repro.fuzz`) checks
+both properties continuously against the scalar semantics.
 """
 
 from __future__ import annotations

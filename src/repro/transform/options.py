@@ -9,8 +9,10 @@ speak the same names:
     Which rewrite to apply to the located loop nest:
     ``"none"`` (run the program as written), ``"flatten"`` (the
     paper's loop flattening, Figs. 10-12), ``"simdize"`` (the naive
-    Section 3 SIMDization baseline), or ``"coalesce"`` (the
-    related-work loop-coalescing baseline).
+    Section 3 SIMDization baseline), ``"coalesce"`` (the related-work
+    loop-coalescing baseline), or ``"spmd"`` (partition the outer loop
+    across the PEs, then flatten and SIMDize — the full Fig. 15
+    pipeline of :func:`repro.transform.parallel.flatten_spmd`).
 
 ``variant``
     Flattening strength: ``"general"`` (Fig. 10), ``"optimized"``
@@ -41,7 +43,7 @@ VARIANTS = ("general", "optimized", "done", "auto")
 LAYOUTS = ("block", "cyclic")
 
 #: Canonical nest transforms understood by the Engine and CLI.
-TRANSFORMS = ("none", "flatten", "simdize", "coalesce")
+TRANSFORMS = ("none", "flatten", "simdize", "coalesce", "spmd")
 
 #: Deprecated spelling -> canonical variant.
 _VARIANT_ALIASES = {
@@ -69,6 +71,8 @@ _TRANSFORM_ALIASES = {
     "naive": "simdize",
     "naive-simd": "simdize",
     "coalesced": "coalesce",
+    "flatten-spmd": "spmd",
+    "partition": "spmd",
 }
 
 

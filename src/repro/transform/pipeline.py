@@ -159,6 +159,61 @@ def coalesce_program(
     return _replace_stmt(structured, site.routine, site.index, replacement)
 
 
+def spmd_program(
+    source: ast.SourceFile,
+    nproc: ast.Expr | int,
+    layout: str = "cyclic",
+    variant: str = "auto",
+    assume_min_trips: bool = False,
+    assume_parallel: bool = False,
+    simd: bool = True,
+    routine: str | None = None,
+    nest_index: int = 0,
+) -> ast.SourceFile:
+    """Partition + flatten + SIMDize one parallel nest (Fig. 15 pipeline).
+
+    Unlike :func:`flatten_program` (which keeps the outer iteration
+    uniform across the PEs), this bakes a ``nproc``-way partition of
+    the outer iterations into the text, so each lane genuinely
+    advances through *different* iterations — the shape under which
+    per-lane divergence, gathers and masked stores are exercised.
+
+    Partitioning a serializing loop silently computes the wrong answer,
+    so unlike the naive Section 3 baseline the outer loop must *pass*
+    the Section 6 dependence test; scalar reductions also reject (the
+    partitioner does not privatize accumulators).  ``assume_parallel``
+    overrides the test, FORALL-style, on the caller's responsibility.
+    """
+    from ..analysis import analyze_outer_parallelism
+    from .parallel import flatten_spmd
+
+    structured, site = _locate_nest(source, routine, nest_index, "partitionable")
+    if not assume_parallel:
+        parallelism = analyze_outer_parallelism(site.stmt)
+        problems = list(parallelism.reasons)
+        if parallelism.reductions:
+            problems.append(
+                "scalar reduction(s) "
+                f"{sorted(parallelism.reductions)} would need privatization"
+            )
+        if parallelism.unknown or not parallelism.parallel or parallelism.reductions:
+            raise TransformError(
+                "outer loop is not provably parallel, refusing to partition "
+                "it (pass assume_parallel=True to override): "
+                + "; ".join(problems),
+                site.stmt.loc,
+            )
+    replacement = flatten_spmd(
+        site.stmt,
+        nproc,
+        layout=layout,
+        variant=variant,
+        assume_min_trips=assume_min_trips,
+        simd=simd,
+    )
+    return _replace_stmt(structured, site.routine, site.index, replacement)
+
+
 def naive_simd_program(
     source: ast.SourceFile,
     nproc: ast.Expr | int,

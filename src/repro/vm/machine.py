@@ -179,6 +179,15 @@ class SIMDVirtualMachine:
             if next_pc is None:  # HALT
                 break
             pc = next_pc
+        if self._mask_stack:
+            # Translation invariant: every PUSH_MASK is matched by a
+            # POP_MASK on all paths — an unbalanced stack means the
+            # compiler emitted broken mask structure.
+            error = InterpreterError(
+                f"mask stack not drained at HALT: "
+                f"{len(self._mask_stack)} WHERE scope(s) still open"
+            )
+            raise attach_snapshot(error, self.snapshot())
         return env
 
     def _step(self, instr: Instr, pc: int, env: dict, stack: list) -> int:
@@ -271,6 +280,12 @@ class SIMDVirtualMachine:
             outer = self._mask
             self._mask_stack.append((outer, np.asarray(coerce(cond))))
             self._mask = self._combine(outer, cond)
+            # Translation invariant: a WHERE can only narrow activity.
+            if np.any(self.lanes_active & ~_lane_mask(outer, self.nproc)):
+                raise InterpreterError(
+                    "WHERE mask activates a lane outside the enclosing mask "
+                    "(translation invariant violated)"
+                )
         elif op is Op.ELSE_MASK:
             if not self._mask_stack:
                 raise InterpreterError("ELSE_MASK with empty mask stack")
@@ -417,7 +432,8 @@ class SIMDVirtualMachine:
         if isinstance(array, FArray):
             if any(isinstance(s, np.ndarray) for s in subs):
                 return self._gather(array, subs)
-            index = array.np_index(subs)
+            # No active lane consumes this load; clamp instead of trap.
+            index = array.np_index(subs, clamp=not self.lanes_active.any())
             result = array.data[index]
             return result.copy() if isinstance(result, np.ndarray) else result
         if isinstance(array, np.ndarray) and array.ndim == 1 and len(subs) == 1:
@@ -469,12 +485,32 @@ class SIMDVirtualMachine:
         if any(isinstance(s, np.ndarray) for s in subs):
             self._scatter(array, subs, value)
             return
-        index = array.np_index(subs)
+        # Issued with no active lane: the store writes nothing, so the
+        # (possibly garbage) address must not trap — clamp, don't check.
+        index = array.np_index(subs, clamp=not self.lanes_active.any())
         region = array.data[index]
         layers = self._layers_of(region)
         self.counters.record(
             "store", width=self.nproc, layers=layers, mask=self.lanes_active
         )
+        if not (isinstance(region, np.ndarray) and region.ndim >= 1):
+            # All lanes address the same element.  A per-lane value is
+            # legal lockstep only when the active lanes agree (they all
+            # write the same thing); otherwise the store is a race.
+            varr = np.asarray(value)
+            if varr.ndim >= 1:
+                if varr.ndim != 1 or varr.shape[0] != self.nproc:
+                    raise InterpreterError(
+                        f"cannot store an array value into element of '{name}'"
+                    )
+                lanes = _lane_mask(self._mask, self.nproc)
+                active = varr[lanes] if lanes.any() else varr
+                if not np.all(active == active.flat[0]):
+                    raise InterpreterError(
+                        f"divergent lanes race on scalar element store to "
+                        f"'{name}'"
+                    )
+                value = active.flat[0].item()
         if bool(np.all(self._mask)):
             array.data[index] = coerce(value)
             return

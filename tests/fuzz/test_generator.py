@@ -1,0 +1,101 @@
+"""Generator properties: determinism, well-formedness, diversity.
+
+Includes the printer round-trip property over *generated* ASTs: every
+program the fuzzer emits must survive parse -> print -> parse with a
+structurally identical tree (location-insensitive dataclass equality).
+"""
+
+import numpy as np
+import pytest
+
+from repro.fuzz.generator import TRIP_SHAPES, GenConfig, ProgramGenerator
+from repro.lang import check_source, format_source, parse_source
+from repro.runtime import Engine
+
+SAMPLE = 150
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return list(ProgramGenerator(seed=42).programs(SAMPLE))
+
+
+class TestDeterminism:
+    def test_pure_function_of_seed_and_index(self):
+        a = ProgramGenerator(seed=7).generate(13)
+        b = ProgramGenerator(seed=7).generate(13)
+        assert a.source == b.source
+        assert a.trip_counts == b.trip_counts
+        assert {k: v.tolist() if isinstance(v, np.ndarray) else v
+                for k, v in a.bindings.items()} == {
+                    k: v.tolist() if isinstance(v, np.ndarray) else v
+                    for k, v in b.bindings.items()}
+
+    def test_order_independent(self):
+        gen = ProgramGenerator(seed=7)
+        backwards = [gen.generate(i) for i in (5, 3, 1)]
+        forwards = [gen.generate(i) for i in (1, 3, 5)]
+        assert [p.source for p in reversed(backwards)] == [
+            p.source for p in forwards
+        ]
+
+    def test_seeds_differ(self):
+        assert (
+            ProgramGenerator(seed=0).generate(0).source
+            != ProgramGenerator(seed=1).generate(0).source
+        )
+
+
+class TestWellFormedness:
+    def test_every_program_parses_and_checks(self, programs):
+        for prog in programs:
+            check_source(parse_source(prog.source))
+
+    def test_printer_round_trip(self, programs):
+        for prog in programs:
+            tree = parse_source(prog.source)
+            reparsed = parse_source(format_source(tree))
+            assert reparsed == tree, prog.source
+
+    def test_predicted_work_matches_sequential_run(self, programs):
+        engine = Engine()
+        for prog in programs[:60]:
+            env = engine.run(
+                prog.source,
+                {k: v.copy() if isinstance(v, np.ndarray) else v
+                 for k, v in prog.bindings.items()},
+                backend="scalar",
+            ).env
+            assert int(np.asarray(env["w"].data).sum()) == prog.total_work
+            assert len(prog.trip_counts) == prog.outer_trips
+
+
+class TestDiversity:
+    def test_all_trip_shapes_appear(self, programs):
+        seen = {f for p in programs for f in p.features}
+        for shape in TRIP_SHAPES:
+            assert f"shape-{shape}" in seen
+
+    def test_edge_trip_counts_appear(self, programs):
+        seen = {f for p in programs for f in p.features}
+        assert {"outer-zero", "outer-one", "zero-trip", "one-trip"} <= seen
+
+    def test_structural_features_appear(self, programs):
+        seen = {f for p in programs for f in p.features}
+        assert {"guard", "deep", "scalar-acc", "ywrite", "pre", "post"} <= seen
+
+    def test_both_partitionable_and_serializing(self, programs):
+        kinds = {p.partitionable for p in programs}
+        assert kinds == {True, False}
+
+    def test_zero_trip_data_flows_into_metadata(self, programs):
+        zero = [p for p in programs if "zero-trip" in p.features]
+        assert zero
+        for prog in zero:
+            assert not prog.min_trips_ok or prog.outer_trips == 0
+
+    def test_config_knobs_respected(self):
+        config = GenConfig(guard_prob=0.0, acc_prob=0.0, ywrite_prob=0.0)
+        for prog in ProgramGenerator(seed=3, config=config).programs(40):
+            assert "guard" not in prog.features
+            assert prog.partitionable

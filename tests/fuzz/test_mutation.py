@@ -1,0 +1,69 @@
+"""Mutation testing: planted bugs must be caught and shrunk.
+
+Each test monkeypatches one deliberate bug into the transform layer
+(or its safety checker), runs a short campaign with a *fresh* oracle
+(so no cached clean compilation masks the mutant), and requires the
+oracle to flag it and the reducer to shrink the reproducer to a small
+program (the acceptance bar is <= 15 DSL lines).
+"""
+
+import pytest
+
+import repro.transform.flatten as flatten_mod
+from repro.fuzz import run_fuzz
+from repro.lang import ast
+
+
+class TestPlantedTransformBug:
+    def test_dropped_reentry_is_caught_and_shrunk(self, monkeypatch):
+        def mutant(nest, guard_reentry):
+            # planted bug: forget pre/init2 re-entry after the outer
+            # increment — later outer iterations lose their inner work
+            return ast.clone(nest.post) + ast.clone(nest.outer.increment)
+
+        monkeypatch.setattr(flatten_mod, "_transition", mutant)
+        report = run_fuzz(seed=0, iterations=30, nproc=4, shrink=True,
+                          max_failures=2)
+        assert not report.ok
+        entry = report.failures[0]
+        assert entry.divergence.kind in ("env-divergence", "invariant")
+        assert entry.divergence.config.startswith(("flatten/", "spmd/"))
+        assert entry.shrunk is not None
+        assert entry.shrunk.line_count() <= 15
+
+    def test_swapped_layout_breaks_eq1_invariant(self, monkeypatch):
+        import repro.transform.parallel as parallel_mod
+
+        real = parallel_mod.partition_outer
+
+        def mutant(*args, **kwargs):
+            # planted bug: silently serve cyclic layout for block
+            if kwargs.get("layout") == "block":
+                kwargs["layout"] = "cyclic"
+            elif len(args) >= 3 and args[2] == "block":
+                args = args[:2] + ("cyclic",) + args[3:]
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(parallel_mod, "partition_outer", mutant)
+        report = run_fuzz(seed=5, iterations=40, nproc=4, max_failures=1)
+        assert not report.ok
+        kinds = {e.divergence.kind for e in report.failures}
+        # Results still agree (same iterations, different lanes); only
+        # the Eq. 1 per-lane work invariant can see this bug.
+        assert "invariant" in kinds
+
+
+class TestPlantedCheckerBug:
+    def test_disabled_precondition_check_is_caught(self, monkeypatch):
+        monkeypatch.setattr(
+            flatten_mod,
+            "_check_optimized_preconditions",
+            lambda nest, assume_min_trips: None,
+        )
+        report = run_fuzz(seed=0, iterations=40, nproc=4, max_failures=4)
+        assert not report.ok
+        # The checker now accepts zero-trip programs the optimized
+        # variants miscompile, and/or disagrees with the applicability
+        # report's promised variant.
+        kinds = {e.divergence.kind for e in report.failures}
+        assert kinds & {"env-divergence", "invariant", "checker-gap", "fault"}

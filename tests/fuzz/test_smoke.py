@@ -1,0 +1,22 @@
+"""Tier-1 fuzz smoke: a ~200-program differential campaign.
+
+This is the fast always-on tier; the nightly CI job runs the same
+campaign at 10k programs.  Seeding is positional — `pytest-randomly`
+or test reordering cannot change which programs are generated.
+"""
+
+import pytest
+
+from repro.fuzz import run_fuzz
+
+
+@pytest.mark.fuzz_smoke
+def test_fuzz_smoke_campaign():
+    report = run_fuzz(seed=20260805, iterations=200, nproc=4, max_failures=5)
+    assert report.checked == 200
+    assert report.ok, report.summary()
+    # the campaign must actually exercise the matrix, not skip it
+    assert report.leg_stats.get("flatten/general/simd") == 200
+    assert report.leg_stats.get("none/mimd") == 200
+    assert report.leg_stats.get("spmd/general/block", 0) > 20
+    assert report.leg_stats.get("flatten/optimized/simd", 0) > 50

@@ -1,0 +1,86 @@
+"""VM translation invariants: the mask discipline.
+
+The compiler's mask structure obeys two invariants the machine checks
+at run time — a WHERE can only *narrow* lane activity, and every
+PUSH_MASK is matched by a POP_MASK before HALT.  Well-formed source
+can never violate them, so these tests hand-assemble broken
+:class:`CodeObject` streams to prove the checks actually fire (they
+are the VM half of the fuzz oracle's translation validator).
+"""
+
+import numpy as np
+import pytest
+
+from repro.lang.errors import InterpreterError
+from repro.vm.isa import CodeObject, Instr, Op
+from repro.vm.machine import SIMDVirtualMachine
+
+
+def code(*instrs):
+    return CodeObject(name="handmade", instructions=tuple(instrs))
+
+
+class TestMaskNarrowing:
+    def test_widening_combine_is_caught(self, monkeypatch):
+        # `_combine` ANDs with the enclosing mask, so no instruction
+        # stream can widen activity — simulate the mask-combine bug the
+        # run-time invariant defends against and check that it fires
+        narrow = np.array([True, False, False, False])
+        wide = np.array([True, True, True, True])
+        vm = SIMDVirtualMachine(4)
+        monkeypatch.setattr(vm, "_combine", lambda outer, cond: np.asarray(cond))
+        broken = code(
+            Instr(Op.PUSH_CONST, narrow),
+            Instr(Op.PUSH_MASK),
+            Instr(Op.PUSH_CONST, wide),
+            Instr(Op.PUSH_MASK),
+            Instr(Op.POP_MASK),
+            Instr(Op.POP_MASK),
+            Instr(Op.HALT),
+        )
+        with pytest.raises(InterpreterError, match="activates a lane outside"):
+            vm.run(broken)
+
+    def test_nested_narrowing_is_fine(self):
+        narrow = np.array([True, True, False, False])
+        narrower = np.array([True, False, False, False])
+        ok = code(
+            Instr(Op.PUSH_CONST, narrow),
+            Instr(Op.PUSH_MASK),
+            Instr(Op.PUSH_CONST, narrower),
+            Instr(Op.PUSH_MASK),
+            Instr(Op.POP_MASK),
+            Instr(Op.POP_MASK),
+            Instr(Op.HALT),
+        )
+        SIMDVirtualMachine(4).run(ok)
+
+
+class TestMaskStackBalance:
+    def test_undrained_mask_stack_at_halt(self):
+        broken = code(
+            Instr(Op.PUSH_CONST, np.array([True, True, True, True])),
+            Instr(Op.PUSH_MASK),
+            Instr(Op.HALT),
+        )
+        with pytest.raises(InterpreterError, match="mask stack not drained"):
+            SIMDVirtualMachine(4).run(broken)
+
+    def test_pop_on_empty_stack(self):
+        broken = code(Instr(Op.POP_MASK), Instr(Op.HALT))
+        with pytest.raises(InterpreterError, match="empty mask stack"):
+            SIMDVirtualMachine(4).run(broken)
+
+    def test_else_on_empty_stack(self):
+        broken = code(Instr(Op.ELSE_MASK), Instr(Op.HALT))
+        with pytest.raises(InterpreterError, match="empty mask stack"):
+            SIMDVirtualMachine(4).run(broken)
+
+    def test_balanced_stream_runs_clean(self):
+        ok = code(
+            Instr(Op.PUSH_CONST, np.array([True, False, True, False])),
+            Instr(Op.PUSH_MASK),
+            Instr(Op.POP_MASK),
+            Instr(Op.HALT),
+        )
+        SIMDVirtualMachine(4).run(ok)
