@@ -11,7 +11,11 @@ The package contains everything the paper's pipeline needs:
 * :mod:`repro.lang` — MiniF, the pseudo-Fortran dialect of the paper
   (F77 control flow + F90simd WHERE/FORALL + Fortran-D directives);
 * :mod:`repro.analysis` — loop nests, CFG/dataflow, dependence
-  testing, and the Section 6 applicability/profitability/safety report;
+  testing, interval × lane-uniformity abstract interpretation, and the
+  Section 6 applicability/profitability/safety report;
+* :mod:`repro.diag` — the lint engine: stable-coded compile-time
+  diagnostics (divergence races, provable bounds violations, Eq.2−Eq.1
+  blowup warnings) plus the bytecode verifier in :mod:`repro.vm.verify`;
 * :mod:`repro.transform` — loop normalization, **loop flattening**
   (Figures 10/11/12), SIMDizing (Section 3), SPMD partitioning, and
   the loop-coalescing baseline;
@@ -45,7 +49,15 @@ functions (``flatten_program``, ``run_program``, ``run_simd_program``,
 Engine.
 """
 
-from .analysis import evaluate_flattening
+from .analysis import analyze_routine, evaluate_flattening
+from .diag import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    lint_file,
+    lint_routine,
+    lint_source,
+)
 from .exec import (
     ExecutionCounters,
     MIMDSimulator,
@@ -88,6 +100,13 @@ __all__ = [
     "format_source",
     "check_source",
     "evaluate_flattening",
+    "analyze_routine",
+    "lint_source",
+    "lint_routine",
+    "lint_file",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
     "flatten_loop_nest",
     "flatten_program",
     "flatten_spmd",

@@ -1,5 +1,12 @@
 """Program analyses backing the transformation decisions of Section 6."""
 
+from .abstract import (
+    AbstractInterpreter,
+    AbstractValue,
+    Interval,
+    Uniformity,
+    analyze_routine,
+)
 from .applicability import FlatteningCost, FlatteningReport, evaluate_flattening
 from .cfg import CFGNode, ControlFlowGraph, build_cfg
 from .dataflow import (
@@ -31,6 +38,11 @@ from .sideeffects import (
 )
 
 __all__ = [
+    "analyze_routine",
+    "AbstractInterpreter",
+    "AbstractValue",
+    "Interval",
+    "Uniformity",
     "build_cfg",
     "ControlFlowGraph",
     "CFGNode",

@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro check FILE            # parse + semantic check
+    python -m repro lint FILE ...         # static analysis diagnostics
     python -m repro report FILE           # Section 6 verdicts per nest
     python -m repro flatten FILE          # print the flattened program
     python -m repro simdize FILE -p 8     # naive SIMDization baseline
@@ -61,6 +62,70 @@ def cmd_check(args) -> int:
     check_source(tree, externals=set(args.external or []))
     print(f"{args.file}: OK ({len(tree.units)} unit(s))")
     return 0
+
+
+def _iter_minif_sources(path: str):
+    """Yield ``(label, text)`` MiniF sources found in ``path``.
+
+    A ``.py`` file contributes every module-level string constant that
+    contains a PROGRAM or SUBROUTINE header — the convention the
+    bundled kernels (:mod:`repro.kernels`) use to embed their MiniF
+    texts — labelled ``path:NAME``.  Any other file is one MiniF
+    source.
+    """
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    if not path.endswith(".py"):
+        yield path, text
+        return
+    import ast as pyast
+
+    module = pyast.parse(text, filename=path)
+    for node in module.body:
+        if not isinstance(node, pyast.Assign):
+            continue
+        value = node.value
+        if not (isinstance(value, pyast.Constant) and isinstance(value.value, str)):
+            continue
+        upper = value.value.upper()
+        if "PROGRAM" not in upper and "SUBROUTINE" not in upper:
+            continue
+        for target in node.targets:
+            if isinstance(target, pyast.Name):
+                yield f"{path}:{target.id}", value.value
+                break
+
+
+def cmd_lint(args) -> int:
+    from .diag import DiagnosticReport, Severity, lint_source
+    from .lang.errors import TransformError
+    from .vm.compiler import compile_program
+    from .vm.verify import verify_code
+
+    report = DiagnosticReport()
+    sources = 0
+    for path in args.files:
+        for label, text in _iter_minif_sources(path):
+            sources += 1
+            report.extend(lint_source(text, filename=label))
+            if not args.no_verify:
+                try:
+                    code = compile_program(parse_source(text, filename=label))
+                except (MiniFError, TransformError):
+                    continue  # frontend findings already reported
+                report.extend(verify_code(code))
+    report = report.sorted()
+    if args.format == "json":
+        import json
+
+        print(json.dumps({"sources": sources, **report.to_dict()}, indent=2))
+    else:
+        if report:
+            for diag in report:
+                print(diag.render())
+        print(f"{sources} source(s): {report.summary()}")
+    threshold = Severity.ERROR if args.fail_on == "error" else Severity.WARNING
+    return 1 if report.at_least(threshold) else 0
 
 
 def cmd_report(args) -> int:
@@ -288,6 +353,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--external", action="append", help="known external subroutine")
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "lint",
+        help="static analysis: divergence races, provable bounds "
+             "violations, SIMD blowup warnings, bytecode verification",
+    )
+    p.add_argument("files", nargs="+", metavar="FILE",
+                   help="MiniF source file, or a .py module whose "
+                        "string constants embed MiniF programs")
+    p.add_argument("--format", default="text", choices=["text", "json"])
+    p.add_argument("--fail-on", default="error", choices=["error", "warning"],
+                   help="exit nonzero when findings at/above this "
+                        "severity exist (default: error)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip bytecode verification of compiled programs")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("report", help="Section 6 applicability report per nest")
     p.add_argument("file")

@@ -1,0 +1,29 @@
+"""Static analysis diagnostics: the lint engine.
+
+``repro.diag`` turns the abstract interpretation of
+:mod:`repro.analysis.abstract` into actionable findings::
+
+    from repro.diag import lint_source
+    report = lint_source(program_text)
+    print(report.render())
+
+Rules have stable codes (``R001``, ``W101``, ...); the bytecode
+verifier (:mod:`repro.vm.verify`) reports through the same
+:class:`Diagnostic` type with ``Vxxx`` codes, and
+:class:`~repro.runtime.Engine` attaches a report to every compile.
+"""
+
+from .diagnostics import Diagnostic, DiagnosticReport, Severity
+from .rules import RULES, LintContext, lint_file, lint_routine, lint_source, rule
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "RULES",
+    "LintContext",
+    "rule",
+    "lint_routine",
+    "lint_source",
+    "lint_file",
+]

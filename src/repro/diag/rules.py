@@ -1,0 +1,407 @@
+"""The lint rule registry.
+
+Each rule is a generator over one routine, driven by the abstract
+interpretation in :mod:`repro.analysis.abstract`; it yields
+:class:`~repro.diag.diagnostics.Diagnostic` findings.  Codes are
+stable; severities are fixed per rule:
+
+======  ========  ====================================================
+R001    error     lane-varying value stored to a scalar array element
+                  (the runtime ``DivergenceFault`` race, caught early)
+R002    error     subscript provably outside the declared extent
+W101    warning   SIMD divergence blowup — the Eq.2−Eq.1 gap of an
+                  unflattened nest, bounded from the inner trip-count
+                  interval
+W102    warning   WHERE mask provably uniform (the construct never
+                  diverges — an IF would do)
+W103    warning   optimized-flattening preconditions not established
+                  (side effects / inner trip count may be 0): only the
+                  Fig. 10 general form applies
+======  ========  ====================================================
+
+Frontend failures surface as ``P001`` (parse) / ``P002`` (semantic)
+error diagnostics rather than exceptions, so ``lint_source`` always
+returns a report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from ..analysis.abstract import AbstractInterpreter, Uniformity, analyze_routine
+from ..analysis.applicability import evaluate_flattening
+from ..analysis.sideeffects import stmts_have_side_effects
+from ..lang import ast, parse_source
+from ..lang.errors import LexError, ParseError, SemanticError, UNKNOWN_LOCATION
+from ..lang.semantic import check_source
+from .diagnostics import Diagnostic, DiagnosticReport, Severity
+
+__all__ = [
+    "LintContext",
+    "RULES",
+    "rule",
+    "lint_routine",
+    "lint_file",
+    "lint_source",
+]
+
+
+@dataclass
+class LintContext:
+    """What a rule sees: one routine plus its abstract interpretation."""
+
+    routine: ast.Routine
+    analysis: AbstractInterpreter
+
+    def statements(self) -> Iterator[ast.Stmt]:
+        for node in ast.walk_body(self.routine.body):
+            if isinstance(node, ast.Stmt):
+                yield node
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule."""
+
+    code: str
+    severity: Severity
+    title: str
+    check: Callable[[LintContext], Iterator[Diagnostic]]
+
+
+#: Registry of all rules, keyed by code.
+RULES: dict[str, Rule] = {}
+
+
+def rule(code: str, severity: Severity, title: str):
+    """Register a rule function under a stable code."""
+
+    def decorate(func: Callable[[LintContext], Iterator[Diagnostic]]):
+        RULES[code] = Rule(code, severity, title, func)
+        return func
+
+    return decorate
+
+
+def _diag(
+    ctx: LintContext,
+    code: str,
+    message: str,
+    loc,
+    notes: tuple[str, ...] = (),
+) -> Diagnostic:
+    return Diagnostic(
+        code=code,
+        severity=RULES[code].severity,
+        message=message,
+        location=loc if loc is not None else UNKNOWN_LOCATION,
+        routine=ctx.routine.name,
+        notes=notes,
+    )
+
+
+def _fmt_bound(value: float) -> str:
+    if math.isinf(value):
+        return "∞" if value > 0 else "-∞"
+    return str(int(value)) if float(value).is_integer() else f"{value:g}"
+
+
+# ---------------------------------------------------------------------------
+# R001 — divergent scalar-element store race
+# ---------------------------------------------------------------------------
+
+
+@rule("R001", Severity.ERROR, "lane-varying value stored to scalar element")
+def _r001(ctx: LintContext) -> Iterator[Diagnostic]:
+    an = ctx.analysis
+    for stmt in ctx.statements():
+        if not isinstance(stmt, ast.Assign):
+            continue
+        target = stmt.target
+        if not isinstance(target, ast.ArrayRef):
+            continue
+        if not an.is_reachable(stmt):
+            continue
+        state = an.state_before(stmt)
+        # A store addresses *one* memory cell exactly when every
+        # subscript is a lane-uniform scalar expression.
+        subs_scalar = True
+        for sub in target.subs:
+            if isinstance(sub, ast.Slice):
+                subs_scalar = False
+                break
+            if not an.eval(sub, state).lanes_provably_agree:
+                subs_scalar = False
+                break
+        if not subs_scalar:
+            continue
+        value = an.eval(stmt.value, state)
+        if value.uniformity is Uniformity.VARYING and not value.lanes_provably_agree:
+            yield _diag(
+                ctx,
+                "R001",
+                f"lane-varying value stored to scalar element of '{target.name}' "
+                "— divergent lanes race on one memory cell",
+                stmt.loc,
+                notes=(
+                    f"stored value has abstract range {value.interval}, "
+                    "per-PE lanes may disagree",
+                    "the SIMD backends raise a DivergenceFault here at run time; "
+                    "store per-lane results to a lane-indexed element instead",
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# R002 — subscript provably out of declared bounds
+# ---------------------------------------------------------------------------
+
+
+@rule("R002", Severity.ERROR, "subscript provably out of declared bounds")
+def _r002(ctx: LintContext) -> Iterator[Diagnostic]:
+    an = ctx.analysis
+    for stmt in ctx.statements():
+        if isinstance(stmt, ast.Decl):
+            continue
+        if not an.is_reachable(stmt):
+            continue
+        state = an.state_before(stmt)
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Stmt) and node is not stmt:
+                break  # nested statements get their own visit
+            if not isinstance(node, ast.ArrayRef):
+                continue
+            symbol = an.symbols.get(node.name)
+            if symbol is None or not symbol.is_array:
+                continue
+            for dim, sub in enumerate(node.subs):
+                if isinstance(sub, ast.Slice):
+                    continue
+                sub_iv = an.eval(sub, state).interval
+                if sub_iv.is_bottom:
+                    continue
+                extent = an.declared_extent(node.name, dim)
+                valid_hi = extent.hi if not extent.is_bottom else math.inf
+                if sub_iv.hi < 1 or sub_iv.lo > valid_hi:
+                    declared = (
+                        _fmt_bound(extent.lo)
+                        if extent.is_constant
+                        else f"{extent}"
+                    )
+                    yield _diag(
+                        ctx,
+                        "R002",
+                        f"subscript {dim + 1} of '{node.name}' is provably out "
+                        f"of bounds: range {sub_iv} vs declared extent "
+                        f"1..{declared}",
+                        node.loc if node.loc.line else stmt.loc,
+                    )
+
+
+# ---------------------------------------------------------------------------
+# W101 — SIMD divergence blowup (the Eq.2 − Eq.1 gap)
+# ---------------------------------------------------------------------------
+
+
+def _first_inner_loop(body: list) -> ast.Stmt | None:
+    for inner in body:
+        if isinstance(inner, (ast.Do, ast.DoWhile, ast.While, ast.Forall)):
+            return inner
+    return None
+
+
+@rule("W101", Severity.WARNING, "SIMD divergence blowup: flattening profitable but not applied")
+def _w101(ctx: LintContext) -> Iterator[Diagnostic]:
+    an = ctx.analysis
+    for stmt in ctx.statements():
+        if not isinstance(stmt, (ast.Do, ast.DoWhile, ast.While, ast.Forall)):
+            continue
+        inner = _first_inner_loop(stmt.body)
+        if inner is None:
+            continue
+        try:
+            report = evaluate_flattening(stmt)
+        except Exception:  # applicability itself must never kill the lint
+            continue
+        if not (report.applicable and report.profitable and report.safe is not False):
+            continue
+        trips = an.do_trip_interval(inner, an.state_before(inner))
+        gap = trips.width
+        if gap <= 0:
+            continue  # rectangular in the abstract: no divergence gap
+        outer_trips = an.do_trip_interval(stmt, an.state_before(stmt))
+        per_step = (
+            f"up to {_fmt_bound(gap)} wasted inner iterations per outer step"
+            if not math.isinf(gap)
+            else "an unbounded number of wasted inner iterations per outer step"
+        )
+        total_note = ""
+        if not math.isinf(gap) and not math.isinf(outer_trips.hi):
+            total_note = (
+                f"total SIMD gap ≤ {_fmt_bound(gap * outer_trips.hi)} iterations "
+                f"over ≤ {_fmt_bound(outer_trips.hi)} outer steps"
+            )
+        notes = [
+            f"inner trip count spans {trips}: Eq.2 (sum of per-step maxima) "
+            f"exceeds Eq.1 (max of per-PE sums) by {per_step}",
+        ]
+        if total_note:
+            notes.append(total_note)
+        notes.append(
+            f"loop flattening is applicable and profitable here "
+            f"(strongest variant: {report.variant}); apply "
+            "repro.transform.flatten_loop_nest to close the gap"
+        )
+        yield _diag(
+            ctx,
+            "W101",
+            "divergent inner loop bounds — SIMD executes the maximum trip "
+            "count every outer step, but the nest is not flattened",
+            stmt.loc,
+            notes=tuple(notes),
+        )
+
+
+# ---------------------------------------------------------------------------
+# W102 — WHERE mask provably uniform (dead mask)
+# ---------------------------------------------------------------------------
+
+
+@rule("W102", Severity.WARNING, "WHERE mask provably uniform")
+def _w102(ctx: LintContext) -> Iterator[Diagnostic]:
+    an = ctx.analysis
+    for stmt in ctx.statements():
+        if not isinstance(stmt, ast.Where):
+            continue
+        if not an.is_reachable(stmt):
+            continue
+        mask = an.eval(stmt.mask, an.state_before(stmt))
+        if mask.lanes_provably_agree:
+            why = (
+                "the mask is a cross-PE reduction or scalar expression"
+                if mask.is_uniform
+                else f"the mask value is the constant {mask.interval}"
+            )
+            yield _diag(
+                ctx,
+                "W102",
+                "WHERE mask is provably uniform across the processors — "
+                "the construct never diverges",
+                stmt.loc,
+                notes=(
+                    why,
+                    "an IF statement expresses the same control flow without "
+                    "mask-stack overhead",
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# W103 — optimized-flattening preconditions not established
+# ---------------------------------------------------------------------------
+
+
+@rule("W103", Severity.WARNING, "optimized-flattening preconditions not established")
+def _w103(ctx: LintContext) -> Iterator[Diagnostic]:
+    an = ctx.analysis
+    for stmt in ctx.statements():
+        if not isinstance(stmt, (ast.Do, ast.DoWhile, ast.While, ast.Forall)):
+            continue
+        if _first_inner_loop(stmt.body) is None:
+            continue
+        try:
+            report = evaluate_flattening(stmt)
+        except Exception:
+            continue
+        if not report.recommended or report.variant != "general":
+            continue
+        inner = _first_inner_loop(stmt.body)
+        trips = an.do_trip_interval(inner, an.state_before(inner))
+        side_effects = any(
+            stmts_have_side_effects(b) for b in ast.sub_bodies(inner)
+        ) or stmts_have_side_effects([inner])
+        reasons = []
+        if side_effects:
+            reasons.append("the inner loop contains CALL/STOP side effects")
+        if trips.lo < 1:
+            reasons.append(
+                f"the inner trip count {trips} may be zero, so the first "
+                "inner test cannot be hoisted"
+            )
+        notes = [
+            "; ".join(reasons)
+            if reasons
+            else "the preconditions of Figs. 11/12 are not syntactically established",
+        ]
+        if trips.lo >= 1 and not side_effects:
+            notes.append(
+                f"interval analysis proves the inner trip count ≥ "
+                f"{_fmt_bound(trips.lo)}: pass assume_min_trips=True to "
+                "flatten_loop_nest to use the optimized variant (Fig. 11)"
+            )
+        yield _diag(
+            ctx,
+            "W103",
+            "only the general flattening form (Fig. 10) applies to this nest "
+            "— the optimized variants' preconditions are not established",
+            stmt.loc,
+            notes=tuple(notes),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Drivers
+# ---------------------------------------------------------------------------
+
+
+def lint_routine(
+    routine: ast.Routine, codes: set[str] | None = None
+) -> DiagnosticReport:
+    """Run the registered rules over one routine."""
+    report = DiagnosticReport()
+    ctx = LintContext(routine, analyze_routine(routine))
+    for code in sorted(RULES):
+        if codes is not None and code not in codes:
+            continue
+        report.extend(RULES[code].check(ctx))
+    return report
+
+
+def lint_source(
+    text: str, filename: str = "<string>", codes: set[str] | None = None
+) -> DiagnosticReport:
+    """Lint MiniF source text; frontend failures become P-diagnostics."""
+    report = DiagnosticReport()
+    try:
+        source = parse_source(text, filename=filename)
+    except (LexError, ParseError) as exc:
+        report.add(
+            Diagnostic("P001", Severity.ERROR, exc.message, exc.location)
+        )
+        return report
+    try:
+        # The linter cannot know the runtime's external-subroutine
+        # registry, so every CALLed name is accepted as external.
+        called = {
+            node.name
+            for unit in source.units
+            for node in ast.walk_body(unit.body)
+            if isinstance(node, ast.CallStmt)
+        }
+        check_source(source, externals=called)
+    except SemanticError as exc:
+        report.add(
+            Diagnostic("P002", Severity.ERROR, exc.message, exc.location)
+        )
+        return report
+    for routine in source.units:
+        report.extend(lint_routine(routine, codes))
+    return report.sorted()
+
+
+def lint_file(path: str, codes: set[str] | None = None) -> DiagnosticReport:
+    """Lint a MiniF source file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return lint_source(handle.read(), filename=path, codes=codes)

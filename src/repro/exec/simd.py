@@ -120,6 +120,7 @@ class SIMDInterpreter:
         self.executed_statements = 0
         self._meter = self.budget.meter()
         self._trace: deque = deque(maxlen=TRACE_DEPTH)
+        self._last_loc = None
         self._mask_frames: list = []
         self._env: dict = {}
         self._routines = {unit.name: unit for unit in source.units}
@@ -135,6 +136,7 @@ class SIMDInterpreter:
             mask_stack=[render_mask(outer) for outer in self._mask_frames],
             env=snapshot_env(self._env),
             last_ops=list(self._trace),
+            location=self._last_loc,
         )
 
     # -- entry point -----------------------------------------------------------
@@ -246,6 +248,8 @@ class SIMDInterpreter:
     def exec_stmt(self, stmt: ast.Stmt, env: dict) -> None:
         self.executed_statements += 1
         self._env = env
+        if stmt.loc is not None and stmt.loc.line:
+            self._last_loc = stmt.loc
         self._meter.tick(stmt.loc)
         if self.fault_plan is not None:
             self.fault_plan.raise_op_fault(self.executed_statements, "interpreter")
@@ -412,7 +416,9 @@ class SIMDInterpreter:
                 lanes = _lane_mask(self._mask, self.nproc)
                 active = varr[lanes] if lanes.any() else varr
                 if not np.all(active == active.flat[0]):
-                    raise InterpreterError(
+                    # The static R001 lint rule catches this at compile
+                    # time; classify as a divergence fault either way.
+                    raise DivergenceFault(
                         f"divergent lanes race on scalar element store to "
                         f"'{target.name}'",
                         target.loc,

@@ -36,9 +36,19 @@ program the checker accepts without assumptions that then computes the
 wrong answer.  A divergence under a *violated* ``assume_min_trips``
 assertion is the caller's fault and is never compared.
 
+Two static checkers are cross-checked against the runtime as well.
+Every leg's :class:`~repro.vm.isa.CodeObject` passes through the
+bytecode verifier (:mod:`repro.vm.verify`) before it runs — a finding
+on compiler-emitted code is a ``verifier`` divergence.  And the lint
+engine (:mod:`repro.diag`) is correlated with observed behaviour in
+both directions: a runtime :class:`DivergenceFault` /
+:class:`OutOfBoundsFault` on a lint-clean program, or lint *errors* on
+a program every leg runs clean, are ``checker-gap`` divergences.
+
 Verdict kinds: ``env-divergence`` (legal leg disagrees with the
 reference), ``backend-disagreement`` (vm vs interpreter),
-``fault`` (a legal leg crashed), ``checker-gap``, ``invariant``
+``fault`` (a legal leg crashed), ``checker-gap``, ``verifier``
+(compiler-emitted bytecode failed verification), ``invariant``
 (translation validation failed: flag monotonicity, Eq. 1 per-lane
 work, total-work conservation).
 """
@@ -50,12 +60,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..analysis import evaluate_flattening
+from ..diag import lint_source
 from ..lang import ast
 from ..lang.errors import MiniFError, TransformError
 from ..lang.parser import parse_source
 from ..reliability import crash_dump_for
-from ..reliability.errors import BackendFault
+from ..reliability.errors import BackendFault, DivergenceFault, OutOfBoundsFault
 from ..runtime.engine import Engine
+from ..vm.verify import verify_code
 from ..transform.pipeline import find_nest_sites, structurize_program
 from .generator import GeneratedProgram
 from .invariants import (
@@ -107,6 +119,9 @@ class ProgramVerdict:
     program: GeneratedProgram
     legs: list[LegOutcome] = field(default_factory=list)
     divergences: list[Divergence] = field(default_factory=list)
+    #: ``(leg label, fault class name)`` for every run that died with a
+    #: divergence/bounds fault — the lint cross-check's evidence.
+    runtime_faults: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -166,6 +181,9 @@ class DifferentialOracle:
             raise ValueError(f"the oracle needs nproc >= 2, got {nproc}")
         self.nproc = nproc
         self.engine = engine if engine is not None else Engine(cache_size=512)
+        # Code objects already verified this session — the engine caches
+        # compiles, so the same object comes back on many legs.
+        self._verified: set[int] = set()
 
     # -- public API ----------------------------------------------------------
 
@@ -207,6 +225,7 @@ class DifferentialOracle:
                     f"checker={None if report is None else report.safe})",
                 )
             )
+        self._lint_cross_check(prog, verdict)
         return verdict
 
     def check_leg(self, prog: GeneratedProgram, config: str) -> Divergence | None:
@@ -348,6 +367,68 @@ class DifferentialOracle:
             )
         return base_report
 
+    def _lint_cross_check(
+        self, prog: GeneratedProgram, verdict: ProgramVerdict
+    ) -> None:
+        """Correlate the static lint report with observed behaviour.
+
+        A divergence/bounds fault on a lint-clean program means the
+        abstract interpreter under-approximated (a rule gap); lint
+        *errors* on a program that every leg ran clean mean it
+        over-approximated badly enough to flag generator output.
+        Either direction is a checker gap worth a bug report.
+        """
+        try:
+            report = lint_source(prog.source, filename="<fuzz>")
+        except Exception as error:  # the linter must never kill the oracle
+            verdict.divergences.append(
+                Divergence(
+                    "checker-gap",
+                    "lint/static",
+                    f"lint crashed on generator output: "
+                    f"{type(error).__name__}: {error}",
+                )
+            )
+            return
+        codes = sorted({finding.code for finding in report.errors})
+        if verdict.runtime_faults and not codes:
+            leg, fault = verdict.runtime_faults[0]
+            verdict.divergences.append(
+                Divergence(
+                    "checker-gap",
+                    "lint/runtime",
+                    f"lint is error-clean but leg '{leg}' raised "
+                    f"{fault} at run time",
+                )
+            )
+        elif codes and not verdict.runtime_faults and not any(
+            d.kind == "fault" for d in verdict.divergences
+        ):
+            verdict.divergences.append(
+                Divergence(
+                    "checker-gap",
+                    "lint/runtime",
+                    f"lint reports {codes} but every leg ran clean",
+                )
+            )
+
+    def _verify_bytecode(
+        self, program, label: str, verdict: ProgramVerdict
+    ) -> None:
+        """Bytecode verifier leg: compiler-emitted code must verify."""
+        code = program.bytecode()
+        if code is None or id(code) in self._verified:
+            return
+        self._verified.add(id(code))
+        for finding in verify_code(code).errors:
+            verdict.divergences.append(
+                Divergence(
+                    "verifier",
+                    label,
+                    f"[{finding.code}] {finding.message}",
+                )
+            )
+
     def _latched_flag(self, prog: GeneratedProgram, kwargs: dict) -> str | None:
         """Continue-flag name of the compiled flattened form (or None)."""
         try:
@@ -393,6 +474,8 @@ class DifferentialOracle:
             )
             verdict.legs.append(LegOutcome(label, "ok", "faulted"))
             return None
+        if mode not in ("scalar", "mimd"):
+            self._verify_bytecode(program, label, verdict)
         bindings = _copy_bindings(prog.bindings)
         try:
             if mode == "scalar":
@@ -427,6 +510,8 @@ class DifferentialOracle:
             detail = f"{type(error).__name__}: {error}"
             if not isinstance(error, MiniFError):
                 detail = f"unwrapped exception escaped the backend: {detail}"
+            if isinstance(error, (DivergenceFault, OutOfBoundsFault)):
+                verdict.runtime_faults.append((label, type(error).__name__))
             verdict.divergences.append(
                 Divergence("fault", label, detail, crash_dump=_dump(error))
             )

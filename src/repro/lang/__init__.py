@@ -15,6 +15,7 @@ Typical use::
 
 from . import ast
 from .errors import (
+    CompileError,
     InterpreterError,
     LexError,
     MiniFError,
@@ -53,6 +54,7 @@ __all__ = [
     "ParseError",
     "SemanticError",
     "TransformError",
+    "CompileError",
     "InterpreterError",
     "SourceLocation",
 ]

@@ -3,6 +3,13 @@
 Every error raised while lexing, parsing, or checking a MiniF program
 carries a :class:`SourceLocation` so that messages point back at the
 offending line and column of the original source text.
+
+:class:`SourceLocation` is the *single* span type of the toolchain:
+AST nodes, bytecode instructions (:class:`~repro.vm.isa.Instr`),
+runtime crash dumps (:class:`~repro.reliability.MachineSnapshot`) and
+compile-time diagnostics (:class:`~repro.diag.Diagnostic`) all carry
+this class, so a finding can be traced from source text through
+transformed AST and bytecode back to the original line.
 """
 
 from __future__ import annotations
@@ -12,20 +19,58 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class SourceLocation:
-    """A position in a MiniF source text.
+    """A position (optionally a span) in a MiniF source text.
 
     Attributes:
         filename: Name used in diagnostics (often ``"<string>"``).
         line: 1-based line number.
         column: 1-based column number.
+        end_line: Last line of the span (0: a point location).
+        end_column: Column just past the span on ``end_line`` (0: a
+            point location).
     """
 
     filename: str = "<string>"
     line: int = 0
     column: int = 0
+    end_line: int = 0
+    end_column: int = 0
 
     def __str__(self) -> str:
         return f"{self.filename}:{self.line}:{self.column}"
+
+    @property
+    def is_span(self) -> bool:
+        """True when the location covers a region, not just a point."""
+        return bool(self.end_line)
+
+    def span_text(self) -> str:
+        """``file:line:col`` for points, ``file:line:col-line:col`` for spans."""
+        if not self.is_span:
+            return str(self)
+        return f"{self}-{self.end_line}:{self.end_column}"
+
+    def to_dict(self) -> dict:
+        """The JSON shape shared by crash dumps and lint diagnostics."""
+        out: dict = {
+            "filename": self.filename,
+            "line": self.line,
+            "column": self.column,
+        }
+        if self.is_span:
+            out["end_line"] = self.end_line
+            out["end_column"] = self.end_column
+        return out
+
+    def until(self, other: "SourceLocation | None") -> "SourceLocation":
+        """This location widened into a span ending at ``other``."""
+        if other is None or not other.line or other.filename != self.filename:
+            return self
+        if (other.line, other.column) <= (self.line, self.column):
+            return self
+        return SourceLocation(
+            self.filename, self.line, self.column, other.line, other.column
+        )
 
 
 #: Location used when no better information is available.
@@ -60,6 +105,20 @@ class SemanticError(MiniFError):
 
 class TransformError(MiniFError):
     """Raised when a code transformation cannot be applied safely."""
+
+
+class CompileError(MiniFError):
+    """Raised by strict compilation when static diagnostics find errors.
+
+    Attributes:
+        diagnostics: The error-severity
+            :class:`~repro.diag.Diagnostic` findings that failed the
+            compile (warnings are not included).
+    """
+
+    def __init__(self, message: str, diagnostics=(), location=UNKNOWN_LOCATION):
+        super().__init__(message, location)
+        self.diagnostics = tuple(diagnostics)
 
 
 class InterpreterError(MiniFError):

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..lang.errors import SourceLocation
+
 #: How many executed opcodes/statements a machine keeps for its trace ring.
 TRACE_DEPTH = 16
 
@@ -103,7 +105,10 @@ class MachineSnapshot:
         last_ops: The last :data:`TRACE_DEPTH` executed opcodes or
             statements, oldest first — each a
             ``{"pc": ..., "op": ..., "line": ...}`` dict.
-        location: Source location of the current instruction, if known.
+        location: :class:`~repro.lang.errors.SourceLocation` of the
+            current instruction/statement, if known — the same span
+            type :class:`~repro.diag.Diagnostic` carries, so crash
+            dumps and lint findings serialize locations identically.
     """
 
     backend: str
@@ -113,7 +118,7 @@ class MachineSnapshot:
     mask_stack: list = field(default_factory=list)
     env: dict = field(default_factory=dict)
     last_ops: list = field(default_factory=list)
-    location: str | None = None
+    location: "SourceLocation | None" = None
 
     def to_dict(self) -> dict:
         return {
@@ -124,5 +129,9 @@ class MachineSnapshot:
             "mask_stack": self.mask_stack,
             "env": self.env,
             "last_ops": self.last_ops,
-            "snapshot_location": self.location,
+            "snapshot_location": (
+                None
+                if self.location is None or not self.location.line
+                else self.location.to_dict()
+            ),
         }

@@ -136,6 +136,7 @@ class CompiledProgram:
         self._bytecode = None
         self._bytecode_error: str | None = None
         self._bytecode_tried = False
+        self._diagnostics = None
 
     @property
     def tree(self) -> ast.SourceFile:
@@ -166,6 +167,49 @@ class CompiledProgram:
                 self.stage_seconds["bytecode"] = time.perf_counter() - start
                 self._bytecode_tried = True
         return self._bytecode
+
+    def diagnostics(self):
+        """Static findings for the program *as compiled*.
+
+        Runs the lint rules (:mod:`repro.diag`) over every routine of
+        the transformed tree and, when the routine lowers to bytecode,
+        the bytecode verifier (:mod:`repro.vm.verify`) over the code
+        object.  Computed lazily on first use and cached with the
+        artifact, so a cache hit reuses the report.
+
+        Returns:
+            A :class:`~repro.diag.DiagnosticReport`.
+        """
+        if self._diagnostics is None:
+            from ..diag import Diagnostic, DiagnosticReport, Severity, lint_routine
+            from ..vm.verify import verify_code
+
+            start = time.perf_counter()
+            report = DiagnosticReport()
+            for unit in self._tree.units:
+                try:
+                    report.extend(lint_routine(unit))
+                except MiniFError as error:
+                    # The linter must never make a valid program
+                    # uncompilable; surface its own failure instead.
+                    report.add(
+                        Diagnostic(
+                            "P003",
+                            Severity.WARNING,
+                            f"lint of routine '{unit.name}' failed: {error}",
+                            location=error.location,
+                            routine=unit.name,
+                        )
+                    )
+            code = self.bytecode()
+            if code is not None:
+                report.extend(verify_code(code))
+            report = report.sorted()
+            with self._lock:
+                if self._diagnostics is None:
+                    self._diagnostics = report
+                    self.stage_seconds["diagnostics"] = time.perf_counter() - start
+        return self._diagnostics
 
     # -- backend selection ---------------------------------------------------
 
@@ -535,6 +579,7 @@ class Engine:
         nest_index: int = 0,
         layout: str = "block",
         width: int | None = None,
+        strict: bool = False,
     ) -> CompiledProgram:
         """Compile (or fetch) the program for the given options.
 
@@ -557,6 +602,12 @@ class Engine:
             layout: Data distribution for ``transform="simdize"``.
             width: PE count baked into the SIMDized text
                 (``transform="simdize"`` only, required there).
+            strict: Fail the compile when static analysis finds
+                error-severity diagnostics — raises
+                :class:`~repro.lang.errors.CompileError` carrying the
+                findings.  Not part of the cache key: the same
+                artifact serves strict and lax callers, the check runs
+                against its (cached) diagnostics report.
 
         Returns:
             A cached :class:`CompiledProgram`; its ``cache_hit``
@@ -591,7 +642,7 @@ class Engine:
                 self.stats.hits += 1
                 self._cache.move_to_end(key)
                 cached.cache_hit = True
-                return cached
+                return self._checked(cached, strict)
             self.stats.misses += 1
         program = self._build(text, sha, key, options)
         with self._lock:
@@ -602,7 +653,25 @@ class Engine:
             while len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
         winner.cache_hit = winner is not program
-        return winner
+        return self._checked(winner, strict)
+
+    @staticmethod
+    def _checked(program: CompiledProgram, strict: bool) -> CompiledProgram:
+        """Apply the strict-mode gate to a (possibly cached) artifact."""
+        if not strict:
+            return program
+        report = program.diagnostics()
+        if report.has_errors:
+            from ..lang.errors import CompileError
+
+            first = report.errors[0]
+            raise CompileError(
+                f"strict compile failed: {report.summary()}; first: "
+                f"[{first.code}] {first.message}",
+                diagnostics=report.errors,
+                location=first.location,
+            )
+        return program
 
     def run(
         self,
@@ -618,14 +687,15 @@ class Engine:
         nest_index: int = 0,
         layout: str = "block",
         width: int | None = None,
+        strict: bool = False,
         **run_kwargs,
     ) -> RunResult:
         """Compile (cached) and run in one call.
 
-        Compile keywords are those of :meth:`compile`; everything else
-        (``nproc``, ``backend``, ``externals``, ``budget``,
-        ``fault_plan``, ``policy``, ...) is forwarded to
-        :meth:`CompiledProgram.run`.
+        Compile keywords are those of :meth:`compile` (including
+        ``strict``); everything else (``nproc``, ``backend``,
+        ``externals``, ``budget``, ``fault_plan``, ``policy``, ...) is
+        forwarded to :meth:`CompiledProgram.run`.
         """
         program = self.compile(
             source,
@@ -638,6 +708,7 @@ class Engine:
             nest_index=nest_index,
             layout=layout,
             width=width,
+            strict=strict,
         )
         return program.run(bindings, **run_kwargs)
 

@@ -8,6 +8,7 @@ tree-walking interpreter of :mod:`repro.exec.simd`.
 from .compiler import Compiler, compile_program, compile_routine
 from .isa import CodeObject, Instr, Op
 from .machine import SIMDVirtualMachine, run_bytecode
+from .verify import VerificationError, assert_verified, stack_effect, verify_code
 
 __all__ = [
     "Op",
@@ -18,4 +19,8 @@ __all__ = [
     "compile_program",
     "SIMDVirtualMachine",
     "run_bytecode",
+    "verify_code",
+    "assert_verified",
+    "stack_effect",
+    "VerificationError",
 ]

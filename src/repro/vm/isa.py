@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from enum import Enum, auto
 
+from ..lang.errors import SourceLocation
+
 
 class Op(Enum):
     """Opcodes of the SIMD bytecode."""
@@ -70,14 +72,16 @@ class Instr:
 
     ``loc`` is the :class:`~repro.lang.errors.SourceLocation` of the
     AST node the instruction was compiled from (None for synthesized
-    instructions); the VM stamps it onto every error it raises so
-    runtime diagnostics point back at the original source line.
+    instructions) — the same span type the linter's diagnostics and
+    the crash-dump snapshots carry.  The VM stamps it onto every error
+    it raises so runtime diagnostics point back at the original source
+    line.
     """
 
     op: Op
     arg: object = None
     acu: bool = False
-    loc: object = None
+    loc: SourceLocation | None = None
 
     def __repr__(self) -> str:
         if self.arg is None:

@@ -76,6 +76,7 @@ class SIMDVirtualMachine:
         self._trace: deque = deque(maxlen=TRACE_DEPTH)
         self._env: dict = {}
         self._last_pc = 0
+        self._last_loc = None
         self._mask_stack: list[tuple[np.ndarray, np.ndarray]] = []
         self._mask = np.ones(nproc, dtype=bool)
         # a shadow interpreter provides assign_to for external writebacks
@@ -95,6 +96,7 @@ class SIMDVirtualMachine:
             mask_stack=[render_mask(outer) for outer, _ in self._mask_stack],
             env=snapshot_env(self._env),
             last_ops=list(self._trace),
+            location=self._last_loc,
         )
 
     # -- mask helpers --------------------------------------------------------------
@@ -170,6 +172,8 @@ class SIMDVirtualMachine:
             self.executed += 1
             self._last_pc = pc
             instr = instructions[pc]
+            if instr.loc is not None:
+                self._last_loc = instr.loc
             try:
                 next_pc = self._step(instr, pc, env, stack)
             except MiniFError as error:
@@ -506,7 +510,9 @@ class SIMDVirtualMachine:
                 lanes = _lane_mask(self._mask, self.nproc)
                 active = varr[lanes] if lanes.any() else varr
                 if not np.all(active == active.flat[0]):
-                    raise InterpreterError(
+                    # The static R001 lint rule catches this at compile
+                    # time; classify as a divergence fault either way.
+                    raise DivergenceFault(
                         f"divergent lanes race on scalar element store to "
                         f"'{name}'"
                     )

@@ -1,0 +1,219 @@
+"""The interval × lane-uniformity abstract interpreter."""
+
+import math
+
+from repro.analysis.abstract import (
+    BOTTOM_INTERVAL,
+    TOP_INTERVAL,
+    AbstractValue,
+    Interval,
+    Uniformity,
+    analyze_routine,
+    const_interval,
+    uniform,
+    varying,
+)
+from repro.lang import ast, parse_source
+
+
+def analyzed(text):
+    return analyze_routine(parse_source(text).main)
+
+
+def assign_to(routine_analysis, name):
+    for node in ast.walk_body(routine_analysis.routine.body):
+        if isinstance(node, ast.Assign) and isinstance(node.target, ast.Var):
+            if node.target.name == name:
+                return node
+    raise AssertionError(f"no assignment to {name}")
+
+
+class TestInterval:
+    def test_join_is_hull(self):
+        assert Interval(1, 3).join(Interval(5, 9)) == Interval(1, 9)
+
+    def test_join_with_bottom_is_identity(self):
+        assert BOTTOM_INTERVAL.join(Interval(2, 4)) == Interval(2, 4)
+
+    def test_widen_blows_open_moving_bounds(self):
+        widened = Interval(0, 5).widen(Interval(0, 6))
+        assert widened.lo == 0
+        assert math.isinf(widened.hi)
+
+    def test_widen_keeps_stable_bounds(self):
+        assert Interval(0, 5).widen(Interval(1, 5)) == Interval(0, 5)
+
+    def test_arith(self):
+        assert Interval(1, 2).add(Interval(10, 20)) == Interval(11, 22)
+        assert Interval(1, 2).sub(Interval(1, 1)) == Interval(0, 1)
+        assert Interval(-2, 3).mul(Interval(4, 5)) == Interval(-10, 15)
+
+    def test_constant_and_contains(self):
+        assert const_interval(7).is_constant
+        assert const_interval(7).contains(7)
+        assert not const_interval(7).contains(8)
+        assert TOP_INTERVAL.contains(10**9)
+
+    def test_disjoint(self):
+        assert Interval(1, 3).disjoint(Interval(4, 9))
+        assert not Interval(1, 5).disjoint(Interval(4, 9))
+
+
+class TestUniformity:
+    def test_join_order(self):
+        assert Uniformity.UNIFORM.join(Uniformity.VARYING) is Uniformity.VARYING
+        assert Uniformity.BOTTOM.join(Uniformity.UNIFORM) is Uniformity.UNIFORM
+
+    def test_lanes_provably_agree(self):
+        assert uniform(TOP_INTERVAL).lanes_provably_agree
+        # A varying value collapsed to one point still agrees.
+        assert varying(const_interval(3)).lanes_provably_agree
+        assert not varying(Interval(1, 2)).lanes_provably_agree
+
+
+class TestAnalyzeRoutine:
+    def test_do_index_interval(self):
+        an = analyzed(
+            "PROGRAM p\n"
+            "  INTEGER i, a(8), s\n"
+            "  s = 3\n"
+            "  DO i = 1, 8\n"
+            "    a(i) = s\n"
+            "  ENDDO\n"
+            "END\n"
+        )
+        store = next(
+            node
+            for node in ast.walk_body(an.routine.body)
+            if isinstance(node, ast.Assign) and isinstance(node.target, ast.ArrayRef)
+        )
+        state = an.state_before(store)
+        index = an.eval(ast.Var("i"), state)
+        # The header hull includes the exit overshoot (i = 9); the body
+        # state must cover exactly the executed range and stay finite.
+        assert index.interval.lo == 1
+        assert 8 <= index.interval.hi <= 9
+        assert index.uniformity is Uniformity.UNIFORM
+        assert an.eval(ast.Var("s"), state).interval == const_interval(3)
+
+    def test_divergent_where_makes_scalar_varying(self):
+        an = analyzed(
+            "PROGRAM p\n"
+            "  INTEGER s, u, t(8)\n"
+            "  t = [1 : 8]\n"
+            "  s = 0\n"
+            "  WHERE (t .GT. 4)\n"
+            "    s = 1\n"
+            "  ENDWHERE\n"
+            "  u = s\n"
+            "END\n"
+        )
+        after = assign_to(an, "u")
+        value = an.eval(ast.Var("s"), an.state_before(after))
+        assert value.uniformity is Uniformity.VARYING
+        assert value.interval == Interval(0, 1)
+
+    def test_uniform_guard_keeps_scalar_uniform(self):
+        an = analyzed(
+            "PROGRAM p\n"
+            "  INTEGER s, u, k\n"
+            "  k = 9\n"
+            "  s = 0\n"
+            "  IF (k .GT. 4) THEN\n"
+            "    s = 1\n"
+            "  ENDIF\n"
+            "  u = s\n"
+            "END\n"
+        )
+        after = assign_to(an, "u")
+        value = an.eval(ast.Var("s"), an.state_before(after))
+        assert value.uniformity is Uniformity.UNIFORM
+        assert value.interval == Interval(0, 1)
+
+    def test_while_loop_terminates_via_widening(self):
+        an = analyzed(
+            "PROGRAM p\n"
+            "  INTEGER i, j\n"
+            "  i = 0\n"
+            "  WHILE (i .LT. 100)\n"
+            "    i = i + 1\n"
+            "  ENDWHILE\n"
+            "  j = i\n"
+            "END\n"
+        )
+        after = assign_to(an, "j")
+        value = an.eval(ast.Var("i"), an.state_before(after))
+        assert value.interval.lo >= 0
+        assert value.interval.contains(50)
+
+    def test_goto_loop_terminates(self):
+        an = analyzed(
+            "PROGRAM p\n"
+            "  INTEGER i, j\n"
+            "  i = 0\n"
+            "10 i = i + 1\n"
+            "  IF (i .LT. 8) GOTO 10\n"
+            "  j = i\n"
+            "END\n"
+        )
+        after = assign_to(an, "j")
+        assert an.is_reachable(after)
+
+    def test_trip_intervals(self):
+        an = analyzed(
+            "PROGRAM p\n"
+            "  INTEGER i, j, l(8), x(8, 8)\n"
+            "  DO i = 1, 8\n"
+            "    DO j = 1, l(i)\n"
+            "      x(i, j) = i\n"
+            "    ENDDO\n"
+            "  ENDDO\n"
+            "END\n"
+        )
+        outer = next(
+            node
+            for node in ast.walk_body(an.routine.body)
+            if isinstance(node, ast.Do) and node.var == "i"
+        )
+        inner = next(
+            node
+            for node in ast.walk_body(an.routine.body)
+            if isinstance(node, ast.Do) and node.var == "j"
+        )
+        assert an.do_trip_interval(outer) == Interval(8, 8)
+        trips = an.do_trip_interval(inner)
+        # Inner bound is an unknown array element: trips are unbounded
+        # above and may be zero — exactly the divergence W101 prices.
+        assert trips.lo == 0
+        assert trips.width > 0
+
+    def test_divergent_context(self):
+        an = analyzed(
+            "PROGRAM p\n"
+            "  INTEGER s, t(8)\n"
+            "  t = [1 : 8]\n"
+            "  WHERE (t .GT. 4)\n"
+            "    s = 1\n"
+            "  ENDWHERE\n"
+            "END\n"
+        )
+        guarded = assign_to(an, "s")
+        assert an.divergent_context(guarded)
+        assert len(an.enclosing_wheres(guarded)) == 1
+
+    def test_declared_extent(self):
+        an = analyzed("PROGRAM p\n  INTEGER a(12), b(3, 5)\nEND\n")
+        assert an.declared_extent("a", 0) == const_interval(12)
+        assert an.declared_extent("b", 1) == const_interval(5)
+        assert an.declared_extent("nosuch", 0) == TOP_INTERVAL
+
+    def test_join_and_widen_on_abstract_values(self):
+        a = uniform(Interval(1, 2))
+        b = varying(Interval(5, 6))
+        joined = a.join(b)
+        assert joined.uniformity is Uniformity.VARYING
+        assert joined.interval == Interval(1, 6)
+        widened = AbstractValue(Interval(0, 5), Uniformity.UNIFORM).widen(
+            AbstractValue(Interval(0, 9), Uniformity.UNIFORM)
+        )
+        assert math.isinf(widened.interval.hi)

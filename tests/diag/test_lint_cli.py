@@ -1,0 +1,107 @@
+"""The `repro lint` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+RACE = """PROGRAM race
+  INTEGER a(10), t(4)
+  t = [1 : 4]
+  WHERE (t .GT. 2)
+    a(1) = t
+  ENDWHERE
+END
+"""
+
+RAGGED = """PROGRAM ragged
+  INTEGER i, j, l(8), x(8, 8)
+  DO i = 1, 8
+    DO j = 1, l(i)
+      x(i, j) = i * j
+    ENDDO
+  ENDDO
+END
+"""
+
+CLEAN = """PROGRAM clean
+  INTEGER i, a(8)
+  DO i = 1, 8
+    a(i) = i * 2
+  ENDDO
+END
+"""
+
+
+@pytest.fixture()
+def race_file(tmp_path):
+    path = tmp_path / "race.f"
+    path.write_text(RACE)
+    return str(path)
+
+
+def test_error_fails_the_default_gate(race_file, capsys):
+    assert main(["lint", race_file]) == 1
+    out = capsys.readouterr().out
+    assert "[R001]" in out
+    assert "1 error(s)" in out
+
+
+def test_clean_file_passes(tmp_path, capsys):
+    path = tmp_path / "clean.f"
+    path.write_text(CLEAN)
+    assert main(["lint", str(path)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_warnings_pass_error_gate_but_fail_warning_gate(tmp_path, capsys):
+    path = tmp_path / "ragged.f"
+    path.write_text(RAGGED)
+    assert main(["lint", str(path), "--fail-on", "error"]) == 0
+    assert main(["lint", str(path), "--fail-on", "warning"]) == 1
+    assert "[W101]" in capsys.readouterr().out
+
+
+def test_json_format(race_file, capsys):
+    assert main(["lint", race_file, "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["sources"] == 1
+    codes = [f["code"] for f in payload["findings"]]
+    assert "R001" in codes
+    assert payload["findings"][0]["location"]["line"] == 5
+
+
+def test_multiple_files_aggregate(race_file, tmp_path, capsys):
+    other = tmp_path / "ragged.f"
+    other.write_text(RAGGED)
+    assert main(["lint", race_file, str(other)]) == 1
+    out = capsys.readouterr().out
+    assert "2 source(s)" in out
+    assert "[R001]" in out and "[W101]" in out
+
+
+def test_python_kernel_extraction(tmp_path, capsys):
+    kernel = tmp_path / "kern.py"
+    kernel.write_text(
+        '"""A kernel module."""\n\n'
+        f"P_RACE = '''{RACE}'''\n\n"
+        f"P_CLEAN = '''{CLEAN}'''\n\n"
+        "IGNORED = 42\n"
+    )
+    assert main(["lint", str(kernel)]) == 1
+    out = capsys.readouterr().out
+    assert "kern.py:P_RACE" in out
+    assert "2 source(s)" in out
+
+
+def test_no_verify_flag(race_file):
+    assert main(["lint", race_file, "--no-verify"]) == 1
+
+
+def test_bundled_kernels_are_error_clean(capsys):
+    import glob
+
+    files = sorted(glob.glob("src/repro/kernels/*.py"))
+    assert files, "bundled kernels not found (run from the repo root)"
+    assert main(["lint", *files, "--fail-on", "error"]) == 0

@@ -1,0 +1,143 @@
+"""The lint rules: each code fires on its witness and stays quiet on
+clean programs."""
+
+from repro.diag import RULES, Severity, lint_source
+from repro.lang import parse_source
+
+RACE = """PROGRAM race
+  INTEGER a(10), t(4)
+  t = [1 : 4]
+  WHERE (t .GT. 2)
+    a(1) = t
+  ENDWHERE
+END
+"""
+
+OOB = """PROGRAM oob
+  INTEGER a(8), i
+  DO i = 9, 12
+    a(i) = 0
+  ENDDO
+END
+"""
+
+RAGGED = """PROGRAM ragged
+  INTEGER i, j, l(8), x(8, 8)
+  DO i = 1, 8
+    DO j = 1, l(i)
+      x(i, j) = i * j
+    ENDDO
+  ENDDO
+END
+"""
+
+UNIFORM_WHERE = """PROGRAM uw
+  INTEGER t(8), k
+  k = 3
+  WHERE (k .GT. 2)
+    t = 0
+  ENDWHERE
+END
+"""
+
+CLEAN = """PROGRAM clean
+  INTEGER i, a(8)
+  DO i = 1, 8
+    a(i) = i * 2
+  ENDDO
+END
+"""
+
+
+def codes_of(text, codes=None):
+    return sorted({d.code for d in lint_source(text, filename="<test>", codes=codes)})
+
+
+def test_rule_registry_is_complete():
+    assert set(RULES) >= {"R001", "R002", "W101", "W102", "W103"}
+    assert RULES["R001"].severity is Severity.ERROR
+    assert RULES["W101"].severity is Severity.WARNING
+
+
+def test_r001_divergent_scalar_store():
+    report = lint_source(RACE, filename="<test>")
+    [finding] = [d for d in report if d.code == "R001"]
+    assert finding.severity is Severity.ERROR
+    assert finding.location is not None
+    assert finding.location.line == 5  # the a(1) = t store
+    assert "divergent lanes race" in finding.message
+
+
+def test_r002_provable_out_of_bounds():
+    assert "R002" in codes_of(OOB)
+
+
+def test_r002_location_names_array():
+    [finding] = [d for d in lint_source(OOB, filename="<t>") if d.code == "R002"]
+    assert "'a'" in finding.message
+
+
+def test_w101_divergence_blowup_on_ragged_nest():
+    codes = codes_of(RAGGED)
+    assert "W101" in codes
+    # The ragged nest is only generally flattenable — W103 rides along.
+    assert "W103" in codes
+
+
+def test_w101_quiet_on_rectangular_nest():
+    rect = RAGGED.replace("l(i)", "8")
+    assert "W101" not in codes_of(rect)
+
+
+def test_w102_uniform_where_guard():
+    assert "W102" in codes_of(UNIFORM_WHERE)
+
+
+def test_w102_quiet_on_varying_guard():
+    varying_guard = UNIFORM_WHERE.replace("(k .GT. 2)", "([1 : 8] .GT. 2)")
+    assert "W102" not in codes_of(varying_guard)
+
+
+def test_clean_program_has_no_findings():
+    assert codes_of(CLEAN) == []
+
+
+def test_codes_filter_restricts_rules():
+    assert codes_of(RAGGED, codes={"W101"}) == ["W101"]
+
+
+def test_p001_on_parse_error():
+    report = lint_source("PROGRAM p\n  DO i = \nEND\n", filename="<bad>")
+    assert [d.code for d in report] == ["P001"]
+    assert report.has_errors
+
+
+def test_p002_on_semantic_error():
+    report = lint_source(
+        "PROGRAM p\n  INTEGER a(2, 2)\n  a(1) = 0\nEND\n", filename="<bad>"
+    )
+    assert [d.code for d in report] == ["P002"]
+
+
+def test_call_to_external_subroutine_is_not_an_error():
+    text = "PROGRAM p\n  INTEGER x\n  x = 1\n  CALL force(x)\nEND\n"
+    assert codes_of(text) == []
+
+
+def test_report_render_and_dict_shapes():
+    report = lint_source(RACE, filename="<test>")
+    rendered = report.render()
+    assert "[R001]" in rendered and "note:" in rendered
+    payload = report.to_dict()
+    assert payload["errors"] == 1
+    assert payload["findings"][0]["code"] == "R001"
+    assert "summary" in payload or report.summary()
+
+
+def test_lint_routine_matches_lint_source():
+    from repro.diag import lint_routine
+
+    routine = parse_source(RACE).main
+    assert {d.code for d in lint_routine(routine)} == {
+        d.code for d in lint_source(RACE, filename="<test>")
+    }

@@ -1,0 +1,53 @@
+"""Self-lint: every MiniF program bundled with the repo is error-clean.
+
+This is the same gate CI runs (`repro lint --fail-on error` over the
+kernels and examples); keeping it in tier-1 means a rule regression or
+a kernel edit that introduces a real race fails fast and locally.
+"""
+
+import glob
+
+import pytest
+
+from repro.cli import _iter_minif_sources
+from repro.diag import lint_source
+
+KERNEL_FILES = sorted(glob.glob("src/repro/kernels/*.py"))
+EXAMPLE_FILES = sorted(glob.glob("examples/*.py"))
+
+
+def sources_in(paths):
+    out = []
+    for path in paths:
+        out.extend(_iter_minif_sources(path))
+    return out
+
+
+@pytest.mark.parametrize(
+    "label,text",
+    sources_in(KERNEL_FILES) or [("missing", "")],
+    ids=lambda value: value if isinstance(value, str) and ":" in value else None,
+)
+def test_bundled_kernel_sources_are_error_clean(label, text):
+    assert text, "no kernel sources found (run pytest from the repo root)"
+    report = lint_source(text, filename=label)
+    assert not report.has_errors, report.render()
+
+
+def test_example_scripts_are_error_clean():
+    sources = sources_in(EXAMPLE_FILES)
+    assert sources, "no example sources found"
+    for label, text in sources:
+        report = lint_source(text, filename=label)
+        assert not report.has_errors, f"{label}:\n{report.render()}"
+
+
+def test_kernels_carry_the_expected_warnings():
+    # The sequential EXAMPLE versions must warn W101 — the paper's
+    # whole point is that these nests diverge — and recommend only the
+    # general form statically (W103).
+    [example] = [p for p in KERNEL_FILES if p.endswith("example.py")]
+    codes = set()
+    for label, text in _iter_minif_sources(example):
+        codes |= {d.code for d in lint_source(text, filename=label)}
+    assert "W101" in codes

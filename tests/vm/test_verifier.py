@@ -1,0 +1,136 @@
+"""The bytecode verifier: accepts everything the compiler emits,
+rejects hand-corrupted code objects."""
+
+import dataclasses
+
+import pytest
+
+from repro.fuzz.generator import ProgramGenerator
+from repro.kernels import example as ex
+from repro.lang import parse_source
+from repro.transform.pipeline import structurize_program
+from repro.vm import (
+    CodeObject,
+    Instr,
+    Op,
+    VerificationError,
+    assert_verified,
+    compile_program,
+    stack_effect,
+    verify_code,
+)
+
+
+def compiled(text):
+    return compile_program(structurize_program(parse_source(text)))
+
+
+def codes_of(code: CodeObject):
+    return sorted({d.code for d in verify_code(code)})
+
+
+def mutated(code: CodeObject, index: int, instr: Instr | None) -> CodeObject:
+    """Replace (or NOP out) one instruction, keeping jump targets valid."""
+    replacement = instr if instr is not None else Instr(Op.NOP)
+    instructions = tuple(
+        replacement if i == index else old
+        for i, old in enumerate(code.instructions)
+    )
+    return CodeObject(code.name, instructions, dict(code.source_map))
+
+
+def index_of(code: CodeObject, op: Op) -> int:
+    for i, instr in enumerate(code.instructions):
+        if instr.op is op:
+            return i
+    raise AssertionError(f"no {op} in {code.name}")
+
+
+class TestAcceptsCompilerOutput:
+    @pytest.mark.parametrize(
+        "text",
+        [ex.P1_SEQUENTIAL, ex.P4_NAIVE_SIMD, ex.P5_FLATTENED_SIMD],
+        ids=["P1", "P4", "P5"],
+    )
+    def test_bundled_kernels_verify(self, text):
+        assert codes_of(compiled(text)) == []
+
+    def test_assert_verified_returns_the_code(self):
+        code = compiled(ex.P1_SEQUENTIAL)
+        assert assert_verified(code) is code
+
+    def test_fuzz_campaign_codes_all_verify(self):
+        """Acceptance: every CodeObject from a 200-program campaign."""
+        generator = ProgramGenerator(seed=11)
+        verified = 0
+        for index in range(200):
+            prog = generator.generate(index)
+            code = compiled(prog.source)
+            assert codes_of(code) == [], f"program {index} failed verification"
+            verified += 1
+        assert verified == 200
+
+
+class TestRejectsCorruptedCode:
+    def test_wild_jump_v001(self):
+        code = compiled(ex.P1_SEQUENTIAL)
+        index = index_of(code, Op.JUMP)
+        bad = mutated(code, index, Instr(Op.JUMP, 9999))
+        assert "V001" in codes_of(bad)
+
+    def test_dropped_pop_mask(self):
+        code = compiled(ex.P4_NAIVE_SIMD)
+        index = index_of(code, Op.POP_MASK)
+        bad = mutated(code, index, None)
+        found = codes_of(bad)
+        # Undrained mask at HALT, or inconsistent depth at a merge.
+        assert {"V003", "V007"} & set(found), found
+
+    def test_operand_underflow_v004(self):
+        code = compiled(ex.P1_SEQUENTIAL)
+        index = index_of(code, Op.PUSH_CONST)
+        bad = mutated(code, index, None)
+        found = codes_of(bad)
+        assert {"V004", "V005"} & set(found), found
+
+    def test_undefined_temp_v006(self):
+        code = compiled(ex.P1_SEQUENTIAL)
+        index = index_of(code, Op.PUSH_CONST)
+        bad = mutated(code, index, Instr(Op.LOAD, "__bogus_temp"))
+        assert "V006" in codes_of(bad)
+
+    def test_malformed_arg_v008(self):
+        code = compiled(ex.P1_SEQUENTIAL)
+        index = index_of(code, Op.PUSH_CONST)
+        bad = mutated(code, index, Instr(Op.INTRINSIC, "not-a-tuple"))
+        assert "V008" in codes_of(bad)
+
+    def test_mask_underflow_v002(self):
+        bad = CodeObject("broken", (Instr(Op.POP_MASK), Instr(Op.HALT)))
+        assert "V002" in codes_of(bad)
+
+    def test_empty_code_object(self):
+        assert "V001" in codes_of(CodeObject("empty", ()))
+
+    def test_assert_verified_raises(self):
+        bad = CodeObject("broken", (Instr(Op.POP_MASK), Instr(Op.HALT)))
+        with pytest.raises(VerificationError) as info:
+            assert_verified(bad)
+        assert info.value.diagnostics
+
+
+class TestStackEffect:
+    def test_push_const(self):
+        assert stack_effect(Instr(Op.PUSH_CONST, 1)) == (0, 1)
+
+    def test_binop(self):
+        assert stack_effect(Instr(Op.BINOP, "+")) == (2, 1)
+
+    def test_indexed_specs(self):
+        # Specs pop: e=1 f=0 l=1 u=1 b=2, plus the stored value.
+        assert stack_effect(Instr(Op.LOAD_INDEXED, ("a", "eb"))) == (3, 1)
+        assert stack_effect(Instr(Op.STORE_INDEXED, ("a", "ff"))) == (1, 0)
+
+    def test_malformed_arg_raises(self):
+        with pytest.raises((ValueError, TypeError)):
+            stack_effect(Instr(Op.INTRINSIC, "max"))
