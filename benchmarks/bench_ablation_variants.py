@@ -9,8 +9,8 @@ variant saves the final inner increment.
 import numpy as np
 from conftest import once
 
-from repro.exec import run_simd_program
 from repro.lang import ast, parse_source
+from repro.runtime import Engine
 from repro.transform.parallel import flatten_spmd
 
 P1 = """
@@ -37,7 +37,9 @@ def run_variant(variant):
     index = tree.main.body.index(loop)
     body = tree.main.body[:index] + flat + tree.main.body[index + 1:]
     prog = ast.SourceFile([ast.Routine("program", "p", [], body)])
-    _, counters = run_simd_program(prog, 2, bindings={"l": L.copy()})
+    _, counters = Engine().compile(prog).run(
+        {"l": L.copy()}, nproc=2, backend="interpreter"
+    )
     return counters
 
 

@@ -7,9 +7,8 @@ regressions in the toolchain show up in benchmark history.
 
 import numpy as np
 
-from repro.exec import run_simd_program
 from repro.lang import parse_source
-from repro.transform import flatten_program
+from repro.runtime import Engine
 from repro.transform.parallel import flatten_spmd
 from repro.lang import ast
 
@@ -33,9 +32,16 @@ def test_bench_parse(benchmark):
 
 def test_bench_flatten(benchmark):
     tree = parse_source(SOURCE)
-    flat = benchmark(
-        flatten_program, tree, variant="done", assume_min_trips=True, simd=True
-    )
+
+    def flatten():
+        # fresh engine each call: every compile is cold, so the timing
+        # covers the flattening pipeline and not an LRU hit
+        return Engine(cache_size=1).compile(
+            tree, transform="flatten", variant="done",
+            assume_min_trips=True, simd=True,
+        ).tree
+
+    flat = benchmark(flatten)
     assert flat is not tree
 
 
@@ -50,9 +56,10 @@ def test_bench_simd_interpretation(benchmark):
     index = tree.main.body.index(loop)
     body = tree.main.body[:index] + flat + tree.main.body[index + 1:]
     prog = ast.SourceFile([ast.Routine("program", "p", [], body)])
+    compiled = Engine().compile(prog)
 
     def run():
-        return run_simd_program(prog, 16, bindings={"l": trips.copy()})
+        return compiled.run({"l": trips.copy()}, nproc=16, backend="interpreter")
 
     env, counters = benchmark(run)
     assert counters.events["scatter"] > 0
@@ -81,5 +88,7 @@ def test_bench_vm_execution(benchmark):
         return vm.counters
 
     counters = benchmark(run)
-    _, interp_counters = run_simd_program(prog, 16, bindings={"l": trips.copy()})
+    _, interp_counters = Engine().compile(prog).run(
+        {"l": trips.copy()}, nproc=16, backend="interpreter"
+    )
     assert counters.events["scatter"] == interp_counters.events["scatter"]

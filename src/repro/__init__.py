@@ -31,22 +31,31 @@ The package contains everything the paper's pipeline needs:
   pipeline, backend autoselection, structured :class:`RunResult`;
 * :mod:`repro.eval` — drivers regenerating every table and figure.
 
-Quick start::
+Quick start — the three-call facade over a shared default Engine::
+
+    import repro
+
+    program = repro.compile(F77_TEXT, transform="flatten", simd=True)
+    result = repro.run(F77_TEXT, {...}, nproc=64)   # backend="auto"
+    report = repro.lint(F77_TEXT)
+    print(result.backend, result.steps, result.wall_seconds)
+    env, counters = result                          # legacy tuple shape
+
+or, with an explicit engine::
 
     from repro import Engine
 
     engine = Engine()
     program = engine.compile(F77_TEXT, transform="flatten", simd=True)
-    result = program.run({...}, nproc=64)        # backend="auto"
-    print(result.backend, result.counters.total_steps)
-    env, counters = result                       # legacy tuple shape
+    result = program.run({...}, nproc=64)
 
 Repeated ``compile`` calls with the same source and options are cache
 hits (``engine.stats``); artifacts are independent of ``nproc``, so
 one compile serves a whole machine-width sweep.  The historical free
 functions (``flatten_program``, ``run_program``, ``run_simd_program``,
-``run_mimd_program``) remain as stable shims over a shared default
-Engine.
+``run_mimd_program``) are deprecated shims over the same default
+Engine; they emit :class:`DeprecationWarning` and will be removed in
+version 2.0.
 """
 
 from .analysis import analyze_routine, evaluate_flattening
@@ -73,6 +82,7 @@ from .lang import (
     parse_source,
 )
 from .runtime import (
+    BackendConfig,
     CompiledProgram,
     Engine,
     RunResult,
@@ -89,12 +99,54 @@ from .transform import (
 )
 from .transform.parallel import flatten_spmd
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+
+# ---------------------------------------------------------------------------
+# Top-level facade — the stable three-call API over the default Engine
+# ---------------------------------------------------------------------------
+
+
+def compile(source, **options) -> CompiledProgram:
+    """Compile MiniF source through the shared default :class:`Engine`.
+
+    ``source`` is program text or a parsed
+    :class:`~repro.lang.ast.SourceFile`; ``options`` are
+    :meth:`Engine.compile` keywords (``transform="flatten"``,
+    ``variant``, ``simd``, ...).  Repeated calls with the same source
+    and options are cache hits.
+    """
+    return default_engine().compile(source, **options)
+
+
+def run(source, bindings=None, **options) -> RunResult:
+    """Compile and execute in one call; returns a :class:`RunResult`.
+
+    ``options`` are :meth:`CompiledProgram.run` keywords (``nproc``,
+    ``backend``, ``externals``, ``budget``, ``config``, ...)::
+
+        result = repro.run(text, {"n": 8}, nproc=64)
+        print(result.backend, result.steps, result.wall_seconds)
+
+    The result still unpacks as the legacy ``(env, counters)`` tuple.
+    """
+    return compile(source).run(bindings, **options)
+
+
+def lint(source) -> DiagnosticReport:
+    """Lint MiniF source text (or a parsed tree): the abstract-
+    interpretation diagnostics plus, where bytecode exists, the VM
+    verifier — without executing anything."""
+    return lint_source(source)
 
 __all__ = [
+    "compile",
+    "run",
+    "lint",
     "Engine",
     "CompiledProgram",
     "RunResult",
+    "BackendConfig",
     "default_engine",
     "parse_source",
     "format_source",

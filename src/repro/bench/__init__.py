@@ -1,0 +1,48 @@
+"""repro.bench — the VM performance trajectory over the Table-1 sweep.
+
+The subsystem has three parts:
+
+* :mod:`repro.bench.runner` — measures trajectory points over the
+  NBFORCE kernel sweep (engine-execution-only timing protocol);
+* :mod:`repro.bench.schema` — the ``repro.bench/v1`` document schema
+  for ``BENCH_vm.json`` and its validator;
+* :mod:`repro.bench.baseline` — point comparison and the >20%
+  regression gate CI runs on the committed trajectory.
+
+Driven by ``repro bench`` (see :mod:`repro.cli`).
+"""
+
+from .baseline import (
+    DEFAULT_THRESHOLD,
+    check_trajectory,
+    compare_points,
+    point_signature,
+)
+from .runner import (
+    DEFAULT_CUTOFFS,
+    DEFAULT_NPROC,
+    KERNELS,
+    SMOKE,
+    empty_report,
+    run_smoke_sweep,
+    run_table1_sweep,
+)
+from .schema import BENCHMARK, SCHEMA, validate_point, validate_report
+
+__all__ = [
+    "SCHEMA",
+    "BENCHMARK",
+    "KERNELS",
+    "DEFAULT_CUTOFFS",
+    "DEFAULT_NPROC",
+    "DEFAULT_THRESHOLD",
+    "SMOKE",
+    "run_table1_sweep",
+    "run_smoke_sweep",
+    "empty_report",
+    "validate_point",
+    "validate_report",
+    "point_signature",
+    "compare_points",
+    "check_trajectory",
+]

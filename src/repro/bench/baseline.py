@@ -1,0 +1,108 @@
+"""Baseline comparison and the trajectory regression gate.
+
+Two points are *comparable* when their workload signatures match:
+same backend, machine width, capacity, atom count, and the same
+(kernel, cutoff) cell grid.  Between comparable points the per-cell
+``steps`` must be identical — steps are deterministic lockstep counts,
+so a drift means the workload itself changed and wall-clock deltas are
+meaningless.  Only then is wall clock compared, with a relative
+threshold (default 20%).
+
+The CI gate (:func:`check_trajectory`) applies this to the committed
+``BENCH_vm.json``: within each signature group the *newest* point must
+not be more than ``threshold`` slower than the *best* earlier point.
+That keeps the gate machine-independent — both sides of every
+comparison were measured on the same machine at commit time, and CI
+only recomputes the arithmetic.
+"""
+
+from __future__ import annotations
+
+#: Relative wall-clock regression tolerance (0.20 = fail beyond +20%).
+DEFAULT_THRESHOLD = 0.20
+
+
+def point_signature(point: dict) -> tuple:
+    """The workload identity of a point — comparability key."""
+    cells = point.get("cells") or []
+    grid = tuple(
+        (cell.get("kernel"), float(cell.get("cutoff", -1.0))) for cell in cells
+    )
+    return (
+        point.get("backend"),
+        point.get("nproc"),
+        point.get("nmax"),
+        point.get("n_atoms"),
+        grid,
+    )
+
+
+def compare_points(
+    baseline: dict, candidate: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """Compare a candidate point against a baseline point.
+
+    Returns problem strings (empty = candidate is acceptable):
+    signature mismatches and steps drift are hard errors; a candidate
+    ``total_seconds`` more than ``threshold`` above the baseline is a
+    regression.
+    """
+    problems: list[str] = []
+    if point_signature(baseline) != point_signature(candidate):
+        return [
+            "points are not comparable: workload signatures differ "
+            f"(baseline {baseline.get('label')!r} vs "
+            f"candidate {candidate.get('label')!r})"
+        ]
+    for base_cell, cand_cell in zip(baseline["cells"], candidate["cells"]):
+        if base_cell["steps"] != cand_cell["steps"]:
+            problems.append(
+                f"steps drift in cell ({cand_cell['kernel']}, "
+                f"cutoff {cand_cell['cutoff']}): baseline "
+                f"{base_cell['steps']} vs candidate {cand_cell['steps']} "
+                "— the workload changed, points are not comparable"
+            )
+    if problems:
+        return problems
+    base_total = float(baseline["total_seconds"])
+    cand_total = float(candidate["total_seconds"])
+    if base_total > 0 and cand_total > base_total * (1.0 + threshold):
+        ratio = cand_total / base_total
+        problems.append(
+            f"wall-clock regression: candidate {candidate.get('label')!r} "
+            f"total {cand_total:.3f}s is {ratio:.2f}x baseline "
+            f"{baseline.get('label')!r} ({base_total:.3f}s); "
+            f"threshold is {1.0 + threshold:.2f}x"
+        )
+    return problems
+
+
+def check_trajectory(
+    report: dict, threshold: float = DEFAULT_THRESHOLD
+) -> list[str]:
+    """The regression gate over a committed trajectory document.
+
+    Within each signature group the newest point is compared against
+    the *fastest* earlier point — so a trajectory may add a slower
+    exploratory point only within the threshold, and any committed
+    speedup immediately becomes the bar for later commits.
+    """
+    groups: dict[tuple, list[dict]] = {}
+    for point in report.get("points", []):
+        groups.setdefault(point_signature(point), []).append(point)
+    problems: list[str] = []
+    for points in groups.values():
+        if len(points) < 2:
+            continue
+        newest = points[-1]
+        best = min(points[:-1], key=lambda p: float(p["total_seconds"]))
+        problems.extend(compare_points(best, newest, threshold))
+    return problems
+
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "point_signature",
+    "compare_points",
+    "check_trajectory",
+]

@@ -1,0 +1,142 @@
+"""Versioned schema for the benchmark trajectory file.
+
+``BENCH_vm.json`` at the repository root records the wall-clock
+trajectory of the VM execution engine over the paper's Table-1 kernel
+sweep (NBFORCE L_f / L_u^l / L_u^2 at cutoffs 4..16).  Every commit
+that changes engine performance appends a point; CI validates the
+file against this schema and gates on regressions
+(:mod:`repro.bench.baseline`).
+
+The document shape (``repro.bench/v1``)::
+
+    {
+      "schema": "repro.bench/v1",
+      "benchmark": "nbforce-table1",
+      "protocol": "...prose description of the measurement rules...",
+      "points": [
+        {
+          "label": "seed-vm",
+          "date": "2026-08-07",
+          "commit": "01cf14f",          # optional
+          "backend": "vm",
+          "nproc": 8192,
+          "nmax": 8192,
+          "n_atoms": 6968,
+          "total_seconds": 10.978,
+          "cells": [
+            {"kernel": "L_f", "cutoff": 4.0,
+             "wall_seconds": 0.21, "steps": 825},
+            ...
+          ]
+        },
+        ...
+      ]
+    }
+
+``steps`` is the deterministic lockstep step count from the execution
+counters — machine-independent, so any drift between points of the
+same workload means the *benchmark* changed, not the engine, and the
+trajectory is no longer comparable.  Validation is hand-rolled (no
+jsonschema dependency) and returns a list of error strings.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: The schema identifier this module validates.
+SCHEMA = "repro.bench/v1"
+
+#: The benchmark identifier for the Table-1 NBFORCE sweep.
+BENCHMARK = "nbforce-table1"
+
+_POINT_REQUIRED = {
+    "label": str,
+    "date": str,
+    "backend": str,
+    "nproc": int,
+    "nmax": int,
+    "total_seconds": (int, float),
+    "cells": list,
+}
+
+_CELL_REQUIRED = {
+    "kernel": str,
+    "cutoff": (int, float),
+    "wall_seconds": (int, float),
+    "steps": int,
+}
+
+
+def _type_name(expected) -> str:
+    if isinstance(expected, tuple):
+        return "/".join(t.__name__ for t in expected)
+    return expected.__name__
+
+
+def _check_fields(obj: dict, required: dict, where: str, errors: list[str]) -> None:
+    for key, expected in required.items():
+        if key not in obj:
+            errors.append(f"{where}: missing required field {key!r}")
+        elif not isinstance(obj[key], expected) or isinstance(obj[key], bool):
+            errors.append(
+                f"{where}: field {key!r} must be {_type_name(expected)}, "
+                f"got {type(obj[key]).__name__}"
+            )
+
+
+def validate_point(point: Any, where: str = "point") -> list[str]:
+    """Validate one trajectory point; returns error strings (empty = ok)."""
+    if not isinstance(point, dict):
+        return [f"{where}: must be an object, got {type(point).__name__}"]
+    errors: list[str] = []
+    _check_fields(point, _POINT_REQUIRED, where, errors)
+    if isinstance(point.get("nproc"), int) and point["nproc"] <= 0:
+        errors.append(f"{where}: nproc must be positive")
+    if isinstance(point.get("total_seconds"), (int, float)) and (
+        point["total_seconds"] < 0
+    ):
+        errors.append(f"{where}: total_seconds must be non-negative")
+    cells = point.get("cells")
+    if isinstance(cells, list):
+        if not cells:
+            errors.append(f"{where}: cells must be non-empty")
+        for index, cell in enumerate(cells):
+            cwhere = f"{where}.cells[{index}]"
+            if not isinstance(cell, dict):
+                errors.append(f"{cwhere}: must be an object")
+                continue
+            _check_fields(cell, _CELL_REQUIRED, cwhere, errors)
+            if isinstance(cell.get("wall_seconds"), (int, float)) and (
+                cell["wall_seconds"] < 0
+            ):
+                errors.append(f"{cwhere}: wall_seconds must be non-negative")
+            if isinstance(cell.get("steps"), int) and cell["steps"] < 0:
+                errors.append(f"{cwhere}: steps must be non-negative")
+    return errors
+
+
+def validate_report(report: Any) -> list[str]:
+    """Validate a full trajectory document; returns error strings.
+
+    An empty list means the document conforms to ``repro.bench/v1``.
+    """
+    if not isinstance(report, dict):
+        return [f"report: must be an object, got {type(report).__name__}"]
+    errors: list[str] = []
+    if report.get("schema") != SCHEMA:
+        errors.append(
+            f"report: schema must be {SCHEMA!r}, got {report.get('schema')!r}"
+        )
+    if not isinstance(report.get("benchmark"), str):
+        errors.append("report: missing required string field 'benchmark'")
+    points = report.get("points")
+    if not isinstance(points, list) or not points:
+        errors.append("report: 'points' must be a non-empty list")
+        return errors
+    for index, point in enumerate(points):
+        errors.extend(validate_point(point, where=f"points[{index}]"))
+    return errors
+
+
+__all__ = ["SCHEMA", "BENCHMARK", "validate_point", "validate_report"]

@@ -25,9 +25,9 @@ from . import __version__
 from .analysis import evaluate_flattening
 from .lang import check_source, format_source, parse_source
 from .lang.errors import MiniFError
+from .runtime.engine import default_engine
 from .transform import (
     find_nest_sites,
-    flatten_program,
     naive_simd_program,
     simplify_program,
     structurize_program,
@@ -170,13 +170,14 @@ def cmd_flatten(args) -> int:
             structured = simplify_program(structured)
         print(format_source(structured), end="")
         return 0
-    out = flatten_program(
+    out = default_engine().compile(
         tree,
+        transform="flatten",
         variant=args.variant,
         assume_min_trips=args.assume_min_trips,
         simd=not args.no_simd,
         nest_index=args.nest,
-    )
+    ).tree
     if args.simplify:
         out = simplify_program(out)
     print(format_source(out), end="")
@@ -310,6 +311,78 @@ def cmd_fuzz(args) -> int:
     for path in report.saved_paths:
         print(f"  saved {path}")
     return 0 if report.ok else 1
+
+
+def cmd_bench(args) -> int:
+    import json
+
+    from .bench import (
+        check_trajectory,
+        empty_report,
+        run_smoke_sweep,
+        run_table1_sweep,
+        validate_report,
+    )
+
+    if args.validate or args.check:
+        path = args.validate or args.check
+        try:
+            with open(path) as handle:
+                report = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        errors = validate_report(report)
+        for error in errors:
+            print(f"schema: {error}", file=sys.stderr)
+        if errors:
+            return 1
+        print(f"{path}: schema ok ({len(report['points'])} point(s))")
+        if args.check:
+            problems = check_trajectory(report, threshold=args.threshold)
+            for problem in problems:
+                print(f"regression: {problem}", file=sys.stderr)
+            if problems:
+                return 1
+            print(f"{path}: no regression beyond {args.threshold:.0%}")
+        return 0
+
+    def progress(cell):
+        print(
+            f"  cutoff {cell['cutoff']:4.1f} {cell['kernel']:4s}: "
+            f"{cell['wall_seconds']:8.3f}s  steps={cell['steps']}",
+            flush=True,
+        )
+
+    label = args.label or ("smoke" if args.smoke else "local")
+    print(f"running {'reduced' if args.smoke else 'full Table-1'} sweep "
+          f"(backend={args.backend})...", flush=True)
+    if args.smoke:
+        point = run_smoke_sweep(label, backend=args.backend, progress=progress)
+    else:
+        point = run_table1_sweep(label, backend=args.backend, progress=progress)
+    print(f"total {point['total_seconds']:.3f}s over {len(point['cells'])} cells")
+
+    if args.output:
+        try:
+            with open(args.output) as handle:
+                report = json.load(handle)
+        except FileNotFoundError:
+            report = empty_report()
+        except ValueError as exc:
+            print(f"error: cannot parse {args.output}: {exc}", file=sys.stderr)
+            return 2
+        report.setdefault("points", []).append(point)
+        errors = validate_report(report)
+        if errors:
+            for error in errors:
+                print(f"schema: {error}", file=sys.stderr)
+            return 1
+        with open(args.output, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"appended point {label!r} to {args.output}")
+    return 0
 
 
 def cmd_paper(args) -> int:
@@ -449,6 +522,31 @@ def build_parser() -> argparse.ArgumentParser:
                    help="re-run the stored corpus instead of generating "
                         "new programs")
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser(
+        "bench",
+        help="NBFORCE Table-1 performance sweep, trajectory schema "
+             "validation, and the regression gate",
+    )
+    p.add_argument("--smoke", action="store_true",
+                   help="reduced sweep (small SOD, narrow machine) for CI")
+    p.add_argument("--backend", default="vm",
+                   choices=["vm", "interpreter"],
+                   help="lockstep engine to measure (default: vm)")
+    p.add_argument("--label", default=None,
+                   help="label recorded on the measured point")
+    p.add_argument("--output", metavar="FILE",
+                   help="append the measured point to this trajectory "
+                        "file (created if missing)")
+    p.add_argument("--validate", metavar="FILE",
+                   help="schema-validate a trajectory file and exit")
+    p.add_argument("--check", metavar="FILE",
+                   help="validate FILE, then fail if its newest point "
+                        "regresses beyond --threshold vs the best "
+                        "earlier comparable point")
+    p.add_argument("--threshold", type=float, default=0.20,
+                   help="relative regression tolerance (default: 0.20)")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("paper", help="regenerate a paper exhibit")
     p.add_argument("exhibit",

@@ -73,7 +73,15 @@ class ExecutionCounters:
 
     # -- recording -------------------------------------------------------------
 
-    def record(self, kind: str, width: int = 1, layers: int = 1, mask=None) -> None:
+    def record(
+        self,
+        kind: str,
+        width: int = 1,
+        layers: int = 1,
+        mask=None,
+        active: int | None = None,
+        defer_lanes: bool = False,
+    ) -> int:
         """Record one vector instruction.
 
         Args:
@@ -84,6 +92,17 @@ class ExecutionCounters:
                 section op over ``k`` layers counts as ``k`` lockstep steps.
             mask: Current activity mask (bool array of ``nproc``), or
                 None when all lanes are active / activity is unknown.
+            active: Precomputed active-lane count; skips the
+                ``count_nonzero`` reduction when the caller caches it
+                per mask epoch.
+            defer_lanes: Skip the per-lane activity update; the caller
+                accumulates the returned layer count and applies it via
+                :meth:`add_lane_steps` when the mask changes.
+
+        Returns:
+            The layers this event contributes to per-lane activity
+            (0 for front-end ``acu`` work) — the amount a deferring
+            caller must accumulate.
         """
         self.events[kind] += 1
         self.layer_steps[kind] += layers
@@ -91,12 +110,67 @@ class ExecutionCounters:
         if layers > 1:
             self.section_events[kind] += 1
             self.section_layer_steps[kind] += layers
-        if mask is None:
-            active = width
-        else:
-            active = int(np.count_nonzero(mask))
+        if active is None:
+            active = width if mask is None else int(np.count_nonzero(mask))
         self.active_elements[kind] += active * layers
-        if mask is not None and kind != "acu":
+        if kind == "acu":
+            return 0
+        if not defer_lanes and mask is not None:
+            self.lane_active_steps += np.asarray(mask, dtype=np.int64) * layers
+        return layers
+
+    def record_block(
+        self,
+        events,
+        width: int = 1,
+        mask=None,
+        active: int | None = None,
+        defer_lanes: bool = False,
+    ) -> int:
+        """Record a batch of vector instructions that share one mask.
+
+        ``events`` is a sequence of ``(kind, layers)`` pairs.  The VM's
+        superinstruction path collects one pair per component of a fused
+        run — the activity mask cannot change inside a run, so the mask
+        reduction (``count_nonzero``) and the per-lane activity update
+        are paid **once per run** instead of once per instruction.  The
+        resulting totals are exactly what per-event :meth:`record` calls
+        would have produced.  ``active``/``defer_lanes`` behave as in
+        :meth:`record`; the return value is the batch's per-lane
+        activity contribution.
+        """
+        if not events:
+            return 0
+        if active is None:
+            active = width if mask is None else int(np.count_nonzero(mask))
+        events_c = self.events
+        layer_steps = self.layer_steps
+        element_ops = self.element_ops
+        active_elements = self.active_elements
+        total_layers = 0
+        for kind, layers in events:
+            events_c[kind] += 1
+            layer_steps[kind] += layers
+            element_ops[kind] += width * layers
+            if layers > 1:
+                self.section_events[kind] += 1
+                self.section_layer_steps[kind] += layers
+            active_elements[kind] += active * layers
+            if kind != "acu":
+                total_layers += layers
+        if not defer_lanes and mask is not None and total_layers:
+            self.lane_active_steps += np.asarray(mask, dtype=np.int64) * total_layers
+        return total_layers
+
+    def add_lane_steps(self, mask, layers: int) -> None:
+        """Apply deferred per-lane activity for a whole mask epoch.
+
+        Counterpart of ``defer_lanes=True``: a caller that runs many
+        instructions under one unchanged mask accumulates their layer
+        counts and applies them in a single vector update here.  The
+        totals are exactly what per-event updates would have produced.
+        """
+        if layers:
             self.lane_active_steps += np.asarray(mask, dtype=np.int64) * layers
 
     def record_call(self, name: str, layers: int = 1, mask=None) -> None:

@@ -81,6 +81,22 @@ class MIMDSimulator:
         self.budget = budget
         self.fault_plan = fault_plan
 
+    @classmethod
+    def from_config(cls, source: ast.SourceFile, config) -> "MIMDSimulator":
+        """Construct from a :class:`~repro.runtime.BackendConfig`.
+
+        Per-processor interpreters each get fresh counters;
+        ``config.counters``/``max_instructions``/``vm_fuse`` do not
+        apply to this backend and are ignored.
+        """
+        return cls(
+            source,
+            config.nproc,
+            externals=config.externals,
+            budget=config.budget,
+            fault_plan=config.fault_plan,
+        )
+
     def run(
         self,
         bindings_for=None,
@@ -132,11 +148,20 @@ def run_mimd_program(
 ):
     """Run the program on P private-namespace processors.
 
-    A stable shim over :class:`repro.runtime.Engine`; the returned
-    :class:`~repro.runtime.RunResult` answers the same aggregate
-    queries as :class:`MIMDResult` (``envs``, ``time_steps``,
-    ``call_counts``, ``time_calls``).
+    .. deprecated::
+        Use :func:`repro.run` (``repro.run(source, nproc=p,
+        backend="mimd")``) or an explicit :class:`repro.Engine`.  This
+        shim will be removed in version 2.0.
     """
+    import warnings
+
+    warnings.warn(
+        "run_mimd_program() is deprecated; use repro.run(source, nproc=..., "
+        "backend='mimd') or Engine.compile(...).run(...) — removal planned "
+        "for 2.0",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from ..runtime.engine import default_engine
 
     return default_engine().compile(source).run(

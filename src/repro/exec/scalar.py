@@ -80,6 +80,23 @@ class ScalarInterpreter:
         self._env: dict = {}
         self._routines = {unit.name: unit for unit in source.units}
 
+    @classmethod
+    def from_config(cls, source: ast.SourceFile, config) -> "ScalarInterpreter":
+        """Construct from a :class:`~repro.runtime.BackendConfig`.
+
+        The scalar interpreter has no machine width; ``config.nproc``
+        is ignored.
+        """
+        kwargs = dict(
+            externals=config.externals,
+            counters=config.counters,
+            budget=config.budget,
+            fault_plan=config.fault_plan,
+        )
+        if config.max_instructions is not None:
+            kwargs["max_statements"] = config.max_instructions
+        return cls(source, **kwargs)
+
     def snapshot(self) -> MachineSnapshot:
         """The interpreter's state right now (for crash dumps)."""
         return MachineSnapshot(
@@ -183,7 +200,7 @@ class ScalarInterpreter:
                     as_int_scalar(self.eval(d, env), f"extent of {entity.name}")
                     for d in entity.dims
                 )
-                array = FArray(entity.name, shape, base)
+                array = FArray(entity.name, shape, base, fill=existing is None)
                 if isinstance(existing, np.ndarray):
                     if existing.size != array.size:
                         raise InterpreterError(
@@ -471,10 +488,19 @@ def run_program(
 ):
     """Run a program sequentially; unpacks as ``(final env, counters)``.
 
-    A stable shim over :class:`repro.runtime.Engine` — the parse is
-    cached process-wide; the full :class:`~repro.runtime.RunResult`
-    is returned for callers that want timings and provenance.
+    .. deprecated::
+        Use :func:`repro.run` (``repro.run(source, backend="scalar")``)
+        or an explicit :class:`repro.Engine`.  This shim will be
+        removed in version 2.0.
     """
+    import warnings
+
+    warnings.warn(
+        "run_program() is deprecated; use repro.run(source, backend='scalar') "
+        "or Engine.compile(...).run(...) — removal planned for 2.0",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from ..runtime.engine import default_engine
 
     return default_engine().compile(source).run(

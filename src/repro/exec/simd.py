@@ -117,6 +117,7 @@ class SIMDInterpreter:
         self.max_statements = max_statements
         self.budget = budget if budget is not None else Budget(max_steps=max_statements)
         self.fault_plan = fault_plan
+
         self.executed_statements = 0
         self._meter = self.budget.meter()
         self._trace: deque = deque(maxlen=TRACE_DEPTH)
@@ -125,6 +126,19 @@ class SIMDInterpreter:
         self._env: dict = {}
         self._routines = {unit.name: unit for unit in source.units}
         self._mask = np.ones(nproc, dtype=bool)
+
+    @classmethod
+    def from_config(cls, source: ast.SourceFile, config) -> "SIMDInterpreter":
+        """Construct from a :class:`~repro.runtime.BackendConfig`."""
+        kwargs = dict(
+            externals=config.externals,
+            counters=config.counters,
+            budget=config.budget,
+            fault_plan=config.fault_plan,
+        )
+        if config.max_instructions is not None:
+            kwargs["max_statements"] = config.max_instructions
+        return cls(source, config.nproc, **kwargs)
 
     def snapshot(self) -> MachineSnapshot:
         """The interpreter's state right now (for crash dumps)."""
@@ -293,7 +307,7 @@ class SIMDInterpreter:
                 self._uniform_int(self.eval(d, env), f"extent of {entity.name}")
                 for d in entity.dims
             )
-            array = FArray(entity.name, shape, base)
+            array = FArray(entity.name, shape, base, fill=existing is None)
             if isinstance(existing, np.ndarray):
                 if existing.size != array.size:
                     raise InterpreterError(
@@ -833,11 +847,19 @@ def run_simd_program(
 ):
     """Run a program on a ``nproc``-PE lockstep machine.
 
-    A stable shim over :class:`repro.runtime.Engine`: the parse is
-    cached process-wide and the returned
-    :class:`~repro.runtime.RunResult` unpacks as ``(env, counters)``
-    exactly like the historical tuple.
+    .. deprecated::
+        Use :func:`repro.run` (``repro.run(source, nproc=p)``) or an
+        explicit :class:`repro.Engine`.  This shim will be removed in
+        version 2.0.
     """
+    import warnings
+
+    warnings.warn(
+        "run_simd_program() is deprecated; use repro.run(source, nproc=...) "
+        "or Engine.compile(...).run(...) — removal planned for 2.0",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from ..runtime.engine import default_engine
 
     return default_engine().compile(source).run(

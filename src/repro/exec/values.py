@@ -44,13 +44,42 @@ class FArray:
 
     __slots__ = ("name", "shape", "data")
 
-    def __init__(self, name: str, shape: tuple[int, ...], base_type: str = "real"):
+    def __init__(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        base_type: str = "real",
+        *,
+        fill: bool = True,
+    ):
         for extent in shape:
             if extent < 0:
                 raise InterpreterError(f"array '{name}' has negative extent {extent}")
         self.name = name
         self.shape = tuple(int(s) for s in shape)
-        self.data = np.zeros(self.shape, dtype=dtype_for(base_type))
+        dtype = dtype_for(base_type)
+        # ``fill=False`` skips the zero fill for callers that overwrite
+        # every element immediately (e.g. interpreter DECLs with a full
+        # binding) — large pairlists would otherwise be touched twice.
+        self.data = (
+            np.zeros(self.shape, dtype=dtype) if fill else np.empty(self.shape, dtype)
+        )
+
+    @classmethod
+    def wrap(cls, name: str, data: np.ndarray) -> "FArray":
+        """Adopt ``data`` as the storage of a new FArray — no copy.
+
+        The caller transfers ownership: binding a wrapped array to a
+        kernel means the kernel reads (and writes!) the caller's
+        buffer directly, skipping the defensive copy a plain-ndarray
+        binding gets at DECL.  Use for large read-only inputs such as
+        pairlists.
+        """
+        array = cls.__new__(cls)
+        array.name = name
+        array.shape = tuple(int(s) for s in data.shape)
+        array.data = data
+        return array
 
     @property
     def rank(self) -> int:
@@ -58,7 +87,7 @@ class FArray:
 
     @property
     def size(self) -> int:
-        return int(np.prod(self.shape)) if self.shape else 1
+        return self.data.size
 
     def check_subscript(self, dim: int, index) -> None:
         """Bounds-check a (scalar or vector) 1-based subscript."""
@@ -66,13 +95,21 @@ class FArray:
         idx = np.asarray(index)
         if idx.size == 0:
             return
-        bad = (idx < 1) | (idx > extent)
-        if np.any(bad):
-            offender = int(np.asarray(idx)[np.argmax(bad)]) if idx.ndim else int(idx)
-            raise OutOfBoundsFault(
-                f"subscript {offender} out of bounds for dimension "
-                f"{dim + 1} of '{self.name}' (extent {extent})"
-            )
+        if idx.ndim:
+            # min/max reductions allocate nothing; the offender scan
+            # only runs on the error path.
+            if int(idx.min()) >= 1 and int(idx.max()) <= extent:
+                return
+            bad = (idx < 1) | (idx > extent)
+            offender = int(idx.flat[np.argmax(bad)])
+        else:
+            offender = int(idx)
+            if 1 <= offender <= extent:
+                return
+        raise OutOfBoundsFault(
+            f"subscript {offender} out of bounds for dimension "
+            f"{dim + 1} of '{self.name}' (extent {extent})"
+        )
 
     def np_index(self, subs: list, clamp: bool = False) -> tuple:
         """Translate checked 1-based subscripts into a numpy index tuple.
@@ -157,5 +194,8 @@ def element_width(value) -> int:
 def serial_layers(value) -> int:
     """How many serial memory layers a value spans (trailing dims)."""
     if isinstance(value, np.ndarray) and value.ndim >= 2:
-        return int(np.prod(value.shape[1:]))
+        layers = 1
+        for extent in value.shape[1:]:
+            layers *= extent
+        return layers
     return 1

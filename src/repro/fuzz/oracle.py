@@ -9,6 +9,7 @@ leg                   backends                     legality
 ====================  ===========================  ====================
 none                  scalar (reference)           always
 none                  vm + interpreter (lockstep)  always
+none                  fused vm + unfused vm        always
 none                  mimd (P private procs)       always
 flatten general       scalar (F77 form)            always
 flatten general       vm + interpreter             always
@@ -18,6 +19,7 @@ flatten optimized     vm + interpreter             checker accepts, or
 flatten done          vm + interpreter             same as optimized +
                                                    derivable done test
 flatten auto          vm + interpreter             always (falls back)
+flatten auto          fused vm + unfused vm        always
 coalesce              scalar                       rectangular nests
 simdize (Sec. 3)      vm + interpreter             partitionable outer
 spmd (Fig. 15)        vm + interpreter             partitionable outer
@@ -26,7 +28,11 @@ spmd (Fig. 15)        vm + interpreter             partitionable outer
 Lockstep legs run with ``verify=True``, so the VM and the tree-walking
 interpreter are *also* checked against each other on env and exact
 operation counters (:func:`repro.reliability.check_agreement` — the
-same code path ``Engine.run(verify=True)`` uses).
+same code path ``Engine.run(verify=True)`` uses).  The ``vm-fuse``
+legs additionally pass the *fused* CodeObject through the bytecode
+verifier and demand that fused and unfused VM dispatch agree on env,
+step totals, and event breakdowns — superinstruction fusion and its
+batched accounting must be observationally invisible.
 
 The applicability analysis (:mod:`repro.analysis.applicability`) is
 consulted for every variant/assumption combination and must agree with
@@ -66,7 +72,10 @@ from ..lang.errors import MiniFError, TransformError
 from ..lang.parser import parse_source
 from ..reliability import crash_dump_for
 from ..reliability.errors import BackendFault, DivergenceFault, OutOfBoundsFault
+from ..reliability.policy import check_agreement
+from ..runtime.config import BackendConfig
 from ..runtime.engine import Engine
+from ..vm.fuse import fuse_code
 from ..vm.verify import verify_code
 from ..transform.pipeline import find_nest_sites, structurize_program
 from .generator import GeneratedProgram
@@ -211,6 +220,7 @@ class DifferentialOracle:
 
         report = self._consult_applicability(prog, verdict)
         self._untransformed_legs(prog, ref_env, verdict)
+        self._fused_legs(prog, verdict)
         self._flatten_legs(prog, ref_env, verdict)
         self._coalesce_leg(prog, ref_env, verdict)
         if prog.partitionable and report is not None and report.safe is True:
@@ -546,6 +556,123 @@ class DifferentialOracle:
         self._run_and_compare(
             prog, ref_env, verdict, "none/mimd", {}, mode="mimd"
         )
+
+    def _fused_legs(self, prog, verdict) -> None:
+        """Superinstruction legs: fusion must be observationally invisible.
+
+        For the untransformed and the flattened F90simd forms: the
+        fused :class:`~repro.vm.isa.CodeObject` must pass the bytecode
+        verifier, and a fused VM run must agree with an unfused VM run
+        on the final environment, the step totals, *and* the event
+        breakdown (fused dispatch batches its accounting, so this is
+        the leg that keeps the batching honest).  A program that
+        legitimately faults must fault identically in both modes.
+        """
+        for label, kwargs in (
+            ("none/vm-fuse", {}),
+            ("flatten/auto/vm-fuse", {"transform": "flatten", "simd": True}),
+        ):
+            try:
+                program = self.engine.compile(prog.source, **kwargs)
+                program.tree  # force any lazy transform error
+                code = program.bytecode()
+            except TransformError as error:
+                verdict.legs.append(LegOutcome(label, "rejected", str(error)))
+                continue
+            except Exception as error:
+                verdict.divergences.append(
+                    Divergence(
+                        "fault",
+                        label,
+                        f"compiler crashed: {type(error).__name__}: {error}",
+                        crash_dump=_dump(error),
+                    )
+                )
+                verdict.legs.append(LegOutcome(label, "ok", "faulted"))
+                continue
+            if code is None:
+                verdict.legs.append(LegOutcome(label, "skipped", "no bytecode"))
+                continue
+            for finding in verify_code(fuse_code(code)).errors:
+                verdict.divergences.append(
+                    Divergence(
+                        "verifier",
+                        label,
+                        f"fused code: [{finding.code}] {finding.message}",
+                    )
+                )
+
+            outcomes = []
+            for fuse in (True, False):
+                try:
+                    result = program.run(
+                        _copy_bindings(prog.bindings),
+                        nproc=self.nproc,
+                        backend="vm",
+                        config=BackendConfig(vm_fuse=fuse),
+                    )
+                    outcomes.append(("ok", result))
+                except MiniFError as error:
+                    outcomes.append(("fault", error))
+                except Exception as error:
+                    verdict.divergences.append(
+                        Divergence(
+                            "fault",
+                            label,
+                            "unwrapped exception escaped the VM "
+                            f"(fuse={fuse}): {type(error).__name__}: {error}",
+                            crash_dump=_dump(error),
+                        )
+                    )
+                    outcomes.append(("fault", error))
+            (fused_kind, fused_out), (plain_kind, plain_out) = outcomes
+            if fused_kind != plain_kind:
+                detail = (
+                    f"fused VM {fused_kind}, unfused VM {plain_kind} "
+                    f"({type(fused_out).__name__} vs {type(plain_out).__name__})"
+                )
+                verdict.divergences.append(
+                    Divergence("backend-disagreement", label, detail)
+                )
+                verdict.legs.append(LegOutcome(label, "ok", "diverged"))
+                continue
+            if fused_kind == "fault":
+                if type(fused_out) is not type(plain_out):
+                    verdict.divergences.append(
+                        Divergence(
+                            "backend-disagreement",
+                            label,
+                            "fused and unfused VM faulted differently: "
+                            f"{type(fused_out).__name__} vs "
+                            f"{type(plain_out).__name__}",
+                        )
+                    )
+                    verdict.legs.append(LegOutcome(label, "ok", "diverged"))
+                else:
+                    verdict.legs.append(
+                        LegOutcome(label, "ok", "both modes faulted alike")
+                    )
+                continue
+            try:
+                check_agreement(
+                    fused_out.env,
+                    fused_out.counters,
+                    plain_out.env,
+                    plain_out.counters,
+                    backends=("vm+fuse", "vm-nofuse"),
+                )
+            except BackendFault as error:
+                verdict.divergences.append(
+                    Divergence(
+                        "backend-disagreement",
+                        label,
+                        str(error),
+                        crash_dump=crash_dump_for(error),
+                    )
+                )
+                verdict.legs.append(LegOutcome(label, "ok", "diverged"))
+                continue
+            verdict.legs.append(LegOutcome(label, "ok"))
 
     def _flatten_legs(self, prog, ref_env, verdict) -> None:
         base = {"transform": "flatten", "simd": True}

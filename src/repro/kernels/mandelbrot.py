@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..exec import SIMDInterpreter, run_program
+from ..exec import SIMDInterpreter
+from ..runtime.engine import default_engine
 from ..lang import parse_source
 
 #: Sequential Mandelbrot kernel: for each point, iterate z = z² + c
@@ -108,8 +109,8 @@ def escape_counts_reference(
 def run_sequential(cr: np.ndarray, ci: np.ndarray, maxiter: int):
     """Run the sequential kernel; returns (counts, counters)."""
     source = parse_source(MANDELBROT_SEQUENTIAL)
-    env, counters = run_program(
-        source,
+    env, counters = default_engine().compile(source).run(
+        backend="scalar",
         bindings={
             "npix": int(cr.size),
             "maxiter": int(maxiter),

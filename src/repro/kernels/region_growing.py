@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..exec import run_program
+from ..runtime.engine import default_engine
 from ..lang import parse_source
 
 #: Sequential region-growing statistics kernel: region r accretes
@@ -104,8 +104,8 @@ def synthesize_regions(
 def run_sequential(rings: np.ndarray, ring_sizes: np.ndarray):
     """Run the sequential kernel; returns (areas, counters)."""
     source = parse_source(REGION_GROWING_SEQUENTIAL)
-    env, counters = run_program(
-        source,
+    env, counters = default_engine().compile(source).run(
+        backend="scalar",
         bindings={
             "nregions": int(rings.size),
             "maxrings": int(ring_sizes.shape[1]),

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..exec import run_program
+from ..runtime.engine import default_engine
 from ..lang import parse_source
 
 #: Sequential CSR SpMV: y(i) = Σ_k a(k) * x(col(k)) over row i's range.
@@ -77,8 +77,8 @@ def reference_spmv(rowptr, rowlen, col, a, x) -> np.ndarray:
 def run_sequential(rowptr, rowlen, col, a, x):
     """Run the sequential kernel; returns (y, counters)."""
     source = parse_source(SPMV_SEQUENTIAL)
-    env, counters = run_program(
-        source,
+    env, counters = default_engine().compile(source).run(
+        backend="scalar",
         bindings={
             "nrows": int(len(rowlen)),
             "nnz": int(len(a)),

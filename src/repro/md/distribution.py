@@ -94,13 +94,17 @@ def flat_kernel_bindings(pairlist: PairList, dist: DataDistribution) -> dict:
     The flattened kernel (Figure 15 shape) addresses atoms by global
     index, so it needs the global ``pCnt``/``partners`` arrays plus
     the machine geometry.
+
+    ``partners`` is the pairlist's own 32-bit index table (the paper
+    stores pairlist indices as 32-bit, see ``_INDEX_BYTES``) — shared,
+    not copied; treat it as read-only.
     """
     return {
         "n": pairlist.n_atoms,
         "p": dist.gran,
         "maxpcnt": int(pairlist.partners.shape[1]),
         "pcnt": pairlist.pcnt.astype(np.int64),
-        "partners": pairlist.partners.astype(np.int64),
+        "partners": pairlist.partners,
     }
 
 
@@ -118,7 +122,10 @@ def unflat_kernel_bindings(pairlist: PairList, dist: DataDistribution) -> dict:
     atom2d = np.zeros((gran, max_lrs), dtype=np.int64)
     pcnt2d = np.zeros((gran, max_lrs), dtype=np.int64)
     width = pairlist.partners.shape[1]
-    partners3d = np.zeros((gran, max_lrs, width), dtype=np.int64)
+    # Fortran order: the kernels read one pr-plane ``partners(:, :, pr)``
+    # per sweep iteration, which is a contiguous block in this layout.
+    # 32-bit indices, like the stored pairlist (``_INDEX_BYTES``).
+    partners3d = np.zeros((gran, max_lrs, width), dtype=np.int32, order="F")
     present = matrix > 0
     atom2d[:, :lrs][present] = matrix[present]
     pcnt2d[:, :lrs][present] = pairlist.pcnt[matrix[present] - 1]

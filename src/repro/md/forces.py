@@ -27,6 +27,31 @@ from .molecule import Molecule
 COULOMB_K = 332.0636
 
 
+def _pair_terms(molecule: Molecule):
+    """Per-molecule precomputed interaction terms, cached on the molecule.
+
+    The pair routines are the innermost work of every NBFORCE sweep —
+    tens of thousands of calls per run — so the per-atom quantities
+    that never change are factored once: contiguous coordinate columns
+    (three 1-D gathers beat one row gather plus an axis reduction),
+    half sigmas, √ε (the geometric LJ mixing rule becomes one product),
+    and √k·q (the Coulomb prefactor folds into the charges).
+    """
+    cache = getattr(molecule, "_pair_cache", None)
+    if cache is None:
+        pos = molecule.positions
+        cache = (
+            np.ascontiguousarray(pos[:, 0]),
+            np.ascontiguousarray(pos[:, 1]),
+            np.ascontiguousarray(pos[:, 2]),
+            0.5 * molecule.lj_sigma,
+            np.sqrt(molecule.lj_epsilon),
+            np.sqrt(COULOMB_K) * molecule.charges,
+        )
+        object.__setattr__(molecule, "_pair_cache", cache)
+    return cache
+
+
 def pair_energy(molecule: Molecule, at1: np.ndarray, at2: np.ndarray) -> np.ndarray:
     """LJ + Coulomb pair energy for 1-based index arrays ``at1``/``at2``.
 
@@ -34,42 +59,55 @@ def pair_energy(molecule: Molecule, at1: np.ndarray, at2: np.ndarray) -> np.ndar
     whose gathered garbage was clamped) yield zero instead of a
     singularity.
     """
+    x, y, z, half_sigma, sqrt_eps, q_scaled = _pair_terms(molecule)
     i = np.asarray(at1, dtype=np.int64) - 1
     j = np.asarray(at2, dtype=np.int64) - 1
-    delta = molecule.positions[i] - molecule.positions[j]
-    r2 = np.sum(delta * delta, axis=-1)
+    dx = x[i] - x[j]
+    dy = y[i] - y[j]
+    dz = z[i] - z[j]
+    r2 = dx * dx
+    r2 += dy * dy
+    r2 += dz * dz
     same = i == j
-    r2 = np.where(same, 1.0, r2)
+    # Self-pairs have r2 == 0 exactly (dx = dy = dz = 0), so adding the
+    # boolean mask sets them to 1.0 without a masked assignment.
+    r2 += same
     inv_r2 = 1.0 / r2
-    sigma = 0.5 * (molecule.lj_sigma[i] + molecule.lj_sigma[j])
-    epsilon = np.sqrt(molecule.lj_epsilon[i] * molecule.lj_epsilon[j])
-    s6 = (sigma * sigma * inv_r2) ** 3
-    lj = 4.0 * epsilon * (s6 * s6 - s6)
-    coulomb = COULOMB_K * molecule.charges[i] * molecule.charges[j] * np.sqrt(inv_r2)
-    return np.where(same, 0.0, lj + coulomb)
+    sigma = half_sigma[i] + half_sigma[j]
+    s2 = sigma
+    s2 *= sigma
+    s2 *= inv_r2
+    s6 = s2 * s2
+    s6 *= s2
+    total = s6 * s6
+    total -= s6
+    total *= sqrt_eps[i]
+    total *= sqrt_eps[j]
+    total *= 4.0
+    coulomb = q_scaled[i] * q_scaled[j]
+    coulomb *= np.sqrt(inv_r2)
+    total += coulomb
+    total *= np.logical_not(same)
+    return total
 
 
 def pair_force(molecule: Molecule, at1: np.ndarray, at2: np.ndarray) -> np.ndarray:
     """Full 3-D force on ``at1`` due to ``at2`` (shape (..., 3))."""
+    x, y, z, half_sigma, sqrt_eps, q_scaled = _pair_terms(molecule)
     i = np.asarray(at1, dtype=np.int64) - 1
     j = np.asarray(at2, dtype=np.int64) - 1
-    delta = molecule.positions[i] - molecule.positions[j]
+    delta = np.stack((x[i] - x[j], y[i] - y[j], z[i] - z[j]), axis=-1)
     r2 = np.sum(delta * delta, axis=-1)
     same = i == j
     r2 = np.where(same, 1.0, r2)
     inv_r2 = 1.0 / r2
-    sigma = 0.5 * (molecule.lj_sigma[i] + molecule.lj_sigma[j])
-    epsilon = np.sqrt(molecule.lj_epsilon[i] * molecule.lj_epsilon[j])
-    s6 = (sigma * sigma * inv_r2) ** 3
+    sigma = half_sigma[i] + half_sigma[j]
+    epsilon = sqrt_eps[i] * sqrt_eps[j]
+    s2 = sigma * sigma * inv_r2
+    s6 = s2 * s2 * s2
     # dU/dr terms: LJ gives 24 eps (2 s12 - s6) / r; Coulomb gives k q q / r^2.
     lj_mag = 24.0 * epsilon * (2.0 * s6 * s6 - s6) * inv_r2
-    coulomb_mag = (
-        COULOMB_K
-        * molecule.charges[i]
-        * molecule.charges[j]
-        * inv_r2
-        * np.sqrt(inv_r2)
-    )
+    coulomb_mag = q_scaled[i] * q_scaled[j] * inv_r2 * np.sqrt(inv_r2)
     magnitude = np.where(same, 0.0, lj_mag + coulomb_mag)
     return delta * magnitude[..., None]
 
@@ -112,9 +150,11 @@ def make_simd_force_external(molecule: Molecule):
         at2 = at2.data if isinstance(at2, FArray) else at2
         at1 = np.asarray(at1, dtype=np.int64)
         at2 = np.asarray(at2, dtype=np.int64)
-        # Masked-out lanes may carry zero or stale indices; clamp for safety.
-        at1 = np.clip(at1, 1, molecule.n_atoms)
-        at2 = np.clip(at2, 1, molecule.n_atoms)
+        # Masked-out lanes may carry zero or stale indices; clamp for
+        # safety (raw ufuncs — np.clip's dispatch wrapper is hot here).
+        n_atoms = molecule.n_atoms
+        at1 = np.minimum(np.maximum(at1, 1), n_atoms)
+        at2 = np.minimum(np.maximum(at2, 1), n_atoms)
         values = pair_energy(molecule, at1, at2)
         interp.assign_to(arg_exprs[0], values, env)
 

@@ -19,6 +19,7 @@ from ..reliability import (
     OutOfBoundsFault,
     ReliabilityError,
 )
+from .config import BackendConfig
 from .engine import (
     CompiledProgram,
     CompileOptions,
@@ -31,6 +32,7 @@ from .result import RunResult
 
 __all__ = [
     "Attempt",
+    "BackendConfig",
     "BackendFault",
     "Budget",
     "BudgetExceeded",

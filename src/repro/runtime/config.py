@@ -1,0 +1,52 @@
+"""Unified backend construction: :class:`BackendConfig`.
+
+The four execution backends historically grew four different
+constructor signatures (the scalar interpreter has no ``nproc``, the
+MIMD simulator takes no ``counters``, the VM adds ``fuse``...).
+:class:`BackendConfig` is the one bag of settings every backend knows
+how to consume via its ``from_config`` classmethod, and the shape the
+Engine threads through :meth:`CompiledProgram.run` →
+``CompiledProgram._execute`` → backend construction.
+
+Fields a backend does not support are simply ignored by its
+``from_config`` (e.g. ``vm_fuse`` outside the VM), so one config can
+drive a whole fallback chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """Constructor settings shared by all execution backends.
+
+    Attributes:
+        nproc: PE/processor count (0 = sequential-only contexts).
+        externals: External subroutine registry (name → callable).
+        counters: An :class:`~repro.exec.counters.ExecutionCounters`
+            to accumulate into, or None for a fresh accumulator.
+        budget: Execution guard (:class:`~repro.reliability.Budget`),
+            or None for each backend's default step cap.
+        fault_plan: Deterministic fault injection plan, or None.
+        max_instructions: Step cap used when ``budget`` is None
+            (``max_statements`` on the tree-walkers); None keeps each
+            backend's default.
+        vm_fuse: Enable superinstruction fusion (VM only).
+    """
+
+    nproc: int = 0
+    externals: dict | None = None
+    counters: object | None = None
+    budget: object | None = None
+    fault_plan: object | None = None
+    max_instructions: int | None = None
+    vm_fuse: bool = True
+
+    def with_nproc(self, nproc: int) -> "BackendConfig":
+        """This config with a different machine width."""
+        return replace(self, nproc=nproc)
+
+
+__all__ = ["BackendConfig"]

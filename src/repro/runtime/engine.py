@@ -50,6 +50,7 @@ from ..transform.options import (
     normalize_transform,
     normalize_variant,
 )
+from .config import BackendConfig
 from .result import RunResult
 
 
@@ -268,6 +269,7 @@ class CompiledProgram:
         fault_plan=None,
         policy: FallbackPolicy | None = None,
         verify: bool = False,
+        config: BackendConfig | None = None,
     ) -> RunResult:
         """Execute the compiled program and return a :class:`RunResult`.
 
@@ -300,7 +302,16 @@ class CompiledProgram:
                 oracle :mod:`repro.fuzz` uses).  Needs ``nproc >= 1``
                 and a vm/interpreter/auto backend; composes with
                 ``policy`` by switching its ``verify`` flag on.
+            config: A :class:`BackendConfig` supplying run settings in
+                one bag; explicit keyword arguments win over it, and
+                its ``counters``/``max_instructions``/``vm_fuse``
+                fields reach the backend constructors unchanged.
         """
+        if config is not None:
+            nproc = nproc if nproc else config.nproc
+            externals = externals if externals is not None else config.externals
+            budget = budget if budget is not None else config.budget
+            fault_plan = fault_plan if fault_plan is not None else config.fault_plan
         if verify:
             if policy is not None:
                 if not policy.verify:
@@ -332,6 +343,7 @@ class CompiledProgram:
             statement_hook_for=statement_hook_for,
             budget=budget,
             fault_plan=fault_plan,
+            config=config,
         )
         if policy is not None:
             return self._run_with_policy(policy, **kwargs)
@@ -354,48 +366,59 @@ class CompiledProgram:
         statement_hook_for,
         budget,
         fault_plan,
+        config=None,
     ):
-        """Run one already-resolved backend; return (env, counters, statements)."""
+        """Run one already-resolved backend; return (env, counters, statements).
+
+        Backend construction is uniform: the resolved run settings are
+        folded into one :class:`BackendConfig` and each backend is
+        built via its ``from_config`` classmethod.
+        """
+        import dataclasses
+
+        if config is None:
+            config = BackendConfig(
+                nproc=nproc,
+                externals=externals,
+                budget=budget,
+                fault_plan=fault_plan,
+            )
+        else:
+            # Explicit run() kwargs already won the merge; refold them
+            # so counters/max_instructions/vm_fuse survive from the
+            # caller's config.
+            config = dataclasses.replace(
+                config,
+                nproc=nproc,
+                externals=externals,
+                budget=budget,
+                fault_plan=fault_plan,
+            )
         if chosen == "vm":
             from ..vm.machine import SIMDVirtualMachine
 
-            vm = SIMDVirtualMachine(
-                nproc, externals, budget=budget, fault_plan=fault_plan
-            )
+            vm = SIMDVirtualMachine.from_config(config)
             raw = vm.run(self.bytecode(), bindings=dict(bindings or {}))
             env = {k: v for k, v in raw.items() if not k.startswith("__")}
             return env, vm.counters, vm.executed
         if chosen == "interpreter":
             from ..exec.simd import SIMDInterpreter
 
-            interp = SIMDInterpreter(
-                self._tree,
-                nproc,
-                externals,
-                statement_hook=statement_hook,
-                budget=budget,
-                fault_plan=fault_plan,
-            )
+            interp = SIMDInterpreter.from_config(self._tree, config)
+            interp.statement_hook = statement_hook
             env = interp.run(routine_name=routine_name, bindings=bindings)
             return env, interp.counters, interp.executed_statements
         if chosen == "scalar":
             from ..exec.scalar import ScalarInterpreter
 
-            interp = ScalarInterpreter(
-                self._tree,
-                externals,
-                statement_hook=statement_hook,
-                budget=budget,
-                fault_plan=fault_plan,
-            )
+            interp = ScalarInterpreter.from_config(self._tree, config)
+            interp.statement_hook = statement_hook
             env = interp.run(routine_name=routine_name, bindings=bindings)
             return env, interp.counters, interp.executed_statements
         # mimd
         from ..exec.mimd import MIMDSimulator
 
-        sim = MIMDSimulator(
-            self._tree, nproc, externals, budget=budget, fault_plan=fault_plan
-        )
+        sim = MIMDSimulator.from_config(self._tree, config)
         mimd = sim.run(
             bindings_for=bindings_for,
             routine_name=routine_name,
@@ -407,6 +430,11 @@ class CompiledProgram:
         self, chosen, nproc, env, counters, statements, wall, attempts=None
     ) -> RunResult:
         self._engine.stats.runs[chosen] += 1
+        if isinstance(counters, list):
+            # MIMD: parallel completion time — max over processors.
+            steps = max((c.total_steps for c in counters), default=0)
+        else:
+            steps = int(counters.total_steps)
         return RunResult(
             env=env,
             counters=counters,
@@ -414,6 +442,7 @@ class CompiledProgram:
             nproc=nproc,
             cache_hit=self.cache_hit,
             wall_seconds=wall,
+            steps=steps,
             stage_seconds={**self.stage_seconds, "run": wall},
             statements=statements,
             attempts=attempts if attempts is not None else [],

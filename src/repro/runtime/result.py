@@ -39,6 +39,11 @@ class RunResult:
         cache_hit: Whether the compiled artifact came from the
             Engine's cache rather than a fresh compile.
         wall_seconds: End-to-end execution wall time.
+        steps: Lockstep step count of the run
+            (``counters.total_steps``; for MIMD the parallel
+            completion time, i.e. the max over processors).  Together
+            with ``wall_seconds`` this is what the benchmark
+            trajectory (``repro bench``) records per cell.
         stage_seconds: Per-stage timings (``parse``, ``transform``,
             ``bytecode`` from the compile that produced the artifact,
             plus ``run``).
@@ -58,6 +63,7 @@ class RunResult:
     nproc: int
     cache_hit: bool = False
     wall_seconds: float = 0.0
+    steps: int = 0
     stage_seconds: dict = field(default_factory=dict)
     statements: object = None
     attempts: list = field(default_factory=list)

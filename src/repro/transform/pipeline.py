@@ -99,9 +99,11 @@ def flatten_program(
 ) -> ast.SourceFile:
     """Flatten one loop nest of a program.
 
-    This is a stable shim over :class:`repro.runtime.Engine`: the
-    transformed tree is cached by source text and options, and each
-    call returns a fresh clone of the cached artifact.
+    .. deprecated::
+        Use :func:`repro.compile` (``repro.compile(source,
+        transform="flatten", ...).tree``) or an explicit
+        :class:`repro.Engine`.  This shim will be removed in
+        version 2.0.
 
     Args:
         source: Input program (GOTO loops are structurized first).
@@ -117,6 +119,14 @@ def flatten_program(
     Returns:
         A new :class:`~repro.lang.ast.SourceFile`; the input is unchanged.
     """
+    import warnings
+
+    warnings.warn(
+        "flatten_program() is deprecated; use repro.compile(source, "
+        "transform='flatten', ...).tree — removal planned for 2.0",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     from ..runtime.engine import default_engine
 
     return default_engine().compile(

@@ -6,6 +6,7 @@ tree-walking interpreter of :mod:`repro.exec.simd`.
 """
 
 from .compiler import Compiler, compile_program, compile_routine
+from .fuse import FUSIBLE_OPS, FusedRun, MAX_FUSE_LEN, fuse_code
 from .isa import CodeObject, Instr, Op
 from .machine import SIMDVirtualMachine, run_bytecode
 from .verify import VerificationError, assert_verified, stack_effect, verify_code
@@ -23,4 +24,8 @@ __all__ = [
     "assert_verified",
     "stack_effect",
     "VerificationError",
+    "FusedRun",
+    "FUSIBLE_OPS",
+    "MAX_FUSE_LEN",
+    "fuse_code",
 ]

@@ -50,6 +50,7 @@ class Op(Enum):
     FOR_INCR = auto()     #: arg: (var, stride) — env[var] += env[stride]
     NOP = auto()          #: label placeholder (kept for debuggability)
     HALT = auto()         #: end of program / RETURN
+    FUSED = auto()        #: arg: FusedRun — straight-line superinstruction
 
 
 #: Subscript-spec codes for LOAD_INDEXED / STORE_INDEXED, one per

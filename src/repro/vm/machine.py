@@ -10,6 +10,22 @@ be priced by the same machine models.
 The VM and the tree-walking interpreter are developed as independent
 implementations of one semantics; the test suite runs them
 differentially against each other.
+
+Execution model (see DESIGN.md §10):
+
+* **threaded dispatch** — a per-code handler table is bound when a
+  code object is loaded for a run, so the hot loop is one indexed
+  call per instruction instead of an ``if/elif`` opcode scan;
+* **superinstructions** — unless ``fuse=False`` (or a fault plan
+  demands exact per-instruction stepping), straight-line runs are
+  fused by :func:`repro.vm.fuse.fuse_code` and executed in a tight
+  loop with one budget tick, one trace extension and one batched
+  counter flush per run (the activity mask is constant inside a run
+  by construction);
+* **mask pool** — WHERE/ELSEWHERE mask narrowing writes into
+  preallocated per-depth buffers instead of allocating, and the lane
+  mask / all-active / any-active reductions are cached per mask
+  transition instead of being recomputed per instruction.
 """
 
 from __future__ import annotations
@@ -36,7 +52,27 @@ from ..reliability import (
     render_mask,
     snapshot_env,
 )
+from .fuse import (
+    S_ALLOC,
+    S_BINOP,
+    S_CTL_STORE,
+    S_FOR_INCR,
+    S_INTRINSIC_ELEM,
+    S_INTRINSIC_REDUCE,
+    S_IOTA,
+    S_LOAD,
+    S_LOAD_INDEXED,
+    S_PUSH_CONST,
+    S_STORE,
+    S_STORE_INDEXED,
+    S_UNOP,
+    S_VECTOR,
+    fuse_code,
+)
 from .isa import CodeObject, Instr, Op
+
+#: Sentinel next-pc returned by HALT (terminates the dispatch loop).
+_HALT_PC = -1
 
 
 class SIMDVirtualMachine:
@@ -51,7 +87,13 @@ class SIMDVirtualMachine:
             ``Budget(max_steps=...)``).
         budget: Execution guard; overrides ``max_instructions``.
         fault_plan: Deterministic fault injection
-            (:class:`~repro.reliability.FaultPlan`).
+            (:class:`~repro.reliability.FaultPlan`).  Forces exact
+            per-instruction stepping (no fusion) so op faults fire at
+            precisely the planned step.
+        fuse: Execute superinstruction-fused code (the fast path).
+            ``False`` retires one instruction per dispatch with exact
+            per-instruction budget metering — the reference mode the
+            fuzz oracle runs differentially against the fused mode.
     """
 
     def __init__(
@@ -62,6 +104,7 @@ class SIMDVirtualMachine:
         max_instructions: int = 20_000_000,
         budget: Budget | None = None,
         fault_plan=None,
+        fuse: bool = True,
     ):
         if nproc < 1:
             raise InterpreterError(f"need at least one PE, got {nproc}")
@@ -71,6 +114,7 @@ class SIMDVirtualMachine:
         self.max_instructions = max_instructions
         self.budget = budget if budget is not None else Budget(max_steps=max_instructions)
         self.fault_plan = fault_plan
+        self.fuse = fuse
         self.executed = 0
         self._meter = self.budget.meter()
         self._trace: deque = deque(maxlen=TRACE_DEPTH)
@@ -78,16 +122,57 @@ class SIMDVirtualMachine:
         self._last_pc = 0
         self._last_loc = None
         self._mask_stack: list[tuple[np.ndarray, np.ndarray]] = []
-        self._mask = np.ones(nproc, dtype=bool)
+        self._mask_pool: dict = {}
+        self._set_mask(np.ones(nproc, dtype=bool))
         # a shadow interpreter provides assign_to for external writebacks
         self._shadow = SIMDInterpreter(
             ast.SourceFile([ast.Routine("program", "__vm__", [], [])]),
             nproc,
             counters=self.counters,
         )
+        self._dispatch = {
+            Op.PUSH_CONST: self._op_push_const,
+            Op.LOAD: self._op_load,
+            Op.STORE: self._op_store,
+            Op.ALLOC: self._op_alloc,
+            Op.LOAD_INDEXED: self._op_load_indexed,
+            Op.STORE_INDEXED: self._op_store_indexed,
+            Op.BINOP: self._op_binop,
+            Op.UNOP: self._op_unop,
+            Op.INTRINSIC: self._op_intrinsic,
+            Op.IOTA: self._op_iota,
+            Op.VECTOR: self._op_vector,
+            Op.CALL: self._op_call,
+            Op.PUSH_MASK: self._op_push_mask,
+            Op.ELSE_MASK: self._op_else_mask,
+            Op.POP_MASK: self._op_pop_mask,
+            Op.JUMP: self._op_jump,
+            Op.JUMP_IF_FALSE: self._op_jump_if_false,
+            Op.CTL_STORE: self._op_ctl_store,
+            Op.FOR: self._op_for,
+            Op.FOR_INCR: self._op_for_incr,
+            Op.NOP: self._op_nop,
+            Op.HALT: self._op_halt,
+            Op.FUSED: self._op_fused,
+        }
+
+    @classmethod
+    def from_config(cls, config) -> "SIMDVirtualMachine":
+        """Construct from a :class:`~repro.runtime.BackendConfig`."""
+        kwargs = dict(
+            externals=config.externals,
+            counters=config.counters,
+            budget=config.budget,
+            fault_plan=config.fault_plan,
+            fuse=config.vm_fuse,
+        )
+        if config.max_instructions is not None:
+            kwargs["max_instructions"] = config.max_instructions
+        return cls(config.nproc, **kwargs)
 
     def snapshot(self) -> MachineSnapshot:
         """The machine's state right now (for crash dumps)."""
+        self._flush_lane_epoch()
         return MachineSnapshot(
             backend="vm",
             pc=self._last_pc,
@@ -95,7 +180,9 @@ class SIMDVirtualMachine:
             mask=render_mask(self._mask),
             mask_stack=[render_mask(outer) for outer, _ in self._mask_stack],
             env=snapshot_env(self._env),
-            last_ops=list(self._trace),
+            last_ops=[
+                {"pc": pc, "op": op, "line": line} for pc, op, line in self._trace
+            ],
             location=self._last_loc,
         )
 
@@ -103,16 +190,103 @@ class SIMDVirtualMachine:
 
     @property
     def mask(self) -> np.ndarray:
-        return self._mask
+        return self._mask_value
 
     @property
     def lanes_active(self) -> np.ndarray:
-        return _lane_mask(self._mask, self.nproc)
+        return self._lanes
+
+    @property
+    def _mask(self) -> np.ndarray:
+        return self._mask_value
+
+    @_mask.setter
+    def _mask(self, value) -> None:
+        # Keep the cached lane reductions coherent for any direct poke.
+        self._set_mask(np.asarray(value))
+
+    # Deferred per-lane accounting: all vector events recorded under one
+    # mask epoch accumulate their layer counts here and are applied to
+    # ``counters.lane_active_steps`` in a single update at the next mask
+    # transition (or at run exit / snapshot).  Class-level defaults so
+    # the first ``_set_mask`` during __init__ sees them.
+    _epoch_layers = 0
+    _active_cached: int | None = None
+
+    def _set_mask(self, mask: np.ndarray) -> None:
+        """Install a new activity mask and refresh the cached reductions."""
+        if self._epoch_layers:
+            self._flush_lane_epoch()
+        self._mask_value = mask
+        if mask.ndim == 1:
+            lanes = mask
+        else:
+            lanes = mask.any(axis=tuple(range(1, mask.ndim)))
+        self._lanes = lanes
+        self._all_active = bool(mask.all())
+        self._any_active = bool(lanes.any())
+        self._active_cached = None
+
+    def _active(self) -> int:
+        """Active-lane count of the current mask epoch (cached)."""
+        count = self._active_cached
+        if count is None:
+            count = self._active_cached = int(np.count_nonzero(self._lanes))
+        return count
+
+    def _flush_lane_epoch(self) -> None:
+        """Apply the epoch's deferred per-lane activity to the counters.
+
+        Must run before ``self._lanes`` is rebound or its pooled buffer
+        reused — i.e. at every mask transition and at run exit.
+        """
+        layers = self._epoch_layers
+        if layers:
+            self._epoch_layers = 0
+            self.counters.add_lane_steps(self._lanes, layers)
+
+    def _record(self, kind: str, layers: int = 1) -> None:
+        """Record one vector event under the current mask epoch."""
+        self._epoch_layers += self.counters.record(
+            kind,
+            width=self.nproc,
+            layers=layers,
+            active=self._active(),
+            defer_lanes=True,
+        )
+
+    def _buffer(self, key, shape) -> np.ndarray:
+        """A reusable boolean buffer from the per-depth mask pool."""
+        buf = self._mask_pool.get(key)
+        if buf is None or buf.shape != shape:
+            buf = np.empty(shape, dtype=bool)
+            self._mask_pool[key] = buf
+        return buf
+
+    def _narrow(self, outer, cond: np.ndarray, depth: int, negate: bool) -> np.ndarray:
+        """``outer ∧ cond`` (or ``outer ∧ ¬cond``) into a pooled buffer."""
+        if cond.ndim == 0:
+            cond = np.full(self.nproc, bool(cond))
+        if cond.dtype.kind != "b":
+            raise InterpreterError("mask expression is not logical")
+        base = np.asarray(outer)
+        if base.ndim < cond.ndim:
+            base = _align_mask(base, cond.ndim)
+        elif cond.ndim < base.ndim:
+            cond = _align_mask(cond, base.ndim)
+        if negate:
+            nbuf = self._buffer((depth, 2), cond.shape)
+            np.logical_not(cond, out=nbuf)
+            cond = nbuf
+        shape = np.broadcast_shapes(base.shape, cond.shape)
+        buf = self._buffer((depth, 1 if negate else 0), shape)
+        np.logical_and(base, cond, out=buf)
+        return buf
 
     def _uniform_bool(self, value) -> bool:
         value = coerce(value)
         if isinstance(value, np.ndarray) and value.ndim >= 1:
-            lanes = self.lanes_active
+            lanes = self._lanes
             selected = value[lanes] if value.shape[0] == self.nproc else value.ravel()
             if selected.size == 0:
                 return False
@@ -128,7 +302,7 @@ class SIMDVirtualMachine:
     def _uniform_int(self, value, what: str) -> int:
         value = coerce(value)
         if isinstance(value, np.ndarray) and value.ndim >= 1:
-            lanes = self.lanes_active
+            lanes = self._lanes
             selected = value[lanes] if value.shape[0] == self.nproc else value.ravel()
             if selected.size == 0:
                 raise InterpreterError(f"{what}: no active PEs")
@@ -142,7 +316,10 @@ class SIMDVirtualMachine:
     def _layers_of(value) -> int:
         value = coerce(value)
         if isinstance(value, np.ndarray) and value.ndim >= 2:
-            return int(np.prod(value.shape[1:]))
+            layers = 1
+            for extent in value.shape[1:]:
+                layers *= extent
+            return layers
         return 1
 
     # -- execution -------------------------------------------------------------------
@@ -158,31 +335,38 @@ class SIMDVirtualMachine:
         self._env = env
         self._meter = self.budget.meter()
         stack: list = []
-        pc = 0
-        instructions = code.instructions
         if self.fault_plan is not None:
             try:
                 self.fault_plan.check_backend("vm")
             except MiniFError as error:
                 raise attach_snapshot(error, self.snapshot())
-            self._mask = self._mask & self.fault_plan.dropout_mask(
-                self.nproc, "vm"
-            )
-        while pc < len(instructions):
-            self.executed += 1
-            self._last_pc = pc
-            instr = instructions[pc]
-            if instr.loc is not None:
-                self._last_loc = instr.loc
-            try:
-                next_pc = self._step(instr, pc, env, stack)
-            except MiniFError as error:
-                locate(error, instr.loc)
-                attach_snapshot(error, self.snapshot())
-                raise
-            if next_pc is None:  # HALT
-                break
-            pc = next_pc
+            self._set_mask(self._mask & self.fault_plan.dropout_mask(self.nproc, "vm"))
+            run_code = code  # op faults need exact per-instruction stepping
+        elif self.fuse:
+            run_code = fuse_code(code)
+        else:
+            run_code = code
+        instructions = run_code.instructions
+        dispatch = self._dispatch
+        handlers = [dispatch.get(i.op, self._op_unknown) for i in instructions]
+        size = len(instructions)
+        pc = 0
+        try:
+            while 0 <= pc < size:
+                self._last_pc = pc
+                instr = instructions[pc]
+                if instr.loc is not None:
+                    self._last_loc = instr.loc
+                try:
+                    pc = handlers[pc](instr, pc, env, stack)
+                except MiniFError as error:
+                    locate(error, instr.loc)
+                    attach_snapshot(error, self.snapshot())
+                    raise
+        finally:
+            # Deferred per-lane accounting settles on every exit path
+            # (snapshot() also flushes, so crash dumps are exact).
+            self._flush_lane_epoch()
         if self._mask_stack:
             # Translation invariant: every PUSH_MASK is matched by a
             # POP_MASK on all paths — an unbalanced stack means the
@@ -194,174 +378,395 @@ class SIMDVirtualMachine:
             raise attach_snapshot(error, self.snapshot())
         return env
 
-    def _step(self, instr: Instr, pc: int, env: dict, stack: list) -> int:
-        """Execute one instruction; returns the next program counter."""
+    def _tick1(self, instr: Instr, pc: int) -> None:
+        """Per-instruction accounting for unfused dispatch."""
+        self.executed += 1
         self._meter.tick(instr.loc)
         if self.fault_plan is not None:
             self.fault_plan.raise_op_fault(self.executed, "vm")
-        self._trace.append(
-            {
-                "pc": pc,
-                "op": instr.op.name,
-                "line": instr.loc.line if instr.loc is not None else None,
-            }
-        )
-        op = instr.op
-        if op is Op.PUSH_CONST:
-            stack.append(instr.arg)
-        elif op is Op.LOAD:
-            if instr.arg not in env:
-                raise InterpreterError(f"'{instr.arg}' used before assignment")
-            stack.append(env[instr.arg])
-        elif op is Op.STORE:
-            self._store(env, instr.arg, stack.pop())
-        elif op is Op.ALLOC:
-            self._alloc(env, stack, instr.arg)
-        elif op is Op.LOAD_INDEXED:
-            stack.append(self._load_indexed(env, stack, instr.arg))
-        elif op is Op.STORE_INDEXED:
-            self._store_indexed(env, stack, instr.arg)
-        elif op is Op.BINOP:
-            right = stack.pop()
-            left = stack.pop()
-            result = apply_binop(instr.arg, left, right)
-            self.counters.record(
-                op_event_kind(instr.arg, result),
-                width=self.nproc,
-                layers=self._layers_of(result),
-                mask=self.lanes_active,
-            )
-            stack.append(result)
-        elif op is Op.UNOP:
-            result = apply_unop(instr.arg, stack.pop())
-            self.counters.record(
-                op_event_kind(instr.arg, result),
-                width=self.nproc,
-                layers=self._layers_of(result),
-                mask=self.lanes_active,
-            )
-            stack.append(result)
-        elif op is Op.INTRINSIC:
-            name, argc = instr.arg
-            args = stack[-argc:] if argc else []
-            del stack[len(stack) - argc:]
-            if is_reduction_call(name, argc):
-                self.counters.record(
-                    "reduce", width=self.nproc, mask=self.lanes_active
-                )
-                stack.append(call_intrinsic(name, args, mask=self.lanes_active))
-            else:
-                self.counters.record(
-                    "real_op", width=self.nproc, mask=self.lanes_active
-                )
-                stack.append(call_intrinsic(name, args))
-        elif op is Op.IOTA:
-            hi = self._uniform_int(stack.pop(), "range upper bound")
-            lo = self._uniform_int(stack.pop(), "range lower bound")
-            vec = np.arange(lo, hi + 1, dtype=np.int64)
-            if vec.shape[0] != self.nproc:
-                raise InterpreterError(
-                    f"range vector [{lo} : {hi}] has {vec.shape[0]} "
-                    f"elements, machine has {self.nproc} PEs"
-                )
-            stack.append(vec)
-        elif op is Op.VECTOR:
-            count = instr.arg
-            items = [coerce(v) for v in stack[-count:]]
-            del stack[len(stack) - count:]
-            vec = np.array(items)
-            if vec.shape[0] != self.nproc:
-                raise InterpreterError(
-                    f"vector literal has {vec.shape[0]} elements, "
-                    f"machine has {self.nproc} PEs"
-                )
-            stack.append(vec)
-        elif op is Op.CALL:
-            self._call(env, stack, instr.arg)
-        elif op is Op.PUSH_MASK:
-            cond = stack.pop()
-            self.counters.record("mask", width=self.nproc, mask=self.lanes_active)
-            outer = self._mask
-            self._mask_stack.append((outer, np.asarray(coerce(cond))))
-            self._mask = self._combine(outer, cond)
-            # Translation invariant: a WHERE can only narrow activity.
-            if np.any(self.lanes_active & ~_lane_mask(outer, self.nproc)):
-                raise InterpreterError(
-                    "WHERE mask activates a lane outside the enclosing mask "
-                    "(translation invariant violated)"
-                )
-        elif op is Op.ELSE_MASK:
-            if not self._mask_stack:
-                raise InterpreterError("ELSE_MASK with empty mask stack")
-            outer, cond = self._mask_stack[-1]
-            # the ELSEWHERE mask op runs under the *enclosing* mask
-            self.counters.record(
-                "mask", width=self.nproc, mask=_lane_mask(outer, self.nproc)
-            )
-            self._mask = self._combine(outer, apply_unop(".NOT.", cond))
-        elif op is Op.POP_MASK:
-            if not self._mask_stack:
-                raise InterpreterError("POP_MASK with empty mask stack")
-            self._mask, _ = self._mask_stack.pop()
-        elif op is Op.JUMP:
-            if instr.acu:
-                self.counters.record("acu")
-            return instr.arg
-        elif op is Op.JUMP_IF_FALSE:
-            self.counters.record("acu")
-            if not self._uniform_bool(stack.pop()):
-                return instr.arg
-        elif op is Op.CTL_STORE:
-            name, mode = instr.arg
-            value = stack.pop()
-            if mode == "int":
-                env[name] = self._uniform_int(value, f"loop control '{name}'")
-            else:
-                env[name] = value
-        elif op is Op.FOR:
-            var, limit, stride_name, exit_index = instr.arg
-            current = env[var]
-            stride = env[stride_name]
-            if stride == 0:
-                raise InterpreterError("DO stride is zero")
-            if (stride > 0 and current <= env[limit]) or (
-                stride < 0 and current >= env[limit]
-            ):
-                self.counters.record("acu")
-            else:
-                return exit_index
-        elif op is Op.FOR_INCR:
-            var, stride_name = instr.arg
-            env[var] = env[var] + env[stride_name]
-        elif op is Op.NOP:
-            pass
-        elif op is Op.HALT:
-            return None
-        else:  # pragma: no cover - exhaustive
-            raise InterpreterError(f"unknown opcode {op}")
+        loc = instr.loc
+        self._trace.append((pc, instr.op.name, loc.line if loc is not None else None))
+
+    def _account(self, kind: str, layers: int, events) -> None:
+        """Record one event now, or defer it to a fused run's batch."""
+        if events is None:
+            self._record(kind, layers)
+        else:
+            events.append((kind, layers))
+
+    # -- single-instruction handlers ---------------------------------------------
+
+    def _op_unknown(self, instr, pc, env, stack):  # pragma: no cover - exhaustive
+        raise InterpreterError(f"unknown opcode {instr.op}")
+
+    def _op_push_const(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        stack.append(instr.arg)
         return pc + 1
 
-    # -- helpers -------------------------------------------------------------------
+    def _op_load(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        name = instr.arg
+        try:
+            stack.append(env[name])
+        except KeyError:
+            raise InterpreterError(f"'{name}' used before assignment") from None
+        return pc + 1
+
+    def _op_store(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        self._store(env, instr.arg, stack.pop(), None)
+        return pc + 1
+
+    def _op_alloc(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        self._alloc(env, stack, instr.arg)
+        return pc + 1
+
+    def _op_load_indexed(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        stack.append(self._load_indexed(env, stack, instr.arg, None))
+        return pc + 1
+
+    def _op_store_indexed(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        self._store_indexed(env, stack, instr.arg, None)
+        return pc + 1
+
+    def _op_binop(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        right = stack.pop()
+        left = stack.pop()
+        result = apply_binop(instr.arg, left, right)
+        self._record(op_event_kind(instr.arg, result), self._layers_of(result))
+        stack.append(result)
+        return pc + 1
+
+    def _op_unop(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        result = apply_unop(instr.arg, stack.pop())
+        self._record(op_event_kind(instr.arg, result), self._layers_of(result))
+        stack.append(result)
+        return pc + 1
+
+    def _op_intrinsic(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        name, argc = instr.arg
+        args = stack[-argc:] if argc else []
+        del stack[len(stack) - argc:]
+        if is_reduction_call(name, argc):
+            self._record("reduce")
+            stack.append(call_intrinsic(name, args, mask=self._lanes))
+        else:
+            self._record("real_op")
+            stack.append(call_intrinsic(name, args))
+        return pc + 1
+
+    def _op_iota(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        stack.append(self._iota(stack))
+        return pc + 1
+
+    def _iota(self, stack):
+        hi = self._uniform_int(stack.pop(), "range upper bound")
+        lo = self._uniform_int(stack.pop(), "range lower bound")
+        vec = np.arange(lo, hi + 1, dtype=np.int64)
+        if vec.shape[0] != self.nproc:
+            raise InterpreterError(
+                f"range vector [{lo} : {hi}] has {vec.shape[0]} "
+                f"elements, machine has {self.nproc} PEs"
+            )
+        return vec
+
+    def _op_vector(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        stack.append(self._vector(stack, instr.arg))
+        return pc + 1
+
+    def _vector(self, stack, count: int):
+        items = [coerce(v) for v in stack[-count:]]
+        del stack[len(stack) - count:]
+        vec = np.array(items)
+        if vec.shape[0] != self.nproc:
+            raise InterpreterError(
+                f"vector literal has {vec.shape[0]} elements, "
+                f"machine has {self.nproc} PEs"
+            )
+        return vec
+
+    def _op_call(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        self._call(env, stack, instr.arg)
+        return pc + 1
+
+    def _op_push_mask(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        cond = stack.pop()
+        # Recorded under the *enclosing* mask; the deferred epoch is
+        # flushed by the _set_mask below before the mask changes.
+        self._record("mask")
+        outer = self._mask
+        cond_arr = np.asarray(coerce(cond))
+        self._mask_stack.append((outer, cond_arr))
+        self._set_mask(np.asarray(self._combine(outer, cond_arr)))
+        # Translation invariant: a WHERE can only narrow activity.
+        if self._any_active and np.any(self._lanes & ~_lane_mask(outer, self.nproc)):
+            raise InterpreterError(
+                "WHERE mask activates a lane outside the enclosing mask "
+                "(translation invariant violated)"
+            )
+        return pc + 1
 
     def _combine(self, outer, cond):
-        cond = np.asarray(coerce(cond))
-        if cond.ndim == 0:
-            cond = np.full(self.nproc, bool(cond))
-        if cond.dtype.kind != "b":
-            raise InterpreterError("mask expression is not logical")
-        base = np.asarray(outer)
-        if base.ndim < cond.ndim:
-            base = _align_mask(base, cond.ndim)
-        elif cond.ndim < base.ndim:
-            cond = _align_mask(cond, base.ndim)
-        return base & cond
+        """``outer ∧ cond`` for a freshly pushed WHERE scope (pooled)."""
+        return self._narrow(
+            outer, np.asarray(coerce(cond)), len(self._mask_stack) - 1, negate=False
+        )
+
+    def _op_else_mask(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        if not self._mask_stack:
+            raise InterpreterError("ELSE_MASK with empty mask stack")
+        outer, cond = self._mask_stack[-1]
+        # the ELSEWHERE mask op runs under the *enclosing* mask
+        self.counters.record(
+            "mask", width=self.nproc, mask=_lane_mask(outer, self.nproc)
+        )
+        self._set_mask(
+            self._narrow(outer, cond, len(self._mask_stack) - 1, negate=True)
+        )
+        return pc + 1
+
+    def _op_pop_mask(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        if not self._mask_stack:
+            raise InterpreterError("POP_MASK with empty mask stack")
+        outer, _ = self._mask_stack.pop()
+        self._set_mask(outer)
+        return pc + 1
+
+    def _op_jump(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        if instr.acu:
+            self.counters.record("acu")
+        return instr.arg
+
+    def _op_jump_if_false(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        self.counters.record("acu")
+        if not self._uniform_bool(stack.pop()):
+            return instr.arg
+        return pc + 1
+
+    def _op_ctl_store(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        name, mode = instr.arg
+        value = stack.pop()
+        if mode == "int":
+            env[name] = self._uniform_int(value, f"loop control '{name}'")
+        else:
+            env[name] = value
+        return pc + 1
+
+    def _op_for(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        var, limit, stride_name, exit_index = instr.arg
+        current = env[var]
+        stride = env[stride_name]
+        if stride == 0:
+            raise InterpreterError("DO stride is zero")
+        if (stride > 0 and current <= env[limit]) or (
+            stride < 0 and current >= env[limit]
+        ):
+            self.counters.record("acu")
+            return pc + 1
+        return exit_index
+
+    def _op_for_incr(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        var, stride_name = instr.arg
+        env[var] = env[var] + env[stride_name]
+        return pc + 1
+
+    def _op_nop(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        return pc + 1
+
+    def _op_halt(self, instr, pc, env, stack):
+        self._tick1(instr, pc)
+        return _HALT_PC
+
+    # -- superinstruction execution ------------------------------------------------
+
+    def _op_fused(self, instr, pc, env, stack):
+        """Execute one fused straight-line run.
+
+        The activity mask is constant inside the run (mask opcodes
+        terminate runs at fuse time), so counter events are collected
+        as ``(kind, layers)`` pairs and flushed in one
+        :meth:`~repro.exec.counters.ExecutionCounters.record_block`,
+        and the budget meter is ticked once for the whole run after it
+        retires (slack contract in :mod:`repro.reliability.budget`).
+        """
+        run = instr.arg
+        events: list = []
+        append = stack.append
+        pop = stack.pop
+        index = 0
+        try:
+            for code, a, comp in run.steps:
+                if code == S_LOAD:
+                    try:
+                        append(env[a])
+                    except KeyError:
+                        raise InterpreterError(
+                            f"'{a}' used before assignment"
+                        ) from None
+                elif code == S_BINOP:
+                    right = pop()
+                    left = pop()
+                    result = apply_binop(a, left, right)
+                    events.append(
+                        (op_event_kind(a, result), self._layers_of(result))
+                    )
+                    append(result)
+                elif code == S_PUSH_CONST:
+                    append(a)
+                elif code == S_STORE:
+                    self._store(env, a, pop(), events)
+                elif code == S_LOAD_INDEXED:
+                    append(self._load_indexed(env, stack, a, events))
+                elif code == S_STORE_INDEXED:
+                    self._store_indexed(env, stack, a, events)
+                elif code == S_UNOP:
+                    result = apply_unop(a, pop())
+                    events.append(
+                        (op_event_kind(a, result), self._layers_of(result))
+                    )
+                    append(result)
+                elif code == S_INTRINSIC_REDUCE:
+                    name, argc = a
+                    args = stack[-argc:] if argc else []
+                    if argc:
+                        del stack[len(stack) - argc:]
+                    events.append(("reduce", 1))
+                    append(call_intrinsic(name, args, mask=self._lanes))
+                elif code == S_INTRINSIC_ELEM:
+                    name, argc = a
+                    args = stack[-argc:] if argc else []
+                    if argc:
+                        del stack[len(stack) - argc:]
+                    events.append(("real_op", 1))
+                    append(call_intrinsic(name, args))
+                elif code == S_CTL_STORE:
+                    name, mode = a
+                    value = pop()
+                    if mode == "int":
+                        env[name] = self._uniform_int(
+                            value, f"loop control '{name}'"
+                        )
+                    else:
+                        env[name] = value
+                elif code == S_FOR_INCR:
+                    var, stride_name = a
+                    env[var] = env[var] + env[stride_name]
+                elif code == S_IOTA:
+                    append(self._iota(stack))
+                elif code == S_VECTOR:
+                    append(self._vector(stack, a))
+                elif code == S_ALLOC:
+                    self._alloc(env, stack, a)
+                # else: S_NOP — label placeholder, nothing to do
+                index += 1
+        except MiniFError as error:
+            self._fused_fault(run, pc, index, events, error)
+            raise
+        count = run.count
+        self.executed += count
+        self._trace.extend(run.trace)
+        if events:
+            self._epoch_layers += self.counters.record_block(
+                events, width=self.nproc, active=self._active(), defer_lanes=True
+            )
+        if run.last_loc is not None:
+            self._last_loc = run.last_loc
+        self._last_pc = pc + count - 1
+        self._meter.tick_block(count, run.last_loc)
+        return pc + count
+
+    def _fused_fault(self, run, pc: int, index: int, events: list, error) -> None:
+        """Exact crash accounting when a component of a fused run faults.
+
+        Retired steps, the trace ring and the collected counter events
+        are flushed up to and including the faulting component, and the
+        snapshot is pinned to the component's original pc (fusion
+        preserves instruction indices), so crash dumps are identical to
+        what unfused execution would have produced.
+        """
+        count = min(index + 1, run.count)
+        self.executed += count
+        self._meter.add_silent(count)
+        self._trace.extend(run.trace[:count])
+        if events:
+            self._epoch_layers += self.counters.record_block(
+                events, width=self.nproc, active=self._active(), defer_lanes=True
+            )
+        self._last_pc = pc + count - 1
+        for comp in reversed(run.instrs[:count]):
+            if comp.loc is not None:
+                self._last_loc = comp.loc
+                break
+        locate(error, run.instrs[count - 1].loc)
+        attach_snapshot(error, self.snapshot())
+
+    # -- helpers -------------------------------------------------------------------
 
     def _sync_shadow(self) -> None:
         self._shadow._mask = self._mask
 
-    def _store(self, env: dict, name: str, value) -> None:
-        self._sync_shadow()
-        self._shadow.assign_to(ast.Var(name), value, env)
+    def _store(self, env: dict, name: str, value, events) -> None:
+        """Masked store of ``value`` into variable ``name``.
+
+        Semantics mirror the tree-walking interpreter's
+        ``_assign_var`` exactly (the differential suite holds the two
+        to the same environments and counters); the VM keeps its own
+        copy to avoid building an AST node per store on the hot path.
+        """
+        value = coerce(value)
+        existing = env.get(name)
+        nproc = self.nproc
+        if isinstance(existing, FArray):
+            layers = max(1, existing.size // max(1, nproc))
+            self._account("store", layers, events)
+            if self._all_active:
+                existing.data[...] = value
+                return
+            if existing.shape[0] != nproc:
+                raise InterpreterError(
+                    f"masked whole-array assignment to '{name}' needs a "
+                    f"leading dimension of {nproc}"
+                )
+            mask = _align_mask(self._mask, existing.data.ndim)
+            existing.data[...] = np.where(mask, value, existing.data)
+            return
+        self._account("store", self._layers_of(value), events)
+        if self._all_active:
+            env[name] = value
+            return
+        if existing is None:
+            # First write happens under a partial mask: the masked-out
+            # lanes' memory is simply uninitialized on a real machine;
+            # model it as zero (of the stored value's type).
+            sample = np.asarray(value)
+            existing = np.zeros(nproc, dtype=sample.dtype)
+        old = np.asarray(coerce(existing))
+        new = np.asarray(value)
+        if old.ndim == 0:
+            old = np.full(nproc, old.item())
+        if new.ndim > old.ndim:
+            old = np.broadcast_to(old[..., None], new.shape).copy()
+        mask = _align_mask(_lane_mask(self._mask, nproc), max(old.ndim, new.ndim))
+        env[name] = np.where(mask, new, old)
 
     def _alloc(self, env: dict, stack: list, arg) -> None:
         name, rank, base = arg
@@ -372,7 +777,9 @@ class SIMDVirtualMachine:
         existing = env.get(name)
         if isinstance(existing, FArray):
             return
-        array = FArray(name, tuple(extents), base)
+        # A binding overwrites every element, so skip the zero fill —
+        # large pairlist bindings would otherwise be touched twice.
+        array = FArray(name, tuple(extents), base, fill=existing is None)
         if isinstance(existing, np.ndarray):
             if existing.size != array.size:
                 raise InterpreterError(
@@ -429,36 +836,63 @@ class SIMDVirtualMachine:
                 )
         return resolved
 
-    def _load_indexed(self, env: dict, stack: list, arg):
-        name, spec = arg
-        subs = self._decode_subscripts(stack, spec)
+    def _pop_subs_vector(self, stack: list, count: int) -> list:
+        """Fast path of :meth:`_decode_subscripts` for all-'e' specs."""
+        raw = stack[-count:]
+        del stack[len(stack) - count:]
+        resolved = []
+        for value in raw:
+            value = coerce(value)
+            if isinstance(value, np.ndarray) and value.ndim >= 1:
+                resolved.append(value)
+            else:
+                resolved.append(self._uniform_int(value, "subscript"))
+        return resolved
+
+    def _load_indexed(self, env: dict, stack: list, arg, events):
+        if len(arg) == 3:
+            name, spec, all_vector = arg
+        else:
+            name, spec = arg
+            all_vector = False
+        if all_vector:
+            subs = self._pop_subs_vector(stack, len(spec))
+        else:
+            subs = self._decode_subscripts(stack, spec)
         array = env.get(name)
         if isinstance(array, FArray):
             if any(isinstance(s, np.ndarray) for s in subs):
-                return self._gather(array, subs)
+                return self._gather(array, subs, events)
             # No active lane consumes this load; clamp instead of trap.
-            index = array.np_index(subs, clamp=not self.lanes_active.any())
+            index = array.np_index(subs, clamp=not self._any_active)
             result = array.data[index]
             return result.copy() if isinstance(result, np.ndarray) else result
         if isinstance(array, np.ndarray) and array.ndim == 1 and len(subs) == 1:
             sub = subs[0]
-            lanes = self.lanes_active
+            lanes = self._lanes
             if isinstance(sub, slice):
                 return array[sub].copy()
             arr = np.asarray(sub)
             if arr.ndim == 0:
                 arr = np.full(self.nproc, int(arr))
-            if lanes.any():
+            if self._all_active:
+                if np.any((arr < 1) | (arr > array.shape[0])):
+                    raise OutOfBoundsFault(f"subscript out of bounds for '{name}'")
+                self._account("gather", 1, events)
+                return array[arr - 1]
+            if self._any_active:
                 active = arr[lanes]
                 if np.any((active < 1) | (active > array.shape[0])):
                     raise OutOfBoundsFault(f"subscript out of bounds for '{name}'")
             clamped = np.clip(arr, 1, array.shape[0])
-            self.counters.record("gather", width=self.nproc, mask=lanes)
+            self._account("gather", 1, events)
             return array[clamped - 1]
         raise InterpreterError(f"'{name}' is not an array")
 
-    def _gather(self, array: FArray, subs: list):
-        lanes = self.lanes_active
+    def _gather(self, array: FArray, subs: list, events):
+        lanes = self._lanes
+        nproc = self.nproc
+        all_active = self._all_active
         index = []
         for dim, sub in enumerate(subs):
             if isinstance(sub, slice):
@@ -467,36 +901,58 @@ class SIMDVirtualMachine:
                 )
             arr = np.asarray(sub)
             if arr.ndim == 0:
-                arr = np.full(self.nproc, int(arr))
-            if arr.shape[0] != self.nproc:
+                arr = np.full(nproc, int(arr))
+            if arr.shape[0] != nproc:
                 raise InterpreterError(
                     f"vector subscript of '{array.name}' has length "
-                    f"{arr.shape[0]}, expected {self.nproc}"
+                    f"{arr.shape[0]}, expected {nproc}"
                 )
-            if lanes.any():
-                array.check_subscript(dim, arr[lanes])
-            index.append(np.clip(arr, 1, max(1, array.shape[dim])) - 1)
-        self.counters.record("gather", width=self.nproc, mask=lanes)
+            if all_active:
+                # every lane was bounds-checked; the clamp would be a no-op
+                array.check_subscript(dim, arr)
+                index.append(arr - 1)
+                continue
+            extent = array.shape[dim]
+            if extent < 1:
+                if self._any_active:
+                    array.check_subscript(dim, arr[lanes])
+                index.append(np.zeros_like(arr))
+                continue
+            # Raw ufuncs beat np.clip's dispatch wrapper here, and the
+            # bounds check reuses the clamp: an active lane is out of
+            # bounds exactly when clamping changed its subscript.
+            clamped = np.minimum(np.maximum(arr, 1), extent)
+            if self._any_active:
+                bad = clamped != arr
+                if bad.ndim > 1:
+                    bad = bad.any(axis=tuple(range(1, bad.ndim)))
+                np.logical_and(bad, lanes, out=bad)
+                if bad.any():
+                    array.check_subscript(dim, arr[lanes])
+            index.append(clamped - 1)
+        self._account("gather", 1, events)
         return array.data[tuple(index)]
 
-    def _store_indexed(self, env: dict, stack: list, arg) -> None:
+    def _store_indexed(self, env: dict, stack: list, arg, events) -> None:
         name, spec = arg
         subs = self._decode_subscripts(stack, spec)
         value = stack.pop()
+        self._store_resolved(env, name, subs, value, events)
+
+    def _store_resolved(self, env: dict, name: str, subs: list, value, events) -> None:
+        """Masked indexed store with already-resolved subscripts."""
         array = env.get(name)
         if not isinstance(array, FArray):
             raise InterpreterError(f"'{name}' is not an array")
         if any(isinstance(s, np.ndarray) for s in subs):
-            self._scatter(array, subs, value)
+            self._scatter(array, subs, value, events)
             return
         # Issued with no active lane: the store writes nothing, so the
         # (possibly garbage) address must not trap — clamp, don't check.
-        index = array.np_index(subs, clamp=not self.lanes_active.any())
+        index = array.np_index(subs, clamp=not self._any_active)
         region = array.data[index]
         layers = self._layers_of(region)
-        self.counters.record(
-            "store", width=self.nproc, layers=layers, mask=self.lanes_active
-        )
+        self._account("store", layers, events)
         if not (isinstance(region, np.ndarray) and region.ndim >= 1):
             # All lanes address the same element.  A per-lane value is
             # legal lockstep only when the active lanes agree (they all
@@ -507,8 +963,8 @@ class SIMDVirtualMachine:
                     raise InterpreterError(
                         f"cannot store an array value into element of '{name}'"
                     )
-                lanes = _lane_mask(self._mask, self.nproc)
-                active = varr[lanes] if lanes.any() else varr
+                lanes = self._lanes
+                active = varr[lanes] if self._any_active else varr
                 if not np.all(active == active.flat[0]):
                     # The static R001 lint rule catches this at compile
                     # time; classify as a divergence fault either way.
@@ -517,7 +973,7 @@ class SIMDVirtualMachine:
                         f"'{name}'"
                     )
                 value = active.flat[0].item()
-        if bool(np.all(self._mask)):
+        if self._all_active:
             array.data[index] = coerce(value)
             return
         if isinstance(region, np.ndarray) and region.ndim >= 1:
@@ -532,8 +988,10 @@ class SIMDVirtualMachine:
         if self._uniform_bool(self._mask):
             array.data[index] = coerce(value)
 
-    def _scatter(self, array: FArray, subs: list, value) -> None:
-        lanes = self.lanes_active
+    def _scatter(self, array: FArray, subs: list, value, events) -> None:
+        lanes = self._lanes
+        nproc = self.nproc
+        all_active = self._all_active
         index = []
         for dim, sub in enumerate(subs):
             if isinstance(sub, slice):
@@ -542,15 +1000,19 @@ class SIMDVirtualMachine:
                 )
             arr = np.asarray(sub)
             if arr.ndim == 0:
-                arr = np.full(self.nproc, int(arr))
-            if lanes.any():
+                arr = np.full(nproc, int(arr))
+            if all_active:
+                array.check_subscript(dim, arr)
+                index.append(arr - 1)
+                continue
+            if self._any_active:
                 array.check_subscript(dim, arr[lanes])
             index.append(arr[lanes] - 1)
-        self.counters.record("scatter", width=self.nproc, mask=lanes)
+        self._account("scatter", 1, events)
         new = np.asarray(coerce(value))
         if new.ndim == 0:
-            new = np.full(self.nproc, new.item())
-        array.data[tuple(index)] = new[lanes]
+            new = np.full(nproc, new.item())
+        array.data[tuple(index)] = new if all_active else new[lanes]
 
     def _call(self, env: dict, stack: list, arg) -> None:
         name, arg_exprs = arg
@@ -567,9 +1029,71 @@ class SIMDVirtualMachine:
             else:
                 resolved.append(value)
         layers = max((self._layers_of(v) for v in resolved if v is not None), default=1)
-        self.counters.record_call(name, layers=layers, mask=self.lanes_active)
+        self.counters.record_call(name, layers=layers, mask=self._lanes)
+        external(self, list(arg_exprs), resolved, env, self._mask)
+
+    # -- external writeback --------------------------------------------------------
+
+    def assign_to(self, target, value, env: dict) -> None:
+        """Masked store into a Var or ArrayRef target (external writeback).
+
+        Mirrors :meth:`SIMDInterpreter.assign_to` so external routines
+        work identically on both lockstep backends.  Subscripts that
+        are plain constants, variables, or sections thereof resolve
+        natively; anything fancier falls back to the shadow
+        interpreter's full expression evaluator.
+        """
+        value = coerce(value)
+        if isinstance(target, ast.Var):
+            self._store(env, target.name, value, None)
+            return
+        if isinstance(target, ast.ArrayRef):
+            subs = []
+            for sub in target.subs:
+                resolved = self._simple_subscript(sub, env)
+                if resolved is None:
+                    self._shadow_assign(target, value, env)
+                    return
+                subs.append(resolved)
+            self._store_resolved(env, target.name, subs, value, None)
+            return
+        self._shadow_assign(target, value, env)
+
+    def _simple_subscript(self, sub, env: dict):
+        """Resolve a Const/Var/section subscript; None if too fancy."""
+        if isinstance(sub, ast.Slice):
+            lo = 1
+            if sub.lo is not None:
+                lo_value = self._simple_value(sub.lo, env)
+                if lo_value is None:
+                    return None
+                lo = self._uniform_int(lo_value, "section lower bound")
+            hi = None
+            if sub.hi is not None:
+                hi_value = self._simple_value(sub.hi, env)
+                if hi_value is None:
+                    return None
+                hi = self._uniform_int(hi_value, "section upper bound")
+            return slice(lo - 1, hi)
+        value = self._simple_value(sub, env)
+        if value is None:
+            return None
+        value = coerce(value)
+        if isinstance(value, np.ndarray) and value.ndim >= 1:
+            return value
+        return self._uniform_int(value, "subscript")
+
+    @staticmethod
+    def _simple_value(expr, env: dict):
+        if isinstance(expr, (ast.IntLit, ast.RealLit, ast.BoolLit)):
+            return expr.value
+        if isinstance(expr, ast.Var):
+            return env.get(expr.name)
+        return None
+
+    def _shadow_assign(self, target, value, env: dict) -> None:
         self._sync_shadow()
-        external(self._shadow, list(arg_exprs), resolved, env, self._mask)
+        self._shadow.assign_to(target, value, env)
 
 
 def run_bytecode(

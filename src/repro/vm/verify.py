@@ -27,6 +27,7 @@ from dataclasses import dataclass
 
 from ..diag.diagnostics import Diagnostic, DiagnosticReport, Severity
 from ..lang.errors import CompileError, UNKNOWN_LOCATION
+from .fuse import FUSIBLE_OPS as _FUSIBLE
 from .isa import CodeObject, Instr, Op, SUB_SPECS
 
 __all__ = [
@@ -94,6 +95,26 @@ def stack_effect(instr: Instr) -> tuple[int, int]:
     if op is Op.CALL:
         _name, arg_exprs = arg
         return len(arg_exprs), 0
+    if op is Op.FUSED:
+        # Compose the components' effects: the run's pops are the
+        # deepest cumulative deficit, so internal underflow surfaces
+        # as a V004 of the superinstruction itself.
+        components = getattr(arg, "instrs", None)
+        if not components:
+            raise ValueError("FUSED with no component instructions")
+        depth = 0
+        lowest = 0
+        for comp in components:
+            if comp.op is Op.FUSED or comp.op not in _FUSIBLE:
+                raise ValueError(
+                    f"FUSED contains non-straight-line op {comp.op.name}"
+                )
+            pops, pushes = stack_effect(comp)
+            depth -= pops
+            if depth < lowest:
+                lowest = depth
+            depth += pushes
+        return -lowest, depth - lowest
     # ELSE_MASK, POP_MASK, JUMP, FOR, FOR_INCR, NOP, HALT
     return 0, 0
 
@@ -110,6 +131,10 @@ def _jump_targets(instr: Instr, index: int, size: int):
     if op is Op.FOR:
         _var, _limit, _stride, exit_index = instr.arg
         return [index + 1, exit_index]
+    if op is Op.FUSED:
+        # The run occupies len(components) slots (NOP padding preserves
+        # instruction indices); control falls through past the padding.
+        return [index + len(instr.arg.instrs)]
     return [index + 1]
 
 
@@ -128,6 +153,16 @@ def _reads(instr: Instr):
     if op is Op.FOR_INCR:
         var, stride = instr.arg
         return (var, stride)
+    if op is Op.FUSED:
+        # A read is external only if no earlier component defined it.
+        reads = []
+        defined: set = set()
+        for comp in instr.arg.instrs:
+            for name in _reads(comp):
+                if name not in defined and name not in reads:
+                    reads.append(name)
+            defined.update(_writes(comp))
+        return tuple(reads)
     return ()
 
 
@@ -141,6 +176,13 @@ def _writes(instr: Instr):
         return (instr.arg[0],)
     if op is Op.FOR_INCR:
         return (instr.arg[0],)
+    if op is Op.FUSED:
+        names: list = []
+        for comp in instr.arg.instrs:
+            for name in _writes(comp):
+                if name not in names:
+                    names.append(name)
+        return tuple(names)
     return ()
 
 
