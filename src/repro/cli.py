@@ -227,43 +227,116 @@ def _write_crash_dump(path: str, error) -> None:
     print(f"crash dump written to {path}", file=sys.stderr)
 
 
+def _print_attempts(result) -> None:
+    """Surface the fallback/retry story of a run on stdout."""
+    attempts = getattr(result, "attempts", []) or []
+    if not attempts:
+        return
+    print(f"attempts       : {len(attempts)}")
+    for index, attempt in enumerate(attempts, 1):
+        if attempt.ok:
+            status = f"ok ({attempt.wall_seconds:.3f}s)"
+        else:
+            status = f"failed [{attempt.fault_kind or 'error'}]"
+        print(f"  {index}. {attempt.backend:<12} {status}")
+        if not attempt.ok and attempt.error:
+            print(f"     {attempt.error}")
+
+
+def _print_supervision(result) -> None:
+    """One-line recovery summary for supervised (pmimd) runs."""
+    events = getattr(result, "events", []) or []
+    if not events:
+        return
+    recoveries = sum(
+        1
+        for e in events
+        if e.get("event") in ("worker-dead", "worker-wedged", "shard-deadline")
+    )
+    retries = sum(1 for e in events if e.get("event") == "retry")
+    speculations = sum(1 for e in events if e.get("event") == "speculate")
+    print(
+        f"supervision    : {len(events)} events, {recoveries} recoveries, "
+        f"{retries} retries, {speculations} speculative replays"
+    )
+
+
 def cmd_run(args) -> int:
     from .lang.errors import InterpreterError
-    from .runtime import default_engine
+    from .runtime import BackendConfig, default_engine
 
     program = default_engine().compile(_load(args.file))
     bindings = dict(args.bind or [])
     budget, policy = _run_guards(args)
+    backend = args.backend or (
+        _ENGINE_BACKENDS[args.engine]
+        if args.nproc and args.nproc > 0
+        else "scalar"
+    )
+    backend = {"interp": "interpreter"}.get(backend, backend)
+    config = None
+    if args.workers is not None:
+        config = BackendConfig(workers=args.workers)
     try:
-        if args.nproc and args.nproc > 0:
-            result = program.run(
-                bindings,
-                nproc=args.nproc,
-                backend=_ENGINE_BACKENDS[args.engine],
-                budget=budget,
-                policy=policy,
-            )
-            suffix = " (bytecode VM)" if result.backend == "vm" else ""
-            print(f"ran on {args.nproc} lockstep PEs{suffix}")
-        else:
+        if backend == "scalar":
             result = program.run(
                 bindings, backend="scalar", budget=budget, policy=policy
             )
             print("ran sequentially")
+        else:
+            result = program.run(
+                bindings,
+                nproc=args.nproc,
+                backend=backend,
+                budget=budget,
+                policy=policy,
+                config=config,
+            )
+            if result.backend in ("mimd", "pmimd"):
+                flavor = (
+                    "worker processes"
+                    if result.backend == "pmimd"
+                    else "simulated processors"
+                )
+                print(
+                    f"ran on {args.nproc} SPMD processors "
+                    f"({result.backend}: {flavor})"
+                )
+            else:
+                suffix = " (bytecode VM)" if result.backend == "vm" else ""
+                print(f"ran on {args.nproc} lockstep PEs{suffix}")
     except InterpreterError as exc:
         if args.crash_dump:
             _write_crash_dump(args.crash_dump, exc)
+        for attempt in getattr(exc, "attempts", []) or []:
+            status = (
+                "ok"
+                if attempt.ok
+                else f"failed [{attempt.fault_kind or 'error'}]"
+            )
+            print(f"attempt[{attempt.backend}]: {status}", file=sys.stderr)
         raise
-    for attempt in getattr(result, "attempts", []) or []:
-        status = "ok" if attempt.ok else f"failed ({attempt.error})"
-        print(f"attempt[{attempt.backend}]: {status}", file=sys.stderr)
+    _print_attempts(result)
+    _print_supervision(result)
     env, counters = result
-    summary = counters.summary()
-    print(f"lockstep steps : {summary['total_steps']}")
-    print(f"vector instrs  : {summary['vector_instructions']}")
-    if summary["calls"]:
-        print(f"external calls : {summary['calls']}")
-    print(f"mean utilization: {summary['mean_utilization']:.1%}")
+    if isinstance(counters, list):
+        # Per-processor accumulators (mimd/pmimd): Eq. 1 aggregates.
+        print(f"processors     : {len(counters)}")
+        print(f"parallel steps : {result.time_steps()} (max over processors)")
+        total_calls = {}
+        for c in counters:
+            for name, count in c.calls.items():
+                total_calls[name] = total_calls.get(name, 0) + count
+        if total_calls:
+            print(f"external calls : {total_calls}")
+        env = env[0] if env else {}
+    else:
+        summary = counters.summary()
+        print(f"lockstep steps : {summary['total_steps']}")
+        print(f"vector instrs  : {summary['vector_instructions']}")
+        if summary["calls"]:
+            print(f"external calls : {summary['calls']}")
+        print(f"mean utilization: {summary['mean_utilization']:.1%}")
     if args.show:
         from .exec.values import FArray
 
@@ -306,6 +379,8 @@ def cmd_fuzz(args) -> int:
         shrink=args.shrink,
         max_failures=args.max_failures,
         start=args.start,
+        pmimd=args.pmimd,
+        pmimd_chaos=args.pmimd_chaos,
     )
     print(report.summary())
     for path in report.saved_paths:
@@ -486,6 +561,16 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["interp", "vm", "auto"],
                    help="SIMD execution engine: tree-walking interpreter, "
                         "the bytecode VM, or autoselection")
+    p.add_argument("--backend", default=None,
+                   choices=["auto", "vm", "interp", "interpreter",
+                            "scalar", "mimd", "pmimd"],
+                   help="execution backend (overrides --engine): lockstep "
+                        "SIMD engines, sequential scalar, the in-process "
+                        "MIMD simulator, or the process-parallel pmimd "
+                        "pool with worker supervision")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="worker process count for --backend pmimd "
+                        "(default: min(nproc, cpu count))")
     p.add_argument("--max-steps", type=int, default=None,
                    help="abort with a budget fault after this many "
                         "executed instructions/statements")
@@ -518,6 +603,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop the campaign after this many failing programs")
     p.add_argument("--start", type=int, default=0,
                    help="first program index (for sharding campaigns)")
+    p.add_argument("--pmimd", action="store_true",
+                   help="also run the process-parallel pmimd leg on "
+                        "every program (forks worker processes)")
+    p.add_argument("--pmimd-chaos", action="store_true",
+                   help="run the pmimd leg under seeded worker "
+                        "kill/hang/slow injection with a pmimd->mimd "
+                        "fallback chain")
     p.add_argument("--replay", action="store_true",
                    help="re-run the stored corpus instead of generating "
                         "new programs")

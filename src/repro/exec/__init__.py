@@ -1,14 +1,25 @@
-"""Execution engines: sequential (F77), MIMD, and lockstep SIMD.
+"""Execution engines: sequential (F77), MIMD, lockstep SIMD, and SPMD.
 
-The three interpreters implement the three execution levels of the
-paper's Section 2 language family and share one value model, one
-intrinsic registry, and one event-accounting scheme.
+The interpreters implement the execution levels of the paper's
+Section 2 language family and share one value model, one intrinsic
+registry, and one event-accounting scheme.  The MIMD level exists
+twice: :class:`MIMDSimulator` models Eq. 1 in-process, while
+:class:`PMIMDExecutor` runs the same per-processor programs across a
+supervised pool of real worker processes.
 """
 
 from .counters import EVENT_KINDS, ExecutionCounters
 from .intrinsics import call_intrinsic
 from .mimd import MIMDResult, MIMDSimulator, run_mimd_program
+from .pmimd import (
+    PMIMDExecutor,
+    PMIMDResult,
+    Shard,
+    plan_shards,
+    replicate_bindings,
+)
 from .scalar import ScalarInterpreter, run_program
+from .shm import SharedArraySpec, ShmArena
 from .simd import SIMDInterpreter, run_simd_program
 from .values import FArray
 
@@ -24,4 +35,11 @@ __all__ = [
     "MIMDSimulator",
     "MIMDResult",
     "run_mimd_program",
+    "PMIMDExecutor",
+    "PMIMDResult",
+    "Shard",
+    "SharedArraySpec",
+    "ShmArena",
+    "plan_shards",
+    "replicate_bindings",
 ]

@@ -1,0 +1,483 @@
+"""Process-parallel SPMD backend: Eq. 1 on real worker processes.
+
+The MIMD simulator (:mod:`repro.exec.mimd`) *models* the paper's
+``max_p Σ_i L_i^p`` by running P sequential interpreters in one
+process.  This backend makes the wall clock real: the P processors
+are partitioned into block or cyclic *shards*, and the shards run on
+a pool of forked worker processes driven by a
+:class:`~repro.reliability.supervisor.WorkerSupervisor` — heartbeats,
+per-shard deadlines, straggler speculation, crash recovery with
+bounded retries, and degradation through the Engine's
+:class:`~repro.reliability.policy.FallbackPolicy` when the pool is
+unrecoverable.
+
+Plumbing choices, all in service of a 1-copy data path:
+
+* Workers are **forked**, so the parsed program, the externals
+  registry and any ``bindings_for`` callable are inherited by the
+  child — nothing program-shaped is ever pickled.  Platforms without
+  fork raise a *retryable* BackendFault, so a fallback chain degrades
+  to the in-process ``mimd`` leg instead of crashing.
+* Large array bindings travel through a POSIX shared-memory
+  :class:`~repro.exec.shm.ShmArena`; each worker attaches the
+  segments read-only-by-convention (the scalar interpreter's DECL
+  copies plain-ndarray bindings into private storage before the
+  program can write).
+* Per-processor results stream back over a pipe as they finish, so a
+  dead worker loses only the processors it had not yet reported.
+* Each worker runs its shard's processors through the ordinary
+  :class:`~repro.exec.scalar.ScalarInterpreter` with the per-worker
+  :class:`~repro.reliability.Budget`; failures are serialized as
+  :func:`~repro.reliability.errors.crash_dump_for` dicts and
+  reconstructed into the taxonomy on the parent side.
+
+Chaos injection rides the same :class:`~repro.reliability.FaultPlan`
+machinery as the simulated backends: ``worker_kill`` shards
+``os._exit`` mid-task, ``worker_hang`` shards go heartbeat-silent,
+``worker_slow`` shards straggle — always on the first attempt only,
+so the supervisor's recovery provably converges.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..lang import ast
+from ..lang.errors import MiniFError
+from ..reliability import Budget, crash_dump_for
+from ..reliability.errors import BackendFault
+from ..reliability.supervisor import SupervisionPolicy, WorkerSupervisor
+from .counters import ExecutionCounters
+from .mimd import MIMDResult
+from .scalar import ScalarInterpreter
+from .shm import ShmArena, attach
+from .values import FArray
+
+#: Worker heartbeat cadence in interpreted statements.
+HEARTBEAT_STATEMENTS = 64
+
+
+@dataclass(frozen=True)
+class Shard:
+    """A contiguous or strided slice of the processor space.
+
+    Attributes:
+        index: 0-based shard index (the unit of scheduling/recovery).
+        procs: The 1-based processor ids this shard executes.
+    """
+
+    index: int
+    procs: tuple[int, ...]
+
+
+def plan_shards(nproc: int, nshards: int, layout: str = "block") -> list[Shard]:
+    """Partition processors ``1..nproc`` into shards.
+
+    ``"block"`` gives contiguous runs (shard 0 gets the lowest ids),
+    ``"cyclic"`` deals processors round-robin — the same two
+    distributions the SPMD transform supports, so a shard's processors
+    match the data layout the program text was generated for.
+    """
+    nshards = max(1, min(nshards, nproc))
+    procs = list(range(1, nproc + 1))
+    if layout == "cyclic":
+        groups = [tuple(procs[s::nshards]) for s in range(nshards)]
+    elif layout == "block":
+        base, extra = divmod(nproc, nshards)
+        groups = []
+        start = 0
+        for s in range(nshards):
+            size = base + (1 if s < extra else 0)
+            groups.append(tuple(procs[start : start + size]))
+            start += size
+    else:
+        raise ValueError(f"unknown shard layout {layout!r}")
+    return [
+        Shard(index, group) for index, group in enumerate(groups) if group
+    ]
+
+
+def replicate_bindings(bindings: dict) -> dict:
+    """A per-processor private copy of a bindings dict.
+
+    Arrays are deep-copied (an ``FArray`` stays an ``FArray``) so no
+    two processors ever alias mutable storage; scalars pass through.
+    """
+    copied: dict = {}
+    for name, value in bindings.items():
+        if isinstance(value, FArray):
+            copied[name] = FArray.wrap(value.name, value.data.copy())
+        elif isinstance(value, np.ndarray):
+            copied[name] = value.copy()
+        else:
+            copied[name] = value
+    return copied
+
+
+@dataclass
+class PMIMDResult(MIMDResult):
+    """A :class:`MIMDResult` plus the supervision story of the run.
+
+    Attributes:
+        events: The supervisor's ordered recovery/decision log.
+        recoveries: Dead/wedged/deadline recoveries performed.
+        speculations: Straggler duplicates dispatched.
+        workers: Worker-pool size used.
+    """
+
+    events: list = field(default_factory=list)
+    recoveries: int = 0
+    speculations: int = 0
+    workers: int = 0
+
+
+def _heartbeat_hook(slots):
+    """A statement hook that publishes liveness into shared slots."""
+    counter = [0]
+
+    def hook(stmt, env):
+        counter[0] += 1
+        if counter[0] % HEARTBEAT_STATEMENTS == 0:
+            slots[0] = time.monotonic()
+            slots[1] = float(counter[0])
+
+    return hook
+
+
+def _inject_slow(slots, seconds: float) -> None:
+    """Straggle: sleep in slices, keeping heartbeats flowing."""
+    deadline = time.monotonic() + seconds
+    while True:
+        now = time.monotonic()
+        if now >= deadline:
+            return
+        slots[0] = now
+        time.sleep(min(0.01, deadline - now))
+
+
+def _worker_loop(
+    conn,
+    slots,
+    source: ast.SourceFile,
+    nproc: int,
+    externals: dict,
+    budget,
+    fault_plan,
+    bindings,
+    bindings_for,
+    routine_name,
+    shm_specs,
+):
+    """One worker process: attach inputs, then serve shard tasks forever.
+
+    Everything heavy (``source``, ``externals``, ``bindings_for``)
+    arrived through fork, not through these arguments' pickles.
+    """
+    segments = []
+    base_bindings = dict(bindings or {})
+    try:
+        for spec in shm_specs:
+            array, segment = attach(spec)
+            segments.append(segment)
+            base_bindings[spec.name] = array
+        while True:
+            try:
+                task = conn.recv()
+            except (EOFError, OSError):
+                return
+            if task.get("cmd") == "stop":
+                return
+            shard = task["shard"]
+            attempt = task.get("attempt", 0)
+            slots[0] = time.monotonic()
+            slots[2] = float(shard)
+            if fault_plan is not None:
+                kind = fault_plan.worker_fault(shard, attempt)
+                if kind == "kill":
+                    os._exit(137)
+                elif kind == "hang":
+                    time.sleep(fault_plan.hang_seconds)
+                elif kind == "slow":
+                    _inject_slow(slots, fault_plan.slow_seconds)
+            # Injected interpreter-level faults (op_faults & co) fire
+            # only on the first attempt: the plan's transient state
+            # lives per process, so replays must not re-trip it.
+            plan_for_run = fault_plan if attempt == 0 else None
+            try:
+                for proc in task["procs"]:
+                    if bindings_for is not None:
+                        proc_bindings = dict(bindings_for(proc))
+                    else:
+                        proc_bindings = replicate_bindings(base_bindings)
+                    proc_bindings.setdefault("myproc", proc)
+                    proc_bindings.setdefault("nproc", nproc)
+                    interp = ScalarInterpreter(
+                        source,
+                        externals,
+                        statement_hook=_heartbeat_hook(slots),
+                        budget=budget,
+                        fault_plan=plan_for_run,
+                    )
+                    env = interp.run(
+                        routine_name=routine_name, bindings=proc_bindings
+                    )
+                    conn.send(
+                        {
+                            "type": "proc",
+                            "shard": shard,
+                            "attempt": attempt,
+                            "proc": proc,
+                            "payload": {
+                                "env": env,
+                                "counters": interp.counters,
+                                "statements": interp.executed_statements,
+                            },
+                        }
+                    )
+                conn.send({"type": "done", "shard": shard, "attempt": attempt})
+            except MiniFError as error:
+                conn.send(
+                    {
+                        "type": "fail",
+                        "shard": shard,
+                        "attempt": attempt,
+                        "dump": crash_dump_for(error),
+                    }
+                )
+            except Exception as error:  # infra failure — classify retryable
+                conn.send(
+                    {
+                        "type": "fail",
+                        "shard": shard,
+                        "attempt": attempt,
+                        "dump": {
+                            "error": "BackendFault",
+                            "message": (
+                                f"worker crashed outside the interpreter: "
+                                f"{type(error).__name__}: {error}"
+                            ),
+                            "retryable": True,
+                        },
+                    }
+                )
+    finally:
+        for segment in segments:
+            try:
+                segment.close()
+            except Exception:
+                pass
+        try:
+            conn.close()
+        except Exception:
+            pass
+
+
+class ProcessWorkerHandle:
+    """Supervisor-facing handle over one forked worker process.
+
+    Owns the task/result pipe and the shared heartbeat slots
+    ``[last beat (monotonic), statements, current shard]``.
+    """
+
+    def __init__(self, worker_id: int, ctx, worker_args: tuple):
+        self.worker_id = worker_id
+        self._slots = ctx.Array("d", 3, lock=False)
+        self._slots[0] = time.monotonic()
+        parent_conn, child_conn = ctx.Pipe()
+        self._conn = parent_conn
+        self.process = ctx.Process(
+            target=_worker_loop,
+            args=(child_conn, self._slots) + worker_args,
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    def send(self, task: dict) -> None:
+        self._conn.send(task)
+
+    def poll(self) -> bool:
+        return self._conn.poll()
+
+    def recv(self) -> dict:
+        return self._conn.recv()
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+    def heartbeat(self) -> tuple[float, float]:
+        return float(self._slots[0]), float(self._slots[1])
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.kill()
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except Exception:
+            pass
+        self.process.join(timeout=0.5)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=0.5)
+        # Release the process object's pipe/sentinel descriptors.
+        try:
+            self.process.close()
+        except Exception:
+            pass
+
+
+def default_workers(nproc: int) -> int:
+    """Pool size heuristic: per-core, floored at 2 for overlap."""
+    return max(1, min(nproc, max(2, os.cpu_count() or 1)))
+
+
+class PMIMDExecutor:
+    """Runs the program's processors across a supervised process pool.
+
+    Args:
+        source: Parsed program (SPMD text, same for every processor).
+        nproc: Number of (logical) processors.
+        externals: External subroutine registry (inherited via fork).
+        budget: Per-worker execution guard.
+        fault_plan: Chaos injection plan; ``worker_*`` fields drive
+            pool-level faults, interpreter-level faults fire on first
+            attempts only.
+        workers: Worker-process pool size
+            (default: :func:`default_workers`).
+        shards: Shard count (default ``min(nproc, 2 × workers)`` so
+            the supervisor has spare shards to load-balance with).
+        shard_layout: ``"block"`` or ``"cyclic"``.
+        supervision: The :class:`SupervisionPolicy` in force.
+    """
+
+    def __init__(
+        self,
+        source: ast.SourceFile,
+        nproc: int,
+        externals: dict | None = None,
+        budget: Budget | None = None,
+        fault_plan=None,
+        *,
+        workers: int | None = None,
+        shards: int | None = None,
+        shard_layout: str = "block",
+        supervision: SupervisionPolicy | None = None,
+    ):
+        if nproc < 1:
+            raise ValueError(f"pmimd needs nproc >= 1, got {nproc}")
+        self.source = source
+        self.nproc = nproc
+        self.externals = externals or {}
+        self.budget = budget
+        self.fault_plan = fault_plan
+        self.workers = workers if workers else default_workers(nproc)
+        self.shards = (
+            shards if shards else max(1, min(nproc, 2 * self.workers))
+        )
+        self.shard_layout = shard_layout
+        self.supervision = (
+            supervision if supervision is not None else SupervisionPolicy()
+        )
+
+    @classmethod
+    def from_config(cls, source: ast.SourceFile, config) -> "PMIMDExecutor":
+        """Construct from a :class:`~repro.runtime.BackendConfig`."""
+        return cls(
+            source,
+            config.nproc,
+            externals=config.externals,
+            budget=config.budget,
+            fault_plan=config.fault_plan,
+            workers=config.workers,
+            shards=config.shards,
+            shard_layout=config.shard_layout,
+            supervision=config.supervision,
+        )
+
+    def run(
+        self,
+        bindings: dict | None = None,
+        bindings_for=None,
+        routine_name: str | None = None,
+    ) -> PMIMDResult:
+        """Execute every processor; return a :class:`PMIMDResult`.
+
+        Args:
+            bindings: Initial environment shared by all processors
+                (large arrays ride shared memory; each processor still
+                gets private storage).
+            bindings_for: Callable ``p -> dict`` giving processor ``p``
+                its environment — wins over ``bindings`` and is called
+                *inside* the worker (inherited via fork).
+            routine_name: Routine to run (main program by default).
+        """
+        if self.fault_plan is not None:
+            self.fault_plan.check_backend("pmimd")
+        if "fork" not in multiprocessing.get_all_start_methods():
+            # Degradable, not fatal: a FallbackPolicy chain lands on
+            # the in-process mimd leg.
+            raise BackendFault(
+                "pmimd needs the fork start method (unavailable on this "
+                "platform)",
+                retryable=True,
+            )
+        ctx = multiprocessing.get_context("fork")
+        shards = plan_shards(self.nproc, self.shards, self.shard_layout)
+        nworkers = max(1, min(self.workers, len(shards)))
+        arena = ShmArena()
+        try:
+            if bindings_for is None and bindings:
+                light, specs = arena.share_bindings(bindings)
+            else:
+                light, specs = (bindings or {}), []
+            worker_args = (
+                self.source,
+                self.nproc,
+                self.externals,
+                self.budget,
+                self.fault_plan,
+                light,
+                bindings_for,
+                routine_name,
+                tuple(specs),
+            )
+            supervisor = WorkerSupervisor(
+                lambda worker_id: ProcessWorkerHandle(
+                    worker_id, ctx, worker_args
+                ),
+                nworkers,
+                self.supervision,
+                backend="pmimd",
+            )
+            outcome = supervisor.run(shards)
+        finally:
+            arena.close()
+        envs: list[dict] = []
+        counters: list[ExecutionCounters] = []
+        statements: list[int] = []
+        for proc in range(1, self.nproc + 1):
+            payload = outcome.results.get(proc)
+            if payload is None:  # supervisor contract: all-or-raise
+                raise BackendFault(
+                    f"pmimd: processor {proc} produced no result",
+                    retryable=True,
+                )
+            envs.append(payload["env"])
+            counters.append(payload["counters"])
+            statements.append(payload["statements"])
+        return PMIMDResult(
+            envs,
+            counters,
+            statements,
+            events=outcome.events,
+            recoveries=outcome.recoveries,
+            speculations=outcome.speculations,
+            workers=nworkers,
+        )

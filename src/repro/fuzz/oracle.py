@@ -72,7 +72,9 @@ from ..lang.errors import MiniFError, TransformError
 from ..lang.parser import parse_source
 from ..reliability import crash_dump_for
 from ..reliability.errors import BackendFault, DivergenceFault, OutOfBoundsFault
-from ..reliability.policy import check_agreement
+from ..reliability.faults import FaultPlan
+from ..reliability.policy import FallbackPolicy, check_agreement
+from ..reliability.supervisor import SupervisionPolicy
 from ..runtime.config import BackendConfig
 from ..runtime.engine import Engine
 from ..vm.fuse import fuse_code
@@ -183,13 +185,46 @@ class DifferentialOracle:
         engine: Compile cache to use (fresh when omitted — the fuzz
             session must never share a cache with a mutated transform
             under mutation testing).
+        pmimd: Also run the process-parallel pmimd backend on every
+            program and demand env + counter agreement with the
+            in-process MIMD simulator (opt-in: forks worker processes
+            per program).
+        pmimd_chaos: Additionally run a pmimd leg under a seeded
+            :class:`FaultPlan` injecting worker kill/hang/slow faults
+            at ``chaos_rate``, with a pmimd->mimd fallback chain; the
+            supervised (or degraded) run must still match the
+            reference, and every failed attempt must carry a
+            taxonomy classification.  Implies nothing about ``pmimd``
+            — enable both for the full matrix.
+        chaos_rate: Per-shard worker fault probability for the chaos
+            leg.
     """
 
-    def __init__(self, nproc: int = 4, engine: Engine | None = None):
+    #: Supervision tuned for fuzzing: fast wedge detection and small
+    #: backoffs so an injected hang costs well under a second.
+    FUZZ_SUPERVISION = SupervisionPolicy(
+        wedge_timeout=0.75,
+        backoff_base_seconds=0.01,
+        backoff_max_seconds=0.05,
+        straggler_floor_seconds=0.2,
+    )
+
+    def __init__(
+        self,
+        nproc: int = 4,
+        engine: Engine | None = None,
+        *,
+        pmimd: bool = False,
+        pmimd_chaos: bool = False,
+        chaos_rate: float = 0.1,
+    ):
         if nproc < 2:
             raise ValueError(f"the oracle needs nproc >= 2, got {nproc}")
         self.nproc = nproc
         self.engine = engine if engine is not None else Engine(cache_size=512)
+        self.pmimd = pmimd
+        self.pmimd_chaos = pmimd_chaos
+        self.chaos_rate = chaos_rate
         # Code objects already verified this session — the engine caches
         # compiles, so the same object comes back on many legs.
         self._verified: set[int] = set()
@@ -220,6 +255,8 @@ class DifferentialOracle:
 
         report = self._consult_applicability(prog, verdict)
         self._untransformed_legs(prog, ref_env, verdict)
+        if self.pmimd or self.pmimd_chaos:
+            self._pmimd_legs(prog, ref_env, verdict)
         self._fused_legs(prog, verdict)
         self._flatten_legs(prog, ref_env, verdict)
         self._coalesce_leg(prog, ref_env, verdict)
@@ -556,6 +593,109 @@ class DifferentialOracle:
         self._run_and_compare(
             prog, ref_env, verdict, "none/mimd", {}, mode="mimd"
         )
+
+    def _pmimd_legs(self, prog, ref_env, verdict) -> None:
+        """Process-parallel legs: pmimd must be indistinguishable from mimd.
+
+        The in-process MIMD simulator is the trusted twin: both levels
+        run the *same* per-processor scalar programs, so their final
+        environments and per-processor statement counters must agree
+        exactly (:func:`check_agreement`), and both must match the
+        sequential reference.  The chaos leg re-runs pmimd under a
+        seeded worker-fault plan with a pmimd->mimd fallback chain —
+        recovery (or degradation) must be observationally invisible,
+        and every failed attempt must be classified in the
+        reliability taxonomy.
+        """
+        try:
+            program = self.engine.compile(prog.source)
+            program.tree
+        except Exception:
+            return  # the untransformed legs already reported this
+        bindings_for = lambda p: _copy_bindings(prog.bindings)
+        try:
+            mimd = program.run(
+                nproc=self.nproc, backend="mimd", bindings_for=bindings_for
+            )
+        except Exception:
+            return  # ditto: none/mimd owns faults of the simulator
+        legs = []
+        if self.pmimd:
+            legs.append(("none/pmimd", None, None))
+        if self.pmimd_chaos:
+            plan = FaultPlan(
+                seed=(prog.seed << 20) ^ prog.index,
+                worker_fault_rate=self.chaos_rate,
+                slow_seconds=0.01,
+                hang_seconds=2.0,
+                backends=("pmimd",),
+            )
+            policy = FallbackPolicy(chain=("pmimd", "mimd"), retries=1)
+            legs.append(("none/pmimd-chaos", plan, policy))
+        for label, plan, policy in legs:
+            config = BackendConfig(workers=2, supervision=self.FUZZ_SUPERVISION)
+            try:
+                result = program.run(
+                    nproc=self.nproc,
+                    backend="pmimd",
+                    bindings_for=bindings_for,
+                    config=config,
+                    fault_plan=plan,
+                    policy=policy,
+                )
+            except MiniFError as error:
+                verdict.divergences.append(
+                    Divergence(
+                        "fault",
+                        label,
+                        f"{type(error).__name__}: {error}",
+                        crash_dump=_dump(error),
+                    )
+                )
+                verdict.legs.append(LegOutcome(label, "ok", "faulted"))
+                continue
+            for attempt in result.attempts:
+                if not attempt.ok and not attempt.fault_kind:
+                    verdict.divergences.append(
+                        Divergence(
+                            "fault",
+                            label,
+                            f"unclassified failure on backend "
+                            f"'{attempt.backend}': {attempt.error}",
+                        )
+                    )
+            mismatch = None
+            for proc, env in enumerate(result.env):
+                mismatch = self._compare(prog, ref_env, env, False)
+                if mismatch is not None:
+                    mismatch = f"proc {proc + 1}: {mismatch}"
+                    break
+            if mismatch is not None:
+                verdict.divergences.append(
+                    Divergence("env-divergence", label, mismatch)
+                )
+                verdict.legs.append(LegOutcome(label, "ok", "diverged"))
+                continue
+            try:
+                check_agreement(
+                    mimd.env,
+                    mimd.counters,
+                    result.env,
+                    result.counters,
+                    backends=("mimd", result.backend),
+                )
+            except BackendFault as error:
+                verdict.divergences.append(
+                    Divergence(
+                        "backend-disagreement",
+                        label,
+                        str(error),
+                        crash_dump=crash_dump_for(error),
+                    )
+                )
+                verdict.legs.append(LegOutcome(label, "ok", "diverged"))
+                continue
+            verdict.legs.append(LegOutcome(label, "ok"))
 
     def _fused_legs(self, prog, verdict) -> None:
         """Superinstruction legs: fusion must be observationally invisible.

@@ -66,6 +66,8 @@ def run_fuzz(
     start: int = 0,
     config: GenConfig | None = None,
     progress=None,
+    pmimd: bool = False,
+    pmimd_chaos: bool = False,
 ) -> FuzzReport:
     """Run one campaign.
 
@@ -79,13 +81,19 @@ def run_fuzz(
         start: First program index (for sharding long campaigns).
         config: Generator knobs override.
         progress: Optional callable ``(index, verdict) -> None``.
+        pmimd: Run the process-parallel pmimd leg on every program
+            (forks worker processes — slower, opt-in).
+        pmimd_chaos: Run the pmimd leg under seeded worker-fault
+            injection with a pmimd->mimd fallback chain.
 
     Returns:
         A :class:`FuzzReport`; ``report.ok`` is the pass/fail verdict.
     """
     began = time.monotonic()
     generator = ProgramGenerator(seed, config)
-    oracle = DifferentialOracle(nproc=nproc)
+    oracle = DifferentialOracle(
+        nproc=nproc, pmimd=pmimd, pmimd_chaos=pmimd_chaos
+    )
     report = FuzzReport(seed=seed, iterations=iterations, nproc=nproc)
     for program in generator.programs(iterations, start=start):
         verdict = oracle.check(program)

@@ -13,8 +13,12 @@ The cross-cutting robustness layer of the runtime:
   per-attempt records (:class:`Attempt`) and optional cross-backend
   agreement checking;
 * :class:`FaultPlan` — seeded, deterministic fault injection (PE
-  dropout, transient op faults, forced backend failure) for chaos
-  tests.
+  dropout, transient op faults, forced backend failure, worker
+  kill/hang/slow) for chaos tests;
+* :class:`WorkerSupervisor` / :class:`SupervisionPolicy` — the
+  process-pool failure model behind the pmimd backend (heartbeats,
+  straggler speculation, bounded retries with backoff, cross-process
+  crash-dump reconstruction via :func:`error_from_dump`).
 """
 
 from .budget import DEFAULT_MAX_STEPS, Budget, BudgetMeter
@@ -31,6 +35,13 @@ from .errors import (
 from .faults import FaultPlan
 from .policy import Attempt, FallbackPolicy, check_agreement
 from .snapshot import MachineSnapshot, TRACE_DEPTH, render_mask, snapshot_env
+from .supervisor import (
+    SupervisionOutcome,
+    SupervisionPolicy,
+    WorkerSupervisor,
+    error_from_dump,
+    snapshot_from_dump,
+)
 
 __all__ = [
     "Attempt",
@@ -45,11 +56,16 @@ __all__ = [
     "MachineSnapshot",
     "OutOfBoundsFault",
     "ReliabilityError",
+    "SupervisionOutcome",
+    "SupervisionPolicy",
     "TRACE_DEPTH",
+    "WorkerSupervisor",
     "attach_snapshot",
     "check_agreement",
     "crash_dump_for",
+    "error_from_dump",
     "locate",
     "render_mask",
     "snapshot_env",
+    "snapshot_from_dump",
 ]

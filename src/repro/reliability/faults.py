@@ -14,6 +14,17 @@ Injected faults surface as
 plan instance, so a retry — on the same backend or the next one in
 the chain — succeeds; a plan is therefore *stateful* and should be
 built fresh per experiment.
+
+The process-parallel backend (:mod:`repro.exec.pmimd`) adds a *pool
+level* of injection: whole workers can be killed mid-shard
+(``worker_kill``), wedged so their heartbeat goes silent
+(``worker_hang``), or artificially delayed so the straggler detector
+has something to catch (``worker_slow``) — either by explicit shard
+index or at a seeded ``worker_fault_rate``.  Worker faults are
+deterministic in ``(seed, shard)`` and fire only on a shard's *first*
+attempt, so the supervisor's replay of the shard on a healthy worker
+always succeeds; state never has to be shared across processes for
+the transient semantics to hold.
 """
 
 from __future__ import annotations
@@ -41,6 +52,21 @@ class FaultPlan:
             (empty = apply on every backend).
         transient: Each op fault fires once per plan instance; a
             retry proceeds past it.
+        worker_kill: Shard indices whose first execution attempt dies
+            abruptly (the worker process ``_exit``\\ s mid-shard).
+        worker_hang: Shard indices whose first attempt wedges: the
+            worker stops heartbeating for :attr:`hang_seconds` before
+            proceeding — the supervisor should kill it well before.
+        worker_slow: Shard indices whose first attempt is delayed by
+            :attr:`slow_seconds` (heartbeats keep flowing — the shard
+            is a *straggler*, not a corpse).
+        worker_fault_rate: Additionally fault each shard's first
+            attempt with this probability, drawing the kind from
+            :attr:`worker_fault_kinds` (deterministic in
+            ``(seed, shard)``).
+        worker_fault_kinds: Kinds the random component draws from.
+        slow_seconds: Delay injected for a ``slow`` worker fault.
+        hang_seconds: Heartbeat silence injected for a ``hang`` fault.
     """
 
     seed: int = 0
@@ -50,6 +76,13 @@ class FaultPlan:
     fail_backends: tuple[str, ...] = ()
     backends: tuple[str, ...] = ()
     transient: bool = True
+    worker_kill: tuple[int, ...] = ()
+    worker_hang: tuple[int, ...] = ()
+    worker_slow: tuple[int, ...] = ()
+    worker_fault_rate: float = 0.0
+    worker_fault_kinds: tuple[str, ...] = ("kill", "hang", "slow")
+    slow_seconds: float = 0.25
+    hang_seconds: float = 60.0
     _fired: set = field(default_factory=set, repr=False, compare=False)
 
     def targets(self, backend: str) -> bool:
@@ -90,3 +123,30 @@ class FaultPlan:
             raise BackendFault(
                 f"injected transient fault at step {step} on '{backend}'"
             )
+
+    def worker_fault(
+        self, shard: int, attempt: int, backend: str = "pmimd"
+    ) -> str | None:
+        """Pool-level fault for one shard attempt (or None).
+
+        Returns ``"kill"``, ``"hang"`` or ``"slow"``.  Worker faults
+        are always transient: only a shard's first attempt
+        (``attempt == 0``) can fault, so a supervisor replay succeeds
+        without any cross-process plan state.  Deterministic in
+        ``(seed, shard)`` — the same plan injects the same failures
+        into every run of the same shard schedule.
+        """
+        if attempt != 0 or not self.targets(backend):
+            return None
+        if shard in self.worker_kill:
+            return "kill"
+        if shard in self.worker_hang:
+            return "hang"
+        if shard in self.worker_slow:
+            return "slow"
+        if self.worker_fault_rate > 0.0 and self.worker_fault_kinds:
+            rng = np.random.default_rng((self.seed, 0x7A17, shard))
+            if rng.random() < self.worker_fault_rate:
+                kinds = self.worker_fault_kinds
+                return kinds[int(rng.integers(len(kinds)))]
+        return None

@@ -34,6 +34,8 @@ class Attempt:
         wall_seconds: Attempt wall time.
         steps: Steps executed (instructions/statements), if known.
         error: ``"ClassName: message"`` for a failed attempt.
+        fault_kind: Taxonomy class name of the failure
+            (``"BackendFault"``...), None for successful attempts.
         crash_dump: Postmortem dict for a failed attempt
             (see :func:`~repro.reliability.errors.crash_dump_for`).
     """
@@ -43,6 +45,7 @@ class Attempt:
     wall_seconds: float = 0.0
     steps: object = None
     error: str | None = None
+    fault_kind: str | None = None
     crash_dump: dict | None = None
 
     def to_dict(self) -> dict:
@@ -52,6 +55,7 @@ class Attempt:
             "wall_seconds": self.wall_seconds,
             "steps": self.steps,
             "error": self.error,
+            "fault_kind": self.fault_kind,
             "crash_dump": self.crash_dump,
         }
 

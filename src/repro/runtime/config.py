@@ -34,6 +34,15 @@ class BackendConfig:
             (``max_statements`` on the tree-walkers); None keeps each
             backend's default.
         vm_fuse: Enable superinstruction fusion (VM only).
+        workers: Worker-process pool size (pmimd only; None picks a
+            per-core default).
+        shards: Shard count for the processor partition (pmimd only;
+            None picks ``min(nproc, 2 × workers)``).
+        shard_layout: ``"block"`` or ``"cyclic"`` processor-to-shard
+            distribution (pmimd only).
+        supervision: A
+            :class:`~repro.reliability.supervisor.SupervisionPolicy`
+            for the worker pool (pmimd only; None uses the defaults).
     """
 
     nproc: int = 0
@@ -43,6 +52,10 @@ class BackendConfig:
     fault_plan: object | None = None
     max_instructions: int | None = None
     vm_fuse: bool = True
+    workers: int | None = None
+    shards: int | None = None
+    shard_layout: str = "block"
+    supervision: object | None = None
 
     def with_nproc(self, nproc: int) -> "BackendConfig":
         """This config with a different machine width."""

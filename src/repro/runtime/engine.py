@@ -226,8 +226,14 @@ class CompiledProgram:
     ) -> str:
         name = backend.strip().lower()
         name = self._BACKEND_ALIASES.get(name, name)
-        if name not in ("auto", "vm", "interpreter", "scalar", "mimd"):
+        if name not in ("auto", "vm", "interpreter", "scalar", "mimd", "pmimd"):
             raise InterpreterError(f"unknown backend {backend!r}")
+        if name == "pmimd":
+            if nproc < 1:
+                raise InterpreterError(
+                    f"backend='pmimd' needs nproc >= 1 (got {nproc})"
+                )
+            return name
         if name == "mimd":
             return name
         if not nproc:
@@ -277,14 +283,19 @@ class CompiledProgram:
             bindings: Initial environment (copied, never mutated).
             nproc: PE count; 0 runs the sequential execution level.
             backend: ``"auto"``, ``"vm"``, ``"interpreter"``,
-                ``"scalar"`` or ``"mimd"``.  Ignored when ``policy``
+                ``"scalar"``, ``"mimd"`` or ``"pmimd"`` (the
+                process-parallel SPMD pool).  Ignored when ``policy``
                 supplies its own chain.
             externals: External subroutine registry.
             statement_hook: Trace hook (tree-walking backends only).
             routine_name: Run a routine other than the main program
                 (tree-walking backends only).
-            bindings_for: MIMD backend — callable ``p -> dict``.
-            statement_hook_for: MIMD backend — callable ``p -> hook``.
+            bindings_for: MIMD/PMIMD backends — callable ``p -> dict``
+                (runs inside the worker process on pmimd).  Plain
+                ``bindings`` also work on both: every processor gets a
+                private deep copy.
+            statement_hook_for: MIMD backend — callable ``p -> hook``
+                (not supported across pmimd's process boundary).
             budget: Execution guard (:class:`~repro.reliability.Budget`)
                 applied to the run; runaway programs raise
                 :class:`~repro.reliability.BudgetExceeded`.
@@ -321,7 +332,7 @@ class CompiledProgram:
             else:
                 name = backend.strip().lower()
                 name = self._BACKEND_ALIASES.get(name, name)
-                if nproc < 1 or name in ("scalar", "mimd"):
+                if nproc < 1 or name in ("scalar", "mimd", "pmimd"):
                     raise InterpreterError(
                         "verify=True cross-checks the lockstep backends; "
                         "it needs nproc >= 1 and backend "
@@ -349,9 +360,9 @@ class CompiledProgram:
             return self._run_with_policy(policy, **kwargs)
         chosen = self._resolve_backend(backend, nproc, statement_hook, routine_name)
         start = time.perf_counter()
-        env, counters, statements = self._execute(chosen, **kwargs)
+        env, counters, statements, events = self._execute(chosen, **kwargs)
         wall = time.perf_counter() - start
-        return self._result(chosen, nproc, env, counters, statements, wall)
+        return self._result(chosen, nproc, env, counters, statements, wall, events=events)
 
     def _execute(
         self,
@@ -368,11 +379,14 @@ class CompiledProgram:
         fault_plan,
         config=None,
     ):
-        """Run one already-resolved backend; return (env, counters, statements).
+        """Run one already-resolved backend.
 
-        Backend construction is uniform: the resolved run settings are
-        folded into one :class:`BackendConfig` and each backend is
-        built via its ``from_config`` classmethod.
+        Returns ``(env, counters, statements, events)`` — ``events``
+        is the supervision log for the pmimd backend and empty for the
+        single-process ones.  Backend construction is uniform: the
+        resolved run settings are folded into one
+        :class:`BackendConfig` and each backend is built via its
+        ``from_config`` classmethod.
         """
         import dataclasses
 
@@ -400,34 +414,65 @@ class CompiledProgram:
             vm = SIMDVirtualMachine.from_config(config)
             raw = vm.run(self.bytecode(), bindings=dict(bindings or {}))
             env = {k: v for k, v in raw.items() if not k.startswith("__")}
-            return env, vm.counters, vm.executed
+            return env, vm.counters, vm.executed, []
         if chosen == "interpreter":
             from ..exec.simd import SIMDInterpreter
 
             interp = SIMDInterpreter.from_config(self._tree, config)
             interp.statement_hook = statement_hook
             env = interp.run(routine_name=routine_name, bindings=bindings)
-            return env, interp.counters, interp.executed_statements
+            return env, interp.counters, interp.executed_statements, []
         if chosen == "scalar":
             from ..exec.scalar import ScalarInterpreter
 
             interp = ScalarInterpreter.from_config(self._tree, config)
             interp.statement_hook = statement_hook
             env = interp.run(routine_name=routine_name, bindings=bindings)
-            return env, interp.counters, interp.executed_statements
+            return env, interp.counters, interp.executed_statements, []
+        if chosen == "pmimd":
+            from ..exec.pmimd import PMIMDExecutor
+
+            if statement_hook_for is not None:
+                raise InterpreterError(
+                    "backend='pmimd' cannot install statement hooks across "
+                    "process boundaries; use backend='mimd'"
+                )
+            executor = PMIMDExecutor.from_config(self._tree, config)
+            res = executor.run(
+                bindings=dict(bindings) if bindings else None,
+                bindings_for=bindings_for,
+                routine_name=routine_name,
+            )
+            return res.envs, res.counters, res.statements, res.events
         # mimd
         from ..exec.mimd import MIMDSimulator
 
+        if bindings_for is None and bindings:
+            # A pmimd-style plain-bindings run degrading to mimd:
+            # every processor gets a private deep copy, matching the
+            # worker-side replication.
+            from ..exec.pmimd import replicate_bindings
+
+            base = dict(bindings)
+            bindings_for = lambda p: replicate_bindings(base)  # noqa: E731
         sim = MIMDSimulator.from_config(self._tree, config)
         mimd = sim.run(
             bindings_for=bindings_for,
             routine_name=routine_name,
             statement_hook_for=statement_hook_for,
         )
-        return mimd.envs, mimd.counters, mimd.statements
+        return mimd.envs, mimd.counters, mimd.statements, []
 
     def _result(
-        self, chosen, nproc, env, counters, statements, wall, attempts=None
+        self,
+        chosen,
+        nproc,
+        env,
+        counters,
+        statements,
+        wall,
+        attempts=None,
+        events=None,
     ) -> RunResult:
         self._engine.stats.runs[chosen] += 1
         if isinstance(counters, list):
@@ -446,6 +491,7 @@ class CompiledProgram:
             stage_seconds={**self.stage_seconds, "run": wall},
             statements=statements,
             attempts=attempts if attempts is not None else [],
+            events=events if events is not None else [],
         )
 
     def _run_with_policy(self, policy: FallbackPolicy, **kwargs) -> RunResult:
@@ -483,6 +529,7 @@ class CompiledProgram:
                         backend=backend,
                         ok=False,
                         error=f"{type(error).__name__}: {error}",
+                        fault_kind=type(error).__name__,
                         crash_dump=crash_dump_for(error),
                     )
                 )
@@ -491,10 +538,16 @@ class CompiledProgram:
             for _try in range(1 + policy.retries):
                 start = time.perf_counter()
                 try:
-                    env, counters, statements = self._execute(chosen, **kwargs)
+                    env, counters, statements, events = self._execute(
+                        chosen, **kwargs
+                    )
                 except ReliabilityError as error:
                     wall = time.perf_counter() - start
                     snapshot = error.snapshot
+                    dump = error.crash_dump()
+                    supervision = getattr(error, "supervision_events", None)
+                    if supervision is not None:
+                        dump["supervision_events"] = supervision
                     attempts.append(
                         Attempt(
                             backend=chosen,
@@ -502,7 +555,8 @@ class CompiledProgram:
                             wall_seconds=wall,
                             steps=None if snapshot is None else snapshot.steps,
                             error=f"{type(error).__name__}: {error}",
-                            crash_dump=error.crash_dump(),
+                            fault_kind=type(error).__name__,
+                            crash_dump=dump,
                         )
                     )
                     last_error = error
@@ -519,7 +573,14 @@ class CompiledProgram:
                 if policy.verify:
                     self._verify_rest(policy, chosen, env, counters, attempts, kwargs)
                 return self._result(
-                    chosen, nproc, env, counters, statements, wall, attempts
+                    chosen,
+                    nproc,
+                    env,
+                    counters,
+                    statements,
+                    wall,
+                    attempts,
+                    events=events,
                 )
         if last_error is not None:
             last_error.attempts = attempts
@@ -546,7 +607,9 @@ class CompiledProgram:
             seen.add(resolved)
             start = time.perf_counter()
             try:
-                env_b, counters_b, statements_b = self._execute(resolved, **kwargs)
+                env_b, counters_b, statements_b, _events_b = self._execute(
+                    resolved, **kwargs
+                )
             except ReliabilityError as error:
                 attempts.append(
                     Attempt(
@@ -554,6 +617,7 @@ class CompiledProgram:
                         ok=False,
                         wall_seconds=time.perf_counter() - start,
                         error=f"{type(error).__name__}: {error}",
+                        fault_kind=type(error).__name__,
                         crash_dump=error.crash_dump(),
                     )
                 )

@@ -55,6 +55,11 @@ class RunResult:
             (empty for plain single-backend runs).  Each is an
             :class:`~repro.reliability.Attempt`; failed ones carry a
             crash dump.
+        events: Supervision event log of the run — recovery decisions
+            (dispatch, worker-dead, retry, speculate, ...) recorded by
+            the pmimd backend's
+            :class:`~repro.reliability.supervisor.WorkerSupervisor`;
+            empty for single-process backends.
     """
 
     env: object
@@ -67,6 +72,7 @@ class RunResult:
     stage_seconds: dict = field(default_factory=dict)
     statements: object = None
     attempts: list = field(default_factory=list)
+    events: list = field(default_factory=list)
 
     # -- legacy (env, counters) tuple protocol ------------------------------
 

@@ -1,0 +1,95 @@
+"""Shared-memory arena tests: the pmimd backend's 1-copy data path."""
+
+import numpy as np
+import pytest
+
+from repro.exec.shm import SHM_THRESHOLD_BYTES, ShmArena, attach
+from repro.exec.values import FArray
+
+
+class TestShareArray:
+    def test_round_trip(self):
+        data = np.arange(4096, dtype=np.float64)
+        with ShmArena() as arena:
+            spec = arena.share_array("x", data)
+            view, segment = attach(spec)
+            try:
+                assert view.shape == data.shape
+                assert view.dtype == data.dtype
+                assert np.array_equal(view, data)
+            finally:
+                segment.close()
+
+    def test_copy_not_alias(self):
+        data = np.arange(1024, dtype=np.float64)
+        with ShmArena() as arena:
+            spec = arena.share_array("x", data)
+            data[0] = -1.0  # mutate the original after sharing
+            view, segment = attach(spec)
+            try:
+                assert view[0] == 0.0
+            finally:
+                segment.close()
+
+    def test_non_contiguous_source(self):
+        data = np.arange(2048, dtype=np.float64)[::2]
+        assert not data.flags["C_CONTIGUOUS"]
+        with ShmArena() as arena:
+            spec = arena.share_array("x", data)
+            view, segment = attach(spec)
+            try:
+                assert np.array_equal(view, data)
+            finally:
+                segment.close()
+
+
+class TestShareBindings:
+    def _big(self):
+        n = SHM_THRESHOLD_BYTES // 8 + 1
+        return np.arange(n, dtype=np.float64)
+
+    def test_large_arrays_move_to_shm(self):
+        with ShmArena() as arena:
+            light, specs = arena.share_bindings({"x": self._big(), "k": 3})
+            assert [spec.name for spec in specs] == ["x"]
+            assert "x" not in light
+            assert light["k"] == 3
+
+    def test_small_arrays_stay_inline(self):
+        small = np.arange(4, dtype=np.float64)
+        with ShmArena() as arena:
+            light, specs = arena.share_bindings({"x": small})
+            assert specs == []
+            assert np.array_equal(light["x"], small)
+
+    def test_farray_payload_is_shared(self):
+        farr = FArray.wrap("x", self._big())
+        with ShmArena() as arena:
+            light, specs = arena.share_bindings({"x": farr})
+            assert [spec.name for spec in specs] == ["x"]
+            view, segment = attach(specs[0])
+            try:
+                assert np.array_equal(view, farr.data)
+            finally:
+                segment.close()
+
+    def test_scalars_pass_through(self):
+        with ShmArena() as arena:
+            light, specs = arena.share_bindings({"k": 7, "cut": 2.5})
+            assert light == {"k": 7, "cut": 2.5}
+            assert specs == []
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        arena = ShmArena()
+        arena.share_array("x", np.zeros(1024))
+        arena.close()
+        arena.close()  # second close must not raise
+
+    def test_attach_after_close_fails(self):
+        arena = ShmArena()
+        spec = arena.share_array("x", np.zeros(1024))
+        arena.close()
+        with pytest.raises(Exception):
+            attach(spec)

@@ -1,0 +1,52 @@
+"""Fuzz legs for the process-parallel backend.
+
+Tier-1 keeps a reduced campaign (forking workers per program is not
+free); the ``chaos``-marked campaign runs the acceptance-scale 200
+programs with worker kill/hang/slow injection at a 10% shard rate in
+the CI chaos-smoke job.
+"""
+
+import pytest
+
+from repro.fuzz import run_fuzz
+from repro.fuzz.oracle import DifferentialOracle
+
+
+@pytest.mark.fuzz_smoke
+def test_pmimd_leg_reduced_campaign():
+    report = run_fuzz(seed=20260808, iterations=40, nproc=4, pmimd=True,
+                      max_failures=5)
+    assert report.checked == 40
+    assert report.ok, report.summary()
+    assert report.leg_stats.get("none/pmimd", 0) >= 38
+
+
+@pytest.mark.chaos
+def test_pmimd_campaign_200():
+    """Acceptance-scale: 200 programs, pmimd vs mimd vs reference."""
+    report = run_fuzz(seed=20260808, iterations=200, nproc=4, pmimd=True,
+                      max_failures=5)
+    assert report.checked == 200
+    assert report.ok, report.summary()
+    assert report.leg_stats.get("none/pmimd", 0) >= 195
+
+
+@pytest.mark.chaos
+def test_pmimd_chaos_campaign():
+    """200 programs under seeded worker-fault injection (10% shards),
+    with a pmimd->mimd fallback chain behind every run."""
+    report = run_fuzz(seed=20260807, iterations=200, nproc=4,
+                      pmimd_chaos=True, max_failures=5)
+    assert report.checked == 200
+    assert report.ok, report.summary()
+    assert report.leg_stats.get("none/pmimd-chaos", 0) >= 195
+
+
+def test_oracle_rejects_tiny_pools():
+    with pytest.raises(ValueError, match="nproc"):
+        DifferentialOracle(nproc=1)
+
+
+def test_chaos_rate_is_configurable():
+    oracle = DifferentialOracle(nproc=4, pmimd_chaos=True, chaos_rate=0.25)
+    assert oracle.chaos_rate == 0.25

@@ -68,10 +68,10 @@ class TestVerifyFlag:
         original = CompiledProgram._execute
 
         def corrupting(self, chosen, **kwargs):
-            env, counters, statements = original(self, chosen, **kwargs)
+            env, counters, statements, events = original(self, chosen, **kwargs)
             if chosen == "interpreter":
                 env["y"].data[0] += 1
-            return env, counters, statements
+            return env, counters, statements, events
 
         monkeypatch.setattr(CompiledProgram, "_execute", corrupting)
         with pytest.raises(BackendFault, match="disagree"):
