@@ -22,6 +22,8 @@ from .runner import (
     DEFAULT_CUTOFFS,
     DEFAULT_NPROC,
     KERNELS,
+    MIMD_KERNEL,
+    MIMD_NPROC,
     SMOKE,
     empty_report,
     run_smoke_sweep,
@@ -33,6 +35,8 @@ __all__ = [
     "SCHEMA",
     "BENCHMARK",
     "KERNELS",
+    "MIMD_KERNEL",
+    "MIMD_NPROC",
     "DEFAULT_CUTOFFS",
     "DEFAULT_NPROC",
     "DEFAULT_THRESHOLD",

@@ -33,6 +33,17 @@ from .schema import BENCHMARK, SCHEMA
 #: Kernel column order of Table 1 (flattened, unflat-select, unflat-all).
 KERNELS = ("L_f", "Lu_l", "Lu_2")
 
+#: The MIMD column: the sequential Figure-13 kernel, atoms
+#: block-partitioned over asynchronous processors (``backend="pmimd"``
+#: sweeps measure this instead of the lockstep kernels — the
+#: wall-clock MIMD side of the paper's MIMD-vs-SIMD crossover).
+MIMD_KERNEL = "M_seq"
+
+#: Processor count of pmimd sweeps (real worker processes back the
+#: simulated processors, so this is deliberately machine-scale, not
+#: CM-2-scale).
+MIMD_NPROC = 8
+
 #: Cutoff radii of the full Table-1 sweep.
 DEFAULT_CUTOFFS = (4.0, 8.0, 12.0, 16.0)
 
@@ -80,24 +91,47 @@ def run_table1_sweep(
     each finished cell dict — the CLI uses it for live output.
     """
     engine = engine if engine is not None else default_engine()
+    if backend == "pmimd" and kernels == KERNELS:
+        # The lockstep kernel forms are meaningless on asynchronous
+        # processors; the pmimd sweep measures the MIMD column.
+        kernels = (MIMD_KERNEL,)
     cells: list[dict] = []
     total = 0.0
     for cutoff in cutoffs:
         workload = sod_workload(float(cutoff), n_atoms=n_atoms, nmax=nmax)
-        dist = workload.distribution(nproc)
+        dist = None
         for kernel in kernels:
-            text, bindings, externals = _kernel_setup(kernel, workload, dist)
-            start = time.perf_counter()
-            result = engine.compile(text).run(
-                bindings, nproc=dist.gran, backend=backend, externals=externals
-            )
+            if kernel == MIMD_KERNEL:
+                text, bindings_for, externals = nbforce.mimd_kernel_setup(
+                    workload.molecule, workload.pairlist, nproc
+                )
+                start = time.perf_counter()
+                result = engine.compile(text).run(
+                    nproc=nproc,
+                    backend="pmimd",
+                    bindings_for=bindings_for,
+                    externals=externals,
+                )
+            else:
+                if dist is None:
+                    dist = workload.distribution(nproc)
+                text, bindings, externals = _kernel_setup(kernel, workload, dist)
+                start = time.perf_counter()
+                result = engine.compile(text).run(
+                    bindings,
+                    nproc=dist.gran,
+                    backend=backend,
+                    externals=externals,
+                )
             wall = time.perf_counter() - start
             total += wall
             cell = {
                 "kernel": kernel,
                 "cutoff": float(cutoff),
                 "wall_seconds": round(wall, 4),
-                "steps": int(result.counters.total_steps),
+                # Parallel completion time: max over processors for the
+                # MIMD column (Eq. 1), plain lockstep total otherwise.
+                "steps": int(result.steps),
             }
             cells.append(cell)
             if progress is not None:
@@ -124,7 +158,7 @@ def run_smoke_sweep(
     return run_table1_sweep(
         label,
         backend=backend,
-        nproc=SMOKE["nproc"],
+        nproc=MIMD_NPROC if backend == "pmimd" else SMOKE["nproc"],
         nmax=SMOKE["nmax"],
         n_atoms=SMOKE["n_atoms"],
         cutoffs=SMOKE["cutoffs"],
@@ -143,6 +177,8 @@ def empty_report(protocol: str | None = None) -> dict:
 
 __all__ = [
     "KERNELS",
+    "MIMD_KERNEL",
+    "MIMD_NPROC",
     "DEFAULT_CUTOFFS",
     "DEFAULT_NPROC",
     "SMOKE",

@@ -277,10 +277,44 @@ def cmd_run(args) -> int:
     config = None
     if args.workers is not None:
         config = BackendConfig(workers=args.workers)
+    resume_from = None
+    if args.resume:
+        if not args.checkpoint_dir:
+            print("error: --resume needs --checkpoint-dir DIR", file=sys.stderr)
+            return 2
+        if args.fallback:
+            print(
+                "error: --resume cannot be combined with --fallback "
+                "(a resumed run continues the checkpoint's backend)",
+                file=sys.stderr,
+            )
+            return 2
+        from .reliability import CheckpointStore
+
+        resume_from = CheckpointStore(args.checkpoint_dir).load_latest("run")
+        if resume_from is None:
+            print(
+                f"no usable checkpoint under {args.checkpoint_dir}; "
+                f"starting a clean run",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"resuming from checkpoint at step {resume_from.step} "
+                f"({resume_from.backend} backend)",
+                file=sys.stderr,
+            )
+            backend = "auto"
+    ckpt_kwargs = dict(
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        resume_from=resume_from,
+    )
     try:
         if backend == "scalar":
             result = program.run(
-                bindings, backend="scalar", budget=budget, policy=policy
+                bindings, backend="scalar", budget=budget, policy=policy,
+                **ckpt_kwargs,
             )
             print("ran sequentially")
         else:
@@ -291,6 +325,7 @@ def cmd_run(args) -> int:
                 budget=budget,
                 policy=policy,
                 config=config,
+                **ckpt_kwargs,
             )
             if result.backend in ("mimd", "pmimd"):
                 flavor = (
@@ -302,6 +337,8 @@ def cmd_run(args) -> int:
                     f"ran on {args.nproc} SPMD processors "
                     f"({result.backend}: {flavor})"
                 )
+            elif result.backend == "scalar":
+                print("ran sequentially")
             else:
                 suffix = " (bytecode VM)" if result.backend == "vm" else ""
                 print(f"ran on {args.nproc} lockstep PEs{suffix}")
@@ -582,6 +619,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fallback", metavar="CHAIN",
                    help="comma-separated backend fallback chain, e.g. "
                         "'vm,interpreter'; retryable faults degrade along it")
+    p.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                   help="durable execution: capture a restorable checkpoint "
+                        "every N executed steps (vm/scalar save under "
+                        "--checkpoint-dir; pmimd workers checkpoint per "
+                        "processor so shard replays resume, not rerun)")
+    p.add_argument("--checkpoint-dir", metavar="DIR",
+                   help="crash-safe on-disk checkpoint store root "
+                        "(atomic writes, digest-verified loads)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue from the latest good checkpoint in "
+                        "--checkpoint-dir; the final state is bit-identical "
+                        "to an uninterrupted run (clean start if none)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -623,8 +672,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--smoke", action="store_true",
                    help="reduced sweep (small SOD, narrow machine) for CI")
     p.add_argument("--backend", default="vm",
-                   choices=["vm", "interpreter"],
-                   help="lockstep engine to measure (default: vm)")
+                   choices=["vm", "interpreter", "pmimd"],
+                   help="engine to measure (default: vm); 'pmimd' sweeps "
+                        "the MIMD column (sequential kernel per "
+                        "asynchronous processor) instead of the "
+                        "lockstep kernels")
     p.add_argument("--label", default=None,
                    help="label recorded on the measured point")
     p.add_argument("--output", metavar="FILE",

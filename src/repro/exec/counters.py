@@ -228,6 +228,46 @@ class ExecutionCounters:
         if other.nproc == self.nproc:
             self.lane_active_steps += other.lane_active_steps
 
+    def state_dict(self) -> dict:
+        """Complete, detached accumulator state for checkpointing.
+
+        Everything :meth:`load_state` needs to make another instance
+        bit-identical to this one — unlike :meth:`summary`, which is a
+        human-facing digest.
+        """
+        return {
+            "nproc": self.nproc,
+            "events": dict(self.events),
+            "layer_steps": dict(self.layer_steps),
+            "element_ops": dict(self.element_ops),
+            "active_elements": dict(self.active_elements),
+            "calls": dict(self.calls),
+            "call_layer_steps": dict(self.call_layer_steps),
+            "section_events": dict(self.section_events),
+            "section_layer_steps": dict(self.section_layer_steps),
+            "lane_active_steps": self.lane_active_steps.copy(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Replace this accumulator's contents with a state dict's.
+
+        Inverse of :meth:`state_dict`; used by checkpoint resume so a
+        resumed run's counters continue from exactly the captured
+        totals.
+        """
+        self.nproc = int(state["nproc"])
+        self.events = Counter(state["events"])
+        self.layer_steps = Counter(state["layer_steps"])
+        self.element_ops = Counter(state["element_ops"])
+        self.active_elements = Counter(state["active_elements"])
+        self.calls = Counter(state["calls"])
+        self.call_layer_steps = Counter(state["call_layer_steps"])
+        self.section_events = Counter(state["section_events"])
+        self.section_layer_steps = Counter(state["section_layer_steps"])
+        self.lane_active_steps = np.array(
+            state["lane_active_steps"], dtype=np.int64
+        )
+
     def summary(self) -> dict:
         """A plain-dict snapshot (handy for reports and tests)."""
         return {

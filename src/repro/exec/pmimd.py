@@ -42,6 +42,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import tempfile
 import time
 from dataclasses import dataclass, field
 
@@ -50,6 +52,7 @@ import numpy as np
 from ..lang import ast
 from ..lang.errors import MiniFError
 from ..reliability import Budget, crash_dump_for
+from ..reliability.checkpoint import CheckpointStore
 from ..reliability.errors import BackendFault
 from ..reliability.supervisor import SupervisionPolicy, WorkerSupervisor
 from .counters import ExecutionCounters
@@ -128,12 +131,15 @@ class PMIMDResult(MIMDResult):
         recoveries: Dead/wedged/deadline recoveries performed.
         speculations: Straggler duplicates dispatched.
         workers: Worker-pool size used.
+        checkpoint_resumes: Processor replays that continued from a
+            stored checkpoint instead of re-running from statement 0.
     """
 
     events: list = field(default_factory=list)
     recoveries: int = 0
     speculations: int = 0
     workers: int = 0
+    checkpoint_resumes: int = 0
 
 
 def _heartbeat_hook(slots):
@@ -160,6 +166,26 @@ def _inject_slow(slots, seconds: float) -> None:
         time.sleep(min(0.01, deadline - now))
 
 
+def _kill_switch(hook, kill_after: int, counter: list):
+    """Wrap a statement hook to ``_exit`` after ``kill_after`` statements.
+
+    Implements :attr:`FaultPlan.kill_after_steps`: the worker runs —
+    heartbeating, checkpointing — and then dies abruptly mid-shard,
+    exactly the failure checkpointed replay is supposed to bound.
+    ``counter`` is shared across the shard attempt's processors, so
+    the count is statements *into the attempt*, not into one
+    processor's program.
+    """
+
+    def killer(stmt, env):
+        hook(stmt, env)
+        counter[0] += 1
+        if counter[0] >= kill_after:
+            os._exit(137)
+
+    return killer
+
+
 def _worker_loop(
     conn,
     slots,
@@ -172,14 +198,29 @@ def _worker_loop(
     bindings_for,
     routine_name,
     shm_specs,
+    checkpoint_every=None,
+    checkpoint_dir=None,
 ):
     """One worker process: attach inputs, then serve shard tasks forever.
 
     Everything heavy (``source``, ``externals``, ``bindings_for``)
     arrived through fork, not through these arguments' pickles.
+
+    With checkpointing configured, each processor writes a restorable
+    checkpoint to the shared on-disk store every ``checkpoint_every``
+    statements under the key ``proc-<p>``; before running a processor
+    the worker consults the store, so a *replay* of a crashed shard
+    resumes each unfinished processor from its last good checkpoint —
+    the lost work is bounded by one interval.  Finished processors'
+    keys are cleared so the store only ever describes in-flight work.
     """
     segments = []
     base_bindings = dict(bindings or {})
+    store = (
+        CheckpointStore(checkpoint_dir)
+        if checkpoint_every and checkpoint_dir
+        else None
+    )
     try:
         for spec in shm_specs:
             array, segment = attach(spec)
@@ -196,10 +237,14 @@ def _worker_loop(
             attempt = task.get("attempt", 0)
             slots[0] = time.monotonic()
             slots[2] = float(shard)
+            kill_after = None
             if fault_plan is not None:
                 kind = fault_plan.worker_fault(shard, attempt)
                 if kind == "kill":
-                    os._exit(137)
+                    if fault_plan.kill_after_steps:
+                        kill_after = int(fault_plan.kill_after_steps)
+                    else:
+                        os._exit(137)
                 elif kind == "hang":
                     time.sleep(fault_plan.hang_seconds)
                 elif kind == "slow":
@@ -208,6 +253,7 @@ def _worker_loop(
             # only on the first attempt: the plan's transient state
             # lives per process, so replays must not re-trip it.
             plan_for_run = fault_plan if attempt == 0 else None
+            kill_counter = [0]
             try:
                 for proc in task["procs"]:
                     if bindings_for is not None:
@@ -216,16 +262,45 @@ def _worker_loop(
                         proc_bindings = replicate_bindings(base_bindings)
                     proc_bindings.setdefault("myproc", proc)
                     proc_bindings.setdefault("nproc", nproc)
+                    hook = _heartbeat_hook(slots)
+                    if kill_after is not None:
+                        hook = _kill_switch(hook, kill_after, kill_counter)
+                    key = f"proc-{proc}"
+                    resume = None
+                    sink = None
+                    if store is not None:
+                        resume = store.load_latest(key)
+                        if resume is not None and resume.backend != "scalar":
+                            resume = None  # foreign store — ignore it
+                        sink = lambda ckpt, _key=key: store.save(_key, ckpt)
                     interp = ScalarInterpreter(
                         source,
                         externals,
-                        statement_hook=_heartbeat_hook(slots),
+                        statement_hook=hook,
                         budget=budget,
                         fault_plan=plan_for_run,
+                        checkpoint_every=(
+                            checkpoint_every if store is not None else None
+                        ),
+                        checkpoint_sink=sink,
                     )
-                    env = interp.run(
-                        routine_name=routine_name, bindings=proc_bindings
-                    )
+                    if resume is not None:
+                        conn.send(
+                            {
+                                "type": "ckpt-resume",
+                                "shard": shard,
+                                "attempt": attempt,
+                                "proc": proc,
+                                "step": resume.step,
+                            }
+                        )
+                        env = interp.run(
+                            routine_name=routine_name, resume_from=resume
+                        )
+                    else:
+                        env = interp.run(
+                            routine_name=routine_name, bindings=proc_bindings
+                        )
                     conn.send(
                         {
                             "type": "proc",
@@ -239,6 +314,8 @@ def _worker_loop(
                             },
                         }
                     )
+                    if store is not None:
+                        store.clear(key)
                 conn.send({"type": "done", "shard": shard, "attempt": attempt})
             except MiniFError as error:
                 conn.send(
@@ -355,6 +432,15 @@ class PMIMDExecutor:
             the supervisor has spare shards to load-balance with).
         shard_layout: ``"block"`` or ``"cyclic"``.
         supervision: The :class:`SupervisionPolicy` in force.
+        checkpoint_every: Per-processor checkpoint interval in
+            interpreted statements; ``None`` disables durable
+            execution (replays rerun the shard from statement 0).
+        checkpoint_dir: On-disk :class:`CheckpointStore` root shared
+            by all workers.  Defaults to a private temporary directory
+            (removed when the run finishes), so intra-run recovery
+            works with no configuration; point it somewhere durable
+            only for a dedicated run — stale keys from a *different*
+            program would be resumed blindly.
     """
 
     def __init__(
@@ -369,9 +455,15 @@ class PMIMDExecutor:
         shards: int | None = None,
         shard_layout: str = "block",
         supervision: SupervisionPolicy | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_dir: str | None = None,
     ):
         if nproc < 1:
             raise ValueError(f"pmimd needs nproc >= 1, got {nproc}")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         self.source = source
         self.nproc = nproc
         self.externals = externals or {}
@@ -385,6 +477,8 @@ class PMIMDExecutor:
         self.supervision = (
             supervision if supervision is not None else SupervisionPolicy()
         )
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_dir = checkpoint_dir
 
     @classmethod
     def from_config(cls, source: ast.SourceFile, config) -> "PMIMDExecutor":
@@ -399,6 +493,8 @@ class PMIMDExecutor:
             shards=config.shards,
             shard_layout=config.shard_layout,
             supervision=config.supervision,
+            checkpoint_every=config.checkpoint_every,
+            checkpoint_dir=config.checkpoint_dir,
         )
 
     def run(
@@ -432,6 +528,10 @@ class PMIMDExecutor:
         shards = plan_shards(self.nproc, self.shards, self.shard_layout)
         nworkers = max(1, min(self.workers, len(shards)))
         arena = ShmArena()
+        ckpt_dir = self.checkpoint_dir
+        own_ckpt_dir = None
+        if self.checkpoint_every and ckpt_dir is None:
+            ckpt_dir = own_ckpt_dir = tempfile.mkdtemp(prefix="repro-ckpt-")
         try:
             if bindings_for is None and bindings:
                 light, specs = arena.share_bindings(bindings)
@@ -447,6 +547,8 @@ class PMIMDExecutor:
                 bindings_for,
                 routine_name,
                 tuple(specs),
+                self.checkpoint_every,
+                ckpt_dir,
             )
             supervisor = WorkerSupervisor(
                 lambda worker_id: ProcessWorkerHandle(
@@ -459,6 +561,8 @@ class PMIMDExecutor:
             outcome = supervisor.run(shards)
         finally:
             arena.close()
+            if own_ckpt_dir is not None:
+                shutil.rmtree(own_ckpt_dir, ignore_errors=True)
         envs: list[dict] = []
         counters: list[ExecutionCounters] = []
         statements: list[int] = []
@@ -480,4 +584,9 @@ class PMIMDExecutor:
             recoveries=outcome.recoveries,
             speculations=outcome.speculations,
             workers=nworkers,
+            checkpoint_resumes=sum(
+                1
+                for event in outcome.events
+                if event.get("event") == "checkpoint-resume"
+            ),
         )

@@ -12,6 +12,7 @@ sections are supported Fortran-90 style.
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 
 import numpy as np
@@ -27,6 +28,7 @@ from ..reliability import (
     locate,
     snapshot_env,
 )
+from ..reliability.checkpoint import Checkpoint
 from .counters import ExecutionCounters
 from .intrinsics import call_intrinsic, coerce
 from .ops import apply_binop, apply_unop, op_event_kind, value_event_kind
@@ -55,6 +57,13 @@ class ScalarInterpreter:
         budget: Execution guard; overrides ``max_statements``.
         fault_plan: Deterministic fault injection
             (:class:`~repro.reliability.FaultPlan`).
+        checkpoint_every: Capture a restorable
+            :class:`~repro.reliability.checkpoint.Checkpoint` every
+            this many executed statements, checked before each
+            top-level statement.  Captures are deferred while a CALL
+            into MiniF code is on the stack — the interval may stretch
+            by one call's duration.  ``None`` disables capture.
+        checkpoint_sink: Callable receiving each captured checkpoint.
     """
 
     def __init__(
@@ -66,7 +75,13 @@ class ScalarInterpreter:
         max_statements: int = 20_000_000,
         budget: Budget | None = None,
         fault_plan=None,
+        checkpoint_every: int | None = None,
+        checkpoint_sink=None,
     ):
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise InterpreterError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         self.source = source
         self.externals = externals or {}
         self.counters = counters if counters is not None else ExecutionCounters(1)
@@ -74,11 +89,21 @@ class ScalarInterpreter:
         self.max_statements = max_statements
         self.budget = budget if budget is not None else Budget(max_steps=max_statements)
         self.fault_plan = fault_plan
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_sink = checkpoint_sink
         self.executed_statements = 0
         self._meter = self.budget.meter()
         self._trace: deque = deque(maxlen=TRACE_DEPTH)
         self._env: dict = {}
         self._routines = {unit.name: unit for unit in source.units}
+        # Checkpoint machinery: the control-path frame stack is only
+        # maintained when capture or resume is active (``_frames`` is
+        # None otherwise and every compound statement takes its
+        # original fast path).
+        self._frames: list | None = None
+        self._resume: list | None = None
+        self._call_depth = 0
+        self._ckpt_next: int | None = None
 
     @classmethod
     def from_config(cls, source: ast.SourceFile, config) -> "ScalarInterpreter":
@@ -92,6 +117,7 @@ class ScalarInterpreter:
             counters=config.counters,
             budget=config.budget,
             fault_plan=config.fault_plan,
+            checkpoint_every=config.checkpoint_every,
         )
         if config.max_instructions is not None:
             kwargs["max_statements"] = config.max_instructions
@@ -111,10 +137,21 @@ class ScalarInterpreter:
 
     # -- entry points -----------------------------------------------------------
 
-    def run(self, routine_name: str | None = None, bindings: dict | None = None) -> dict:
+    def run(
+        self,
+        routine_name: str | None = None,
+        bindings: dict | None = None,
+        resume_from: Checkpoint | None = None,
+    ) -> dict:
         """Execute a routine (the main PROGRAM by default); return its env.
 
         Errors raised mid-run carry a :meth:`snapshot` of the machine.
+
+        With ``resume_from``, ``bindings`` are ignored and execution
+        continues from the checkpoint's statement: the resumed run's
+        final environment, counters and crash dumps are bit-identical
+        to an uninterrupted run's.  The checkpoint is not mutated and
+        may seed any number of resumes.
         """
         routine = (
             self.source.main if routine_name is None else self._routines[routine_name]
@@ -127,12 +164,63 @@ class ScalarInterpreter:
                 self.fault_plan.check_backend("scalar")
             except MiniFError as error:
                 raise attach_snapshot(error, self.snapshot())
+        if resume_from is not None:
+            env = self._restore(resume_from)
+            self._env = env
+        capturing = bool(self.checkpoint_every) and self.checkpoint_sink is not None
+        if capturing:
+            every = self.checkpoint_every
+            self._ckpt_next = (self.executed_statements // every + 1) * every
+        else:
+            self._ckpt_next = None
+        self._frames = [] if (capturing or resume_from is not None) else None
         try:
             self.exec_body(routine.body, env)
         except (ReturnSignal, StopSignal):
             pass
         except MiniFError as error:
             raise attach_snapshot(error, self.snapshot())
+        finally:
+            self._resume = None
+            self._frames = None
+            self._ckpt_next = None
+        return env
+
+    # -- checkpoint capture / resume ----------------------------------------------
+
+    def _emit_checkpoint(self, env: dict) -> None:
+        """Capture full state before the next top-level statement runs."""
+        self.checkpoint_sink(
+            Checkpoint(
+                backend="scalar",
+                step=self.executed_statements,
+                pc=self.executed_statements,
+                env=env,
+                frames=[list(frame) for frame in self._frames],
+                counters=self.counters.state_dict(),
+                meter_steps=self._meter.steps,
+                trace=list(self._trace),
+                nproc=1,
+            ).detach()
+        )
+
+    def _restore(self, ckpt: Checkpoint) -> dict:
+        """Install a checkpoint's state; returns the restored env.
+
+        The checkpoint's mutable state is deep-copied in, so the same
+        checkpoint object can seed any number of resumed runs.
+        """
+        if ckpt.backend != "scalar":
+            raise InterpreterError(
+                f"cannot resume a {ckpt.backend!r} checkpoint on the "
+                "scalar backend"
+            )
+        env, frames, trace = copy.deepcopy((ckpt.env, ckpt.frames, ckpt.trace))
+        self.executed_statements = ckpt.step
+        self.counters.load_state(ckpt.counters)
+        self._meter.steps = ckpt.meter_steps
+        self._trace = deque(trace, maxlen=TRACE_DEPTH)
+        self._resume = [list(frame) for frame in frames]
         return env
 
     # -- statements --------------------------------------------------------------
@@ -144,18 +232,102 @@ class ScalarInterpreter:
             for index, stmt in enumerate(body)
             if stmt.label is not None
         }
+        frames = self._frames
+        if frames is None:
+            pc = 0
+            while pc < len(body):
+                try:
+                    self.exec_stmt(body[pc], env)
+                except GotoSignal as signal:
+                    if signal.target in labels:
+                        pc = labels[signal.target]
+                        continue
+                    raise
+                pc += 1
+            return
+        # Checkpoint-tracking path: maintain a ["body", pc] frame so a
+        # capture inside any statement knows its position here, and
+        # honor a pending resume path by descending into the recorded
+        # statement instead of starting at pc 0.
         pc = 0
-        while pc < len(body):
-            try:
-                self.exec_stmt(body[pc], env)
-            except GotoSignal as signal:
-                if signal.target in labels:
-                    pc = labels[signal.target]
-                    continue
-                raise
-            pc += 1
+        reenter = False
+        resume = self._resume
+        if resume:
+            head = resume.pop(0)
+            if not (isinstance(head, (list, tuple)) and head and head[0] == "body"):
+                raise InterpreterError(
+                    "corrupt checkpoint control path (expected a body frame)"
+                )
+            pc = int(head[1])
+            if not (0 <= pc < len(body)):
+                raise InterpreterError(
+                    "checkpoint control path does not fit this program"
+                )
+            reenter = bool(resume)
+            if not reenter:
+                self._resume = None  # innermost position reached
+        frame = ["body", pc]
+        frames.append(frame)
+        try:
+            while pc < len(body):
+                frame[1] = pc
+                try:
+                    if reenter:
+                        reenter = False
+                        self._reenter_stmt(body[pc], env)
+                    else:
+                        self.exec_stmt(body[pc], env)
+                except GotoSignal as signal:
+                    if signal.target in labels:
+                        pc = labels[signal.target]
+                        continue
+                    raise
+                pc += 1
+        finally:
+            frames.pop()
+
+    def _reenter_stmt(self, stmt: ast.Stmt, env: dict) -> None:
+        """Continue a compound statement mid-flight from a resume frame.
+
+        The statement's own accounting (its trace entry, budget tick,
+        condition evaluation for the in-progress iteration) happened
+        before the checkpoint was captured and lives in the restored
+        counters — only the *remaining* work runs here.
+        """
+        head = self._resume.pop(0)
+        kind = head[0] if isinstance(head, (list, tuple)) and head else None
+        if kind == "do" and isinstance(stmt, ast.Do):
+            self._run_do(
+                stmt, env, int(head[1]), int(head[2]), int(head[3]), fresh=False
+            )
+        elif kind == "while" and isinstance(stmt, (ast.While, ast.DoWhile)):
+            self._run_while(stmt, env, fresh=False)
+        elif kind == "if" and isinstance(stmt, ast.If):
+            self._run_branch(
+                stmt.then_body if head[1] else stmt.else_body, env, "if", head[1]
+            )
+        elif kind == "where" and isinstance(stmt, ast.Where):
+            self._run_branch(
+                stmt.then_body if head[1] else stmt.else_body, env, "where", head[1]
+            )
+        elif kind == "forall" and isinstance(stmt, ast.Forall):
+            self._run_forall(stmt, env, int(head[1]), int(head[2]), fresh=False)
+        else:
+            raise InterpreterError(
+                f"checkpoint control path frame {kind!r} does not match "
+                f"statement {type(stmt).__name__}"
+            )
 
     def exec_stmt(self, stmt: ast.Stmt, env: dict) -> None:
+        next_at = self._ckpt_next
+        if (
+            next_at is not None
+            and self.executed_statements >= next_at
+            and not self._call_depth
+        ):
+            self._emit_checkpoint(env)
+            every = self.checkpoint_every
+            self._ckpt_next = (self.executed_statements // every + 1) * every
         self.executed_statements += 1
         self._env = env
         self._meter.tick(stmt.loc)
@@ -243,6 +415,9 @@ class ScalarInterpreter:
         trips = max(0, (hi - lo + stride) // stride)
         env[stmt.var] = lo
         value = lo
+        if self._frames is not None:
+            self._run_do(stmt, env, value, trips, stride, fresh=True)
+            return
         for _ in range(trips):
             env[stmt.var] = value
             self.counters.record("acu")
@@ -256,7 +431,48 @@ class ScalarInterpreter:
         else:
             env[stmt.var] = value
 
+    def _run_do(
+        self, stmt: ast.Do, env: dict, value: int, trips_left: int,
+        stride: int, fresh: bool,
+    ) -> None:
+        """Checkpoint-tracking DO loop: same semantics, explicit frame.
+
+        ``fresh=False`` resumes the loop mid-flight: the current trip's
+        control-variable store and ``acu`` event are already in the
+        restored state, so only its (partially executed) body runs.
+        """
+        frames = self._frames
+        frame = ["do", value, trips_left, stride]
+        frames.append(frame)
+        broke = False
+        resumed = not fresh
+        try:
+            while trips_left > 0:
+                frame[1] = value
+                frame[2] = trips_left
+                if resumed:
+                    resumed = False
+                else:
+                    env[stmt.var] = value
+                    self.counters.record("acu")
+                try:
+                    self.exec_body(stmt.body, env)
+                except LoopExit:
+                    broke = True
+                    break
+                except LoopCycle:
+                    pass
+                value += stride
+                trips_left -= 1
+        finally:
+            frames.pop()
+        if not broke:
+            env[stmt.var] = value
+
     def _exec_dowhile(self, stmt: ast.DoWhile, env: dict) -> None:
+        if self._frames is not None:
+            self._run_while(stmt, env, fresh=True)
+            return
         while True:
             cond = as_bool_scalar(self.eval(stmt.cond, env), "DO WHILE condition")
             self.counters.record("acu")
@@ -270,6 +486,9 @@ class ScalarInterpreter:
                 continue
 
     def _exec_while(self, stmt: ast.While, env: dict) -> None:
+        if self._frames is not None:
+            self._run_while(stmt, env, fresh=True)
+            return
         while True:
             cond = as_bool_scalar(self.eval(stmt.cond, env), "WHILE condition")
             self.counters.record("acu")
@@ -282,9 +501,46 @@ class ScalarInterpreter:
             except LoopCycle:
                 continue
 
+    def _run_while(self, stmt, env: dict, fresh: bool) -> None:
+        """Checkpoint-tracking WHILE / DO WHILE loop (identical semantics).
+
+        The frame carries no state: resuming re-enters the in-progress
+        body (its condition was evaluated and recorded before capture),
+        then falls back into the normal test-first iteration.
+        """
+        label = (
+            "DO WHILE condition"
+            if isinstance(stmt, ast.DoWhile)
+            else "WHILE condition"
+        )
+        frames = self._frames
+        frames.append(["while"])
+        resumed = not fresh
+        try:
+            while True:
+                if not resumed:
+                    cond = as_bool_scalar(self.eval(stmt.cond, env), label)
+                    self.counters.record("acu")
+                    if not cond:
+                        return
+                resumed = False
+                try:
+                    self.exec_body(stmt.body, env)
+                except LoopExit:
+                    return
+                except LoopCycle:
+                    continue
+        finally:
+            frames.pop()
+
     def _exec_if(self, stmt: ast.If, env: dict) -> None:
         cond = as_bool_scalar(self.eval(stmt.cond, env), "IF condition")
         self.counters.record("acu")
+        if self._frames is not None:
+            self._run_branch(
+                stmt.then_body if cond else stmt.else_body, env, "if", cond
+            )
+            return
         if cond:
             self.exec_body(stmt.then_body, env)
         else:
@@ -295,14 +551,32 @@ class ScalarInterpreter:
         # (scalar or uniform) mask.
         mask = self.eval(stmt.mask, env)
         self.counters.record("mask")
-        if as_bool_scalar(mask, "WHERE mask"):
+        taken = as_bool_scalar(mask, "WHERE mask")
+        if self._frames is not None:
+            self._run_branch(
+                stmt.then_body if taken else stmt.else_body, env, "where", taken
+            )
+            return
+        if taken:
             self.exec_body(stmt.then_body, env)
         else:
             self.exec_body(stmt.else_body, env)
 
+    def _run_branch(self, body: list, env: dict, kind: str, taken) -> None:
+        """Checkpoint-tracking IF/WHERE arm: record which way we went."""
+        frames = self._frames
+        frames.append([kind, bool(taken)])
+        try:
+            self.exec_body(body, env)
+        finally:
+            frames.pop()
+
     def _exec_forall(self, stmt: ast.Forall, env: dict) -> None:
         lo = as_int_scalar(self.eval(stmt.lo, env), "FORALL lower bound")
         hi = as_int_scalar(self.eval(stmt.hi, env), "FORALL upper bound")
+        if self._frames is not None:
+            self._run_forall(stmt, env, lo, hi, fresh=True)
+            return
         for value in range(lo, hi + 1):
             env[stmt.var] = value
             if stmt.mask is not None and not as_bool_scalar(
@@ -310,6 +584,31 @@ class ScalarInterpreter:
             ):
                 continue
             self.exec_body(stmt.body, env)
+
+    def _run_forall(
+        self, stmt: ast.Forall, env: dict, value: int, hi: int, fresh: bool
+    ) -> None:
+        """Checkpoint-tracking FORALL: same semantics, explicit frame."""
+        frames = self._frames
+        frame = ["forall", value, hi]
+        frames.append(frame)
+        resumed = not fresh
+        try:
+            while value <= hi:
+                frame[1] = value
+                if resumed:
+                    resumed = False
+                else:
+                    env[stmt.var] = value
+                    if stmt.mask is not None and not as_bool_scalar(
+                        self.eval(stmt.mask, env), "FORALL mask"
+                    ):
+                        value += 1
+                        continue
+                self.exec_body(stmt.body, env)
+                value += 1
+        finally:
+            frames.pop()
 
     def _exec_goto(self, stmt: ast.Goto, env: dict) -> None:
         self.counters.record("acu")
@@ -341,7 +640,11 @@ class ScalarInterpreter:
                 for arg in stmt.args
             ]
             self.counters.record_call(stmt.name)
-            external(self, stmt.args, args, env)
+            self._call_depth += 1
+            try:
+                external(self, stmt.args, args, env)
+            finally:
+                self._call_depth -= 1
             return
         routine = self._routines.get(stmt.name)
         if routine is None:
@@ -360,10 +663,13 @@ class ScalarInterpreter:
                 arg, (ast.Var, ast.ArrayRef)
             ):
                 writeback.append((param, arg))
+        self._call_depth += 1
         try:
             self.exec_body(routine.body, callee_env)
         except ReturnSignal:
             pass
+        finally:
+            self._call_depth -= 1
         for param, arg in writeback:
             self.assign_to(arg, callee_env[param], env)
 

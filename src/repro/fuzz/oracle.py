@@ -11,6 +11,11 @@ none                  scalar (reference)           always
 none                  vm + interpreter (lockstep)  always
 none                  fused vm + unfused vm        always
 none                  mimd (P private procs)       always
+none                  vm / scalar interrupted at   always
+                      a random step + resumed
+                      from checkpoint
+none                  pmimd killed between         ``pmimd_chaos``
+                      checkpoints + replayed
 flatten general       scalar (F77 form)            always
 flatten general       vm + interpreter             always
 flatten optimized     vm + interpreter             checker accepts, or
@@ -71,7 +76,13 @@ from ..lang import ast
 from ..lang.errors import MiniFError, TransformError
 from ..lang.parser import parse_source
 from ..reliability import crash_dump_for
-from ..reliability.errors import BackendFault, DivergenceFault, OutOfBoundsFault
+from ..reliability.budget import Budget
+from ..reliability.errors import (
+    BackendFault,
+    BudgetExceeded,
+    DivergenceFault,
+    OutOfBoundsFault,
+)
 from ..reliability.faults import FaultPlan
 from ..reliability.policy import FallbackPolicy, check_agreement
 from ..reliability.supervisor import SupervisionPolicy
@@ -255,6 +266,7 @@ class DifferentialOracle:
 
         report = self._consult_applicability(prog, verdict)
         self._untransformed_legs(prog, ref_env, verdict)
+        self._checkpoint_legs(prog, ref_env, verdict)
         if self.pmimd or self.pmimd_chaos:
             self._pmimd_legs(prog, ref_env, verdict)
         self._fused_legs(prog, verdict)
@@ -594,6 +606,132 @@ class DifferentialOracle:
             prog, ref_env, verdict, "none/mimd", {}, mode="mimd"
         )
 
+    def _checkpoint_legs(self, prog, ref_env, verdict) -> None:
+        """Durable-execution legs: interrupt + resume == uninterrupted.
+
+        For the VM and the scalar interpreter: run the untransformed
+        program to completion, then re-run it under a step budget that
+        kills it at a seeded random interior step while capturing
+        checkpoints every few steps, resume from the last captured
+        checkpoint, and demand that the resumed run's final environment
+        *and* exact operation counters match the uninterrupted run
+        (:func:`check_agreement`) as well as the sequential reference.
+        When the interrupt lands before the first checkpoint boundary,
+        the documented fallback — a clean rerun — must still agree.
+        """
+        import random
+
+        rng = random.Random((prog.seed << 16) ^ (prog.index * 0x9E37) ^ 0xC4C7)
+        for label, backend in (
+            ("none/vm-ckpt", "vm"),
+            ("none/interp-ckpt", "scalar"),
+        ):
+            self._checkpoint_leg(prog, ref_env, verdict, label, backend, rng)
+
+    def _checkpoint_leg(
+        self, prog, ref_env, verdict, label: str, backend: str, rng
+    ) -> None:
+        try:
+            program = self.engine.compile(prog.source)
+            program.tree
+        except Exception:
+            return  # the untransformed legs already reported this
+        nproc = self.nproc if backend == "vm" else 0
+        try:
+            plain = program.run(
+                _copy_bindings(prog.bindings), nproc=nproc, backend=backend
+            )
+        except Exception:
+            return  # faults of the plain backend belong to none/simd
+        total = int(plain.counters.total_steps)
+        every = rng.randrange(3, 24)
+        cut = rng.randrange(1, total) if total > 1 else 1
+        checkpoints: list = []
+        try:
+            program.run(
+                _copy_bindings(prog.bindings),
+                nproc=nproc,
+                backend=backend,
+                budget=Budget(max_steps=cut),
+                checkpoint_every=every,
+                checkpoint_sink=checkpoints.append,
+            )
+        except BudgetExceeded:
+            pass  # the injected interrupt
+        except Exception as error:
+            verdict.divergences.append(
+                Divergence(
+                    "fault",
+                    label,
+                    f"interrupted run died outside the budget taxonomy: "
+                    f"{type(error).__name__}: {error}",
+                    crash_dump=_dump(error),
+                )
+            )
+            verdict.legs.append(LegOutcome(label, "ok", "faulted"))
+            return
+        try:
+            if checkpoints:
+                resumed = program.run(
+                    _copy_bindings(prog.bindings),
+                    backend="auto",
+                    nproc=nproc,
+                    resume_from=checkpoints[-1],
+                )
+            else:
+                # Interrupt landed before the first boundary: the
+                # documented recovery is a clean rerun.
+                resumed = program.run(
+                    _copy_bindings(prog.bindings), nproc=nproc, backend=backend
+                )
+        except Exception as error:
+            verdict.divergences.append(
+                Divergence(
+                    "fault",
+                    label,
+                    f"resume from step "
+                    f"{checkpoints[-1].step if checkpoints else 0} failed: "
+                    f"{type(error).__name__}: {error}",
+                    crash_dump=_dump(error),
+                )
+            )
+            verdict.legs.append(LegOutcome(label, "ok", "faulted"))
+            return
+        mismatch = self._compare(prog, ref_env, resumed.env, False)
+        if mismatch is not None:
+            verdict.divergences.append(
+                Divergence(
+                    "env-divergence",
+                    label,
+                    f"resumed at step "
+                    f"{checkpoints[-1].step if checkpoints else 0} "
+                    f"(interrupt at {cut}, every {every}): {mismatch}",
+                )
+            )
+            verdict.legs.append(LegOutcome(label, "ok", "diverged"))
+            return
+        try:
+            check_agreement(
+                plain.env,
+                plain.counters,
+                resumed.env,
+                resumed.counters,
+                backends=(backend, f"{backend}-resumed"),
+            )
+        except BackendFault as error:
+            verdict.divergences.append(
+                Divergence(
+                    "backend-disagreement",
+                    label,
+                    f"resume is not exact (interrupt at {cut}, "
+                    f"every {every}): {error}",
+                    crash_dump=crash_dump_for(error),
+                )
+            )
+            verdict.legs.append(LegOutcome(label, "ok", "diverged"))
+            return
+        verdict.legs.append(LegOutcome(label, "ok"))
+
     def _pmimd_legs(self, prog, ref_env, verdict) -> None:
         """Process-parallel legs: pmimd must be indistinguishable from mimd.
 
@@ -621,7 +759,7 @@ class DifferentialOracle:
             return  # ditto: none/mimd owns faults of the simulator
         legs = []
         if self.pmimd:
-            legs.append(("none/pmimd", None, None))
+            legs.append(("none/pmimd", None, None, None))
         if self.pmimd_chaos:
             plan = FaultPlan(
                 seed=(prog.seed << 20) ^ prog.index,
@@ -631,9 +769,24 @@ class DifferentialOracle:
                 backends=("pmimd",),
             )
             policy = FallbackPolicy(chain=("pmimd", "mimd"), retries=1)
-            legs.append(("none/pmimd-chaos", plan, policy))
-        for label, plan, policy in legs:
-            config = BackendConfig(workers=2, supervision=self.FUZZ_SUPERVISION)
+            legs.append(("none/pmimd-chaos", plan, policy, None))
+            # Durable-execution chaos: shard 0's first attempt is killed
+            # a few statements in, *between* checkpoint boundaries; the
+            # supervisor's replay must resume from the per-processor
+            # store and still be observationally invisible.
+            ckpt_plan = FaultPlan(
+                seed=(prog.seed << 20) ^ prog.index ^ 0x5EED,
+                worker_kill=(0,),
+                kill_after_steps=3 + prog.index % 13,
+                backends=("pmimd",),
+            )
+            legs.append(("none/pmimd-ckpt", ckpt_plan, None, 5))
+        for label, plan, policy, every in legs:
+            config = BackendConfig(
+                workers=2,
+                supervision=self.FUZZ_SUPERVISION,
+                checkpoint_every=every,
+            )
             try:
                 result = program.run(
                     nproc=self.nproc,

@@ -52,6 +52,30 @@ PROGRAM nbforce
 END
 """
 
+#: The MIMD (M_seq) version: the Figure-13 sequential kernel with the
+#: atom range block-partitioned over asynchronous processors.  Each
+#: processor binds its own ``pcnt``/``partners`` slice and ``atom0``
+#: rebases the local loop index to the global atom id the force
+#: external expects — no lockstep, no masking, each processor's DO
+#: loops run exactly its own trip counts.
+NBFORCE_MIMD = """
+C NBFORCE - MIMD version (sequential kernel per processor)
+PROGRAM nbforce
+  INTEGER n, atom0, maxpcnt, at1, at1g, at2, prc
+  INTEGER pcnt(n), partners(n, maxpcnt)
+  REAL f(n), fpair
+  DO at1 = 1, n
+    f(at1) = 0.0
+    at1g = at1 + atom0
+    DO prc = 1, pcnt(at1)
+      at2 = partners(at1, prc)
+      CALL force(fpair, at1g, at2)
+      f(at1) = f(at1) + fpair
+    ENDDO
+  ENDDO
+END
+"""
+
 #: The L_u^l unflattened version: explicit 1:Lrs layer selection
 #: (Figure 17 with the paper's "selecting memory layers" subscripts).
 NBFORCE_UNFLAT_SELECT = """
@@ -202,6 +226,49 @@ def run_unflat_kernel(
         bindings, nproc=dist.gran, backend=backend, externals=externals
     )
     return gather_unflat_results(result.env, pairlist, dist), result.counters
+
+
+def mimd_kernel_setup(
+    molecule: Molecule, pairlist: PairList, nproc: int
+) -> tuple:
+    """Workload preparation for the MIMD column: ``(text,
+    bindings_for, externals)``.
+
+    The atom range is block-partitioned over ``nproc`` asynchronous
+    processors; processor ``p``'s bindings carry its own
+    ``pcnt``/``partners`` slice plus the ``atom0`` rebase, so each
+    processor runs the sequential Figure-13 loop over exactly its own
+    pairs — the control-flow-free execution model the paper's
+    MIMD-vs-SIMD comparison is about.  Like the SIMD setups this is
+    input marshalling and belongs outside the timed region.
+    """
+    if nproc < 1:
+        raise ValueError(f"mimd_kernel_setup needs nproc >= 1, got {nproc}")
+    pcnt = pairlist.pcnt.astype(np.int64)
+    partners = pairlist.partners.astype(np.int64)
+    maxpcnt = int(partners.shape[1])
+    n = pairlist.n_atoms
+    base, extra = divmod(n, nproc)
+
+    def bindings_for(proc: int) -> dict:
+        # Processors are 1-based (MIMDSimulator / pmimd convention).
+        index = proc - 1
+        lo = index * base + min(index, extra)
+        size = base + (1 if index < extra else 0)
+        hi = lo + size
+        return {
+            "n": size,
+            "atom0": lo,
+            "maxpcnt": maxpcnt,
+            "pcnt": pcnt[lo:hi].copy(),
+            "partners": partners[lo:hi].copy(),
+        }
+
+    return (
+        NBFORCE_MIMD,
+        bindings_for,
+        {"force": make_scalar_force_external(molecule)},
+    )
 
 
 def run_sequential_kernel(

@@ -18,10 +18,20 @@ The cross-cutting robustness layer of the runtime:
 * :class:`WorkerSupervisor` / :class:`SupervisionPolicy` — the
   process-pool failure model behind the pmimd backend (heartbeats,
   straggler speculation, bounded retries with backoff, cross-process
-  crash-dump reconstruction via :func:`error_from_dump`).
+  crash-dump reconstruction via :func:`error_from_dump`);
+* :class:`Checkpoint` / :class:`CheckpointStore` — durable execution:
+  restorable machine state captured at bounded intervals plus the
+  crash-safe on-disk store (atomic writes, digest-verified loads,
+  generation fallback) that resume-from-checkpoint recovery reads.
 """
 
 from .budget import DEFAULT_MAX_STEPS, Budget, BudgetMeter
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpoint,
+    CheckpointError,
+    CheckpointStore,
+)
 from .errors import (
     BackendFault,
     BudgetExceeded,
@@ -49,6 +59,10 @@ __all__ = [
     "Budget",
     "BudgetExceeded",
     "BudgetMeter",
+    "CHECKPOINT_VERSION",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointStore",
     "DEFAULT_MAX_STEPS",
     "DivergenceFault",
     "FallbackPolicy",

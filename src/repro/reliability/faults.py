@@ -67,6 +67,12 @@ class FaultPlan:
         worker_fault_kinds: Kinds the random component draws from.
         slow_seconds: Delay injected for a ``slow`` worker fault.
         hang_seconds: Heartbeat silence injected for a ``hang`` fault.
+        kill_after_steps: When set, a ``kill`` worker fault fires not
+            on task receipt but after this many interpreted statements
+            into the shard attempt (summed across its processors) —
+            the worker dies *between* checkpoints, which is what
+            checkpoint-recovery chaos tests need to prove bounded-loss
+            replay.
     """
 
     seed: int = 0
@@ -83,6 +89,7 @@ class FaultPlan:
     worker_fault_kinds: tuple[str, ...] = ("kill", "hang", "slow")
     slow_seconds: float = 0.25
     hang_seconds: float = 60.0
+    kill_after_steps: int | None = None
     _fired: set = field(default_factory=set, repr=False, compare=False)
 
     def targets(self, backend: str) -> bool:

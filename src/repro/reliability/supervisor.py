@@ -50,15 +50,16 @@ violations) abort the whole pool immediately: they are properties of
 the program, and replaying them on another worker would only re-fail.
 
 Every decision is recorded as an event dict (``dispatch``,
-``proc-complete``, ``shard-complete``, ``worker-dead``,
-``worker-wedged``, ``shard-deadline``, ``speculate``, ``backoff``,
-``retry``, ``respawn``, ``fault``, ``unrecoverable``) so chaos tests
+``proc-complete``, ``shard-complete``, ``checkpoint-resume``,
+``worker-dead``, ``worker-wedged``, ``shard-deadline``, ``speculate``,
+``backoff``, ``retry``, ``respawn``, ``fault``, ``unrecoverable``) so chaos tests
 can assert the exact recovery path taken, and ``repro run`` can show
 it.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -96,26 +97,31 @@ def snapshot_from_dump(dump: dict) -> MachineSnapshot | None:
     """
     if not isinstance(dump, dict) or "pc" not in dump or "backend" not in dump:
         return None
-    raw_loc = dump.get("snapshot_location")
-    location = None
-    if isinstance(raw_loc, dict):
-        location = SourceLocation(
-            filename=raw_loc.get("filename", "<string>"),
-            line=raw_loc.get("line", 0),
-            column=raw_loc.get("column", 0),
-            end_line=raw_loc.get("end_line", 0),
-            end_column=raw_loc.get("end_column", 0),
+    try:
+        raw_loc = dump.get("snapshot_location")
+        location = None
+        if isinstance(raw_loc, dict):
+            location = SourceLocation(
+                filename=raw_loc.get("filename", "<string>"),
+                line=raw_loc.get("line", 0),
+                column=raw_loc.get("column", 0),
+                end_line=raw_loc.get("end_line", 0),
+                end_column=raw_loc.get("end_column", 0),
+            )
+        return MachineSnapshot(
+            backend=dump["backend"],
+            pc=dump.get("pc", 0),
+            steps=dump.get("steps", 0),
+            mask=list(dump.get("mask", [])),
+            mask_stack=[list(level) for level in dump.get("mask_stack", [])],
+            env=dict(dump.get("env", {})),
+            last_ops=list(dump.get("last_ops", [])),
+            location=location,
         )
-    return MachineSnapshot(
-        backend=dump["backend"],
-        pc=dump.get("pc", 0),
-        steps=dump.get("steps", 0),
-        mask=list(dump.get("mask", [])),
-        mask_stack=[list(level) for level in dump.get("mask_stack", [])],
-        env=dict(dump.get("env", {})),
-        last_ops=list(dump.get("last_ops", [])),
-        location=location,
-    )
+    except Exception:
+        # A malformed or forward-version dump (wrong-typed fields,
+        # alien layout) yields no snapshot, not a parent-side crash.
+        return None
 
 
 def error_from_dump(dump: dict) -> ReliabilityError:
@@ -127,18 +133,30 @@ def error_from_dump(dump: dict) -> ReliabilityError:
     retryability and the worker's machine snapshot reattached.
     Unknown class names conservatively become a retryable
     :class:`BackendFault` — an unclassifiable remote failure is
-    infrastructure, not program semantics.
+    infrastructure, not program semantics.  The same degradation
+    applies to dumps this build cannot parse at all (missing keys,
+    wrong-typed fields, a forward-version layout): the parent must
+    never ``KeyError`` on a remote worker's bytes.
     """
     if not isinstance(dump, dict):
         dump = {}
-    cls = _ERROR_CLASSES.get(dump.get("error", ""), BackendFault)
+    try:
+        cls = _ERROR_CLASSES.get(dump.get("error", ""), BackendFault)
+    except TypeError:  # unhashable "error" value
+        cls = BackendFault
     retryable = dump.get("retryable")
-    error = cls(
-        str(dump.get("message", "worker failure")),
-        snapshot=snapshot_from_dump(dump),
-        retryable=None if retryable is None else bool(retryable),
-    )
-    return error
+    try:
+        return cls(
+            str(dump.get("message", "worker failure")),
+            snapshot=snapshot_from_dump(dump),
+            retryable=None if retryable is None else bool(retryable),
+        )
+    except Exception:
+        return BackendFault(
+            "worker failure (malformed crash dump: "
+            f"error={dump.get('error')!r})",
+            retryable=True,
+        )
 
 
 @dataclass(frozen=True)
@@ -162,6 +180,12 @@ class SupervisionPolicy:
         backoff_base_seconds: Backoff before the first replay.
         backoff_factor: Multiplier per further replay.
         backoff_max_seconds: Backoff ceiling.
+        jitter_seed: Seed of the supervisor's backoff-jitter RNG.
+            Simultaneous shard failures on a pure exponential schedule
+            replay in synchronized storms; the supervisor therefore
+            decorrelates replays by drawing each delay from a seeded
+            RNG (see :meth:`backoff_seconds`).  Deterministic per seed;
+            ``None`` disables jitter entirely.
         max_respawns: Replacement workers the pool may spawn before a
             dead pool is declared unrecoverable.
         poll_interval: Supervisor event-loop sleep when idle.
@@ -177,6 +201,7 @@ class SupervisionPolicy:
     backoff_base_seconds: float = 0.02
     backoff_factor: float = 2.0
     backoff_max_seconds: float = 0.5
+    jitter_seed: int | None = 0
     max_respawns: int = 4
     poll_interval: float = 0.004
 
@@ -192,12 +217,26 @@ class SupervisionPolicy:
                 f"wedge_timeout must be positive, got {self.wedge_timeout}"
             )
 
-    def backoff_seconds(self, attempt: int) -> float:
-        """Delay before dispatching replay ``attempt`` (1-based)."""
+    def backoff_seconds(self, attempt: int, rng=None) -> float:
+        """Delay before dispatching replay ``attempt`` (1-based).
+
+        Without ``rng`` the schedule is the pure capped exponential
+        ``base · factor^(attempt−1)`` — deterministic, for tests and
+        for callers that do their own spreading.  With ``rng`` (a
+        ``random.Random``) the delay is decorrelated-jittered: drawn
+        uniformly from ``[base, min(cap, 3 · exponential)]``, so
+        simultaneous failures fan out instead of replaying in
+        lockstep, while the base delay stays a hard floor and the cap
+        a hard ceiling.
+        """
         if attempt <= 0:
             return 0.0
         delay = self.backoff_base_seconds * self.backoff_factor ** (attempt - 1)
-        return min(delay, self.backoff_max_seconds)
+        if rng is None:
+            return min(delay, self.backoff_max_seconds)
+        low = self.backoff_base_seconds
+        high = max(low, min(3.0 * delay, self.backoff_max_seconds))
+        return min(rng.uniform(low, high), self.backoff_max_seconds)
 
 
 @dataclass
@@ -292,6 +331,11 @@ class WorkerSupervisor:
         self.backend = backend
         self._clock = clock
         self._sleep = sleep
+        self._backoff_rng = (
+            None
+            if self.policy.jitter_seed is None
+            else random.Random(self.policy.jitter_seed)
+        )
         self._workers: dict[int, object] = {}
         self._flights: dict[int, _Flight] = {}  # worker_id -> flight
         self._next_worker_id = 0
@@ -459,6 +503,19 @@ class WorkerSupervisor:
             return
         task = self._tasks.get(message.get("shard"))
         if task is None:
+            return
+        if kind == "ckpt-resume":
+            # A replayed processor continued from its stored checkpoint
+            # instead of statement 0 — record where it picked up so
+            # chaos tests (and `repro run`) can bound the lost work.
+            self._log(
+                "checkpoint-resume",
+                shard=task.index,
+                worker=worker_id,
+                proc=message.get("proc"),
+                attempt=message.get("attempt", 0),
+                step=message.get("step", 0),
+            )
             return
         if kind == "done":
             flight = self._flights.get(worker_id)
@@ -632,7 +689,7 @@ class WorkerSupervisor:
             )
             fault.supervision_events = self.events
             raise fault
-        delay = self.policy.backoff_seconds(task.attempt)
+        delay = self.policy.backoff_seconds(task.attempt, rng=self._backoff_rng)
         task.eligible_at = self._clock() + delay
         task.speculated = False
         if task.index not in self._retry_queue:

@@ -43,6 +43,15 @@ class BackendConfig:
         supervision: A
             :class:`~repro.reliability.supervisor.SupervisionPolicy`
             for the worker pool (pmimd only; None uses the defaults).
+        checkpoint_every: Capture a restorable
+            :class:`~repro.reliability.checkpoint.Checkpoint` every
+            this many executed steps/statements (vm, scalar and pmimd
+            backends; None disables durable execution).
+        checkpoint_dir: Root of the on-disk
+            :class:`~repro.reliability.checkpoint.CheckpointStore`.
+            For vm/scalar runs the Engine saves each capture there
+            (key ``"run"``); for pmimd the workers keep per-processor
+            keys so shard replays resume instead of rerunning.
     """
 
     nproc: int = 0
@@ -56,6 +65,8 @@ class BackendConfig:
     shards: int | None = None
     shard_layout: str = "block"
     supervision: object | None = None
+    checkpoint_every: int | None = None
+    checkpoint_dir: str | None = None
 
     def with_nproc(self, nproc: int) -> "BackendConfig":
         """This config with a different machine width."""

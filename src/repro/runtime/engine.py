@@ -276,6 +276,10 @@ class CompiledProgram:
         policy: FallbackPolicy | None = None,
         verify: bool = False,
         config: BackendConfig | None = None,
+        checkpoint_every: int | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_sink=None,
+        resume_from=None,
     ) -> RunResult:
         """Execute the compiled program and return a :class:`RunResult`.
 
@@ -317,12 +321,34 @@ class CompiledProgram:
                 one bag; explicit keyword arguments win over it, and
                 its ``counters``/``max_instructions``/``vm_fuse``
                 fields reach the backend constructors unchanged.
+            checkpoint_every: Durable execution — capture a restorable
+                :class:`~repro.reliability.checkpoint.Checkpoint`
+                every this many executed steps (vm/scalar: delivered
+                to ``checkpoint_sink`` or saved under ``checkpoint_dir``;
+                pmimd: workers checkpoint per processor so shard
+                replays resume instead of rerunning).
+            checkpoint_dir: On-disk
+                :class:`~repro.reliability.checkpoint.CheckpointStore`
+                root.  vm/scalar captures are saved under the key
+                ``"run"`` stamped with this program's source SHA.
+            checkpoint_sink: Callable receiving each captured
+                checkpoint (vm/scalar; wins over ``checkpoint_dir``).
+            resume_from: A checkpoint to continue from instead of
+                starting at step 0.  The backend is chosen from the
+                checkpoint (vm or scalar), the final env/counters are
+                bit-identical to an uninterrupted run, and a
+                source-SHA mismatch is refused.  Incompatible with
+                ``policy`` chains.
         """
         if config is not None:
             nproc = nproc if nproc else config.nproc
             externals = externals if externals is not None else config.externals
             budget = budget if budget is not None else config.budget
             fault_plan = fault_plan if fault_plan is not None else config.fault_plan
+            if checkpoint_every is None:
+                checkpoint_every = config.checkpoint_every
+            if checkpoint_dir is None:
+                checkpoint_dir = config.checkpoint_dir
         if verify:
             if policy is not None:
                 if not policy.verify:
@@ -344,6 +370,31 @@ class CompiledProgram:
                     else ("vm", "interpreter")
                 )
                 policy = FallbackPolicy(chain=chain, retries=0, verify=True)
+        if policy is not None and (resume_from is not None or checkpoint_sink is not None):
+            raise InterpreterError(
+                "resume_from/checkpoint_sink cannot be combined with a "
+                "FallbackPolicy chain: a resumed run must continue the one "
+                "backend recorded in the checkpoint"
+            )
+        if resume_from is not None:
+            meta = getattr(resume_from, "meta", None)
+            sha = meta.get("source_sha") if isinstance(meta, dict) else None
+            if sha is not None and sha != self.source_sha:
+                raise InterpreterError(
+                    "resume_from checkpoint was captured from a different "
+                    "program (source SHA mismatch)"
+                )
+            chosen = "vm" if resume_from.backend == "vm" else "scalar"
+            name = backend.strip().lower()
+            name = self._BACKEND_ALIASES.get(name, name)
+            if name not in ("auto", chosen):
+                raise InterpreterError(
+                    f"resume_from checkpoint was captured by the '{chosen}' "
+                    f"backend; requested backend '{backend}' cannot "
+                    f"continue it"
+                )
+            if chosen == "vm" and not nproc:
+                nproc = resume_from.nproc
         kwargs = dict(
             bindings=bindings,
             nproc=nproc,
@@ -355,14 +406,46 @@ class CompiledProgram:
             budget=budget,
             fault_plan=fault_plan,
             config=config,
+            checkpoint_every=checkpoint_every,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_sink=checkpoint_sink,
+            resume_from=resume_from,
         )
         if policy is not None:
             return self._run_with_policy(policy, **kwargs)
-        chosen = self._resolve_backend(backend, nproc, statement_hook, routine_name)
+        if resume_from is None:
+            chosen = self._resolve_backend(backend, nproc, statement_hook, routine_name)
+        if (
+            checkpoint_every
+            and checkpoint_dir
+            and checkpoint_sink is None
+            and chosen in ("vm", "scalar")
+        ):
+            # Durable execution by default: captures land in an on-disk
+            # store under one well-known key, stamped with the program
+            # identity so a later --resume refuses a source mismatch.
+            from ..reliability.checkpoint import CheckpointStore
+
+            store = CheckpointStore(checkpoint_dir)
+
+            def checkpoint_sink(ckpt, _store=store, _sha=self.source_sha):
+                ckpt.meta["source_sha"] = _sha
+                _store.save("run", ckpt)
+
+            kwargs["checkpoint_sink"] = checkpoint_sink
         start = time.perf_counter()
         env, counters, statements, events = self._execute(chosen, **kwargs)
         wall = time.perf_counter() - start
-        return self._result(chosen, nproc, env, counters, statements, wall, events=events)
+        return self._result(
+            chosen,
+            nproc,
+            env,
+            counters,
+            statements,
+            wall,
+            events=events,
+            resumed_from_step=None if resume_from is None else resume_from.step,
+        )
 
     def _execute(
         self,
@@ -378,6 +461,10 @@ class CompiledProgram:
         budget,
         fault_plan,
         config=None,
+        checkpoint_every=None,
+        checkpoint_dir=None,
+        checkpoint_sink=None,
+        resume_from=None,
     ):
         """Run one already-resolved backend.
 
@@ -396,6 +483,8 @@ class CompiledProgram:
                 externals=externals,
                 budget=budget,
                 fault_plan=fault_plan,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
             )
         else:
             # Explicit run() kwargs already won the merge; refold them
@@ -407,17 +496,29 @@ class CompiledProgram:
                 externals=externals,
                 budget=budget,
                 fault_plan=fault_plan,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
             )
         if chosen == "vm":
             from ..vm.machine import SIMDVirtualMachine
 
             vm = SIMDVirtualMachine.from_config(config)
-            raw = vm.run(self.bytecode(), bindings=dict(bindings or {}))
+            vm.checkpoint_sink = checkpoint_sink
+            raw = vm.run(
+                self.bytecode(),
+                bindings=dict(bindings or {}),
+                resume_from=resume_from,
+            )
             env = {k: v for k, v in raw.items() if not k.startswith("__")}
             return env, vm.counters, vm.executed, []
         if chosen == "interpreter":
             from ..exec.simd import SIMDInterpreter
 
+            if resume_from is not None or checkpoint_sink is not None:
+                raise InterpreterError(
+                    "the lockstep tree-walker does not support checkpoint "
+                    "capture/resume; use backend='vm' or 'scalar'"
+                )
             interp = SIMDInterpreter.from_config(self._tree, config)
             interp.statement_hook = statement_hook
             env = interp.run(routine_name=routine_name, bindings=bindings)
@@ -427,7 +528,12 @@ class CompiledProgram:
 
             interp = ScalarInterpreter.from_config(self._tree, config)
             interp.statement_hook = statement_hook
-            env = interp.run(routine_name=routine_name, bindings=bindings)
+            interp.checkpoint_sink = checkpoint_sink
+            env = interp.run(
+                routine_name=routine_name,
+                bindings=bindings,
+                resume_from=resume_from,
+            )
             return env, interp.counters, interp.executed_statements, []
         if chosen == "pmimd":
             from ..exec.pmimd import PMIMDExecutor
@@ -436,6 +542,18 @@ class CompiledProgram:
                 raise InterpreterError(
                     "backend='pmimd' cannot install statement hooks across "
                     "process boundaries; use backend='mimd'"
+                )
+            if checkpoint_sink is not None:
+                raise InterpreterError(
+                    "backend='pmimd' cannot deliver checkpoints to an "
+                    "in-process sink; set checkpoint_dir so workers save "
+                    "per-processor checkpoints to the on-disk store"
+                )
+            if resume_from is not None:
+                raise InterpreterError(
+                    "backend='pmimd' resumes from its per-processor "
+                    "checkpoint store automatically; resume_from takes a "
+                    "single vm/scalar checkpoint"
                 )
             executor = PMIMDExecutor.from_config(self._tree, config)
             res = executor.run(
@@ -473,6 +591,7 @@ class CompiledProgram:
         wall,
         attempts=None,
         events=None,
+        resumed_from_step=None,
     ) -> RunResult:
         self._engine.stats.runs[chosen] += 1
         if isinstance(counters, list):
@@ -492,6 +611,7 @@ class CompiledProgram:
             statements=statements,
             attempts=attempts if attempts is not None else [],
             events=events if events is not None else [],
+            resumed_from_step=resumed_from_step,
         )
 
     def _run_with_policy(self, policy: FallbackPolicy, **kwargs) -> RunResult:

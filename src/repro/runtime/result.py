@@ -60,6 +60,9 @@ class RunResult:
             the pmimd backend's
             :class:`~repro.reliability.supervisor.WorkerSupervisor`;
             empty for single-process backends.
+        resumed_from_step: When the run continued from a
+            :class:`~repro.reliability.checkpoint.Checkpoint`, the
+            step it resumed at; None for runs started from step 0.
     """
 
     env: object
@@ -73,6 +76,7 @@ class RunResult:
     statements: object = None
     attempts: list = field(default_factory=list)
     events: list = field(default_factory=list)
+    resumed_from_step: int | None = None
 
     # -- legacy (env, counters) tuple protocol ------------------------------
 

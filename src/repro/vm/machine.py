@@ -30,6 +30,7 @@ Execution model (see DESIGN.md §10):
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 
 import numpy as np
@@ -52,6 +53,7 @@ from ..reliability import (
     render_mask,
     snapshot_env,
 )
+from ..reliability.checkpoint import Checkpoint
 from .fuse import (
     S_ALLOC,
     S_BINOP,
@@ -94,6 +96,13 @@ class SIMDVirtualMachine:
             ``False`` retires one instruction per dispatch with exact
             per-instruction budget metering — the reference mode the
             fuzz oracle runs differentially against the fused mode.
+        checkpoint_every: Capture a restorable
+            :class:`~repro.reliability.checkpoint.Checkpoint` every
+            this many executed instructions (checked between dispatch
+            iterations, so fused runs stretch the interval by at most
+            ``MAX_FUSE_LEN - 1`` steps).  ``None`` disables capture.
+        checkpoint_sink: Callable receiving each captured checkpoint
+            (e.g. ``CheckpointStore.save`` bound to a key).
     """
 
     def __init__(
@@ -105,9 +114,15 @@ class SIMDVirtualMachine:
         budget: Budget | None = None,
         fault_plan=None,
         fuse: bool = True,
+        checkpoint_every: int | None = None,
+        checkpoint_sink=None,
     ):
         if nproc < 1:
             raise InterpreterError(f"need at least one PE, got {nproc}")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise InterpreterError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
         self.nproc = nproc
         self.externals = externals or {}
         self.counters = counters if counters is not None else ExecutionCounters(nproc)
@@ -115,6 +130,8 @@ class SIMDVirtualMachine:
         self.budget = budget if budget is not None else Budget(max_steps=max_instructions)
         self.fault_plan = fault_plan
         self.fuse = fuse
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_sink = checkpoint_sink
         self.executed = 0
         self._meter = self.budget.meter()
         self._trace: deque = deque(maxlen=TRACE_DEPTH)
@@ -165,6 +182,7 @@ class SIMDVirtualMachine:
             budget=config.budget,
             fault_plan=config.fault_plan,
             fuse=config.vm_fuse,
+            checkpoint_every=config.checkpoint_every,
         )
         if config.max_instructions is not None:
             kwargs["max_instructions"] = config.max_instructions
@@ -324,12 +342,24 @@ class SIMDVirtualMachine:
 
     # -- execution -------------------------------------------------------------------
 
-    def run(self, code: CodeObject, bindings: dict | None = None) -> dict:
+    def run(
+        self,
+        code: CodeObject,
+        bindings: dict | None = None,
+        resume_from: Checkpoint | None = None,
+    ) -> dict:
         """Execute a code object; returns the final environment.
 
         Every error raised mid-run is stamped with the current
         instruction's source location and a :meth:`snapshot` of the
         machine before propagating.
+
+        With ``resume_from``, ``bindings`` are ignored and execution
+        continues from the checkpoint's state; the resumed run's final
+        environment, counters and crash dumps are bit-identical to the
+        uninterrupted run's (the checkpoint itself is not mutated, so
+        it may be resumed again).  Wall-clock deadlines restart; the
+        consumed *step* budget resumes exactly.
         """
         env: dict = dict(bindings or {})
         self._env = env
@@ -342,17 +372,31 @@ class SIMDVirtualMachine:
                 raise attach_snapshot(error, self.snapshot())
             self._set_mask(self._mask & self.fault_plan.dropout_mask(self.nproc, "vm"))
             run_code = code  # op faults need exact per-instruction stepping
+            fused = False
         elif self.fuse:
             run_code = fuse_code(code)
+            fused = True
         else:
             run_code = code
+            fused = False
         instructions = run_code.instructions
         dispatch = self._dispatch
         handlers = [dispatch.get(i.op, self._op_unknown) for i in instructions]
         size = len(instructions)
         pc = 0
+        if resume_from is not None:
+            pc, env, stack = self._restore(resume_from, fused)
+            self._env = env
+        every = self.checkpoint_every
+        sink = self.checkpoint_sink
+        next_at = None
+        if every and sink is not None:
+            next_at = (self.executed // every + 1) * every
         try:
             while 0 <= pc < size:
+                if next_at is not None and self.executed >= next_at:
+                    sink(self._capture(pc, env, stack, fused))
+                    next_at = (self.executed // every + 1) * every
                 self._last_pc = pc
                 instr = instructions[pc]
                 if instr.loc is not None:
@@ -377,6 +421,70 @@ class SIMDVirtualMachine:
             )
             raise attach_snapshot(error, self.snapshot())
         return env
+
+    # -- checkpoint capture / resume -----------------------------------------------
+
+    def _capture(self, pc: int, env: dict, stack: list, fused: bool) -> Checkpoint:
+        """Full restorable state at an instruction boundary.
+
+        Runs between dispatch iterations only, so a capture can never
+        land inside a fused superinstruction — the restored machine is
+        always in a state the unfused VM could also have reached.
+        """
+        self._flush_lane_epoch()
+        return Checkpoint(
+            backend="vm",
+            step=self.executed,
+            pc=pc,
+            env=env,
+            stack=list(stack),
+            mask=self._mask_value,
+            mask_stack=list(self._mask_stack),
+            counters=self.counters.state_dict(),
+            meter_steps=self._meter.steps,
+            trace=list(self._trace),
+            last_pc=self._last_pc,
+            last_loc=self._last_loc,
+            nproc=self.nproc,
+            meta={"fuse": fused},
+        ).detach()
+
+    def _restore(self, ckpt: Checkpoint, fused: bool):
+        """Install a checkpoint's state; returns ``(pc, env, stack)``.
+
+        The checkpoint's mutable state is deep-copied in, so the same
+        checkpoint object can seed any number of resumed runs.
+        """
+        if ckpt.backend != "vm":
+            raise InterpreterError(
+                f"cannot resume a {ckpt.backend!r} checkpoint on the vm backend"
+            )
+        if ckpt.nproc != self.nproc:
+            raise InterpreterError(
+                f"checkpoint was captured on {ckpt.nproc} PEs, "
+                f"this machine has {self.nproc}"
+            )
+        if ckpt.meta.get("fuse", fused) != fused:
+            # pc indexes fused and unfused code identically *between*
+            # runs of straight-line code, but a mid-padding pc from one
+            # mode is a NOP in the other — refuse the silent skip.
+            raise InterpreterError(
+                "checkpoint was captured with "
+                f"fuse={ckpt.meta.get('fuse')}, this run has fuse={fused}"
+            )
+        env, stack, mask, mask_stack = copy.deepcopy(
+            (ckpt.env, ckpt.stack, ckpt.mask, ckpt.mask_stack)
+        )
+        self._epoch_layers = 0
+        self._mask_stack = list(mask_stack)
+        self._set_mask(np.asarray(mask))
+        self.executed = ckpt.step
+        self.counters.load_state(ckpt.counters)
+        self._meter.steps = ckpt.meter_steps
+        self._trace = deque(ckpt.trace, maxlen=TRACE_DEPTH)
+        self._last_pc = ckpt.last_pc
+        self._last_loc = ckpt.last_loc
+        return ckpt.pc, env, stack
 
     def _tick1(self, instr: Instr, pc: int) -> None:
         """Per-instruction accounting for unfused dispatch."""

@@ -84,6 +84,29 @@ class TestRunner:
             c["steps"] for c in point["cells"]
         ]
 
+    def test_pmimd_sweep_measures_the_mimd_column(self, point):
+        from repro.bench import MIMD_KERNEL
+
+        mimd_point = run_table1_sweep(
+            "tiny-pmimd",
+            backend="pmimd",
+            nproc=4,
+            nmax=128,
+            n_atoms=100,
+            cutoffs=(3.0,),
+        )
+        assert [c["kernel"] for c in mimd_point["cells"]] == [MIMD_KERNEL]
+        assert mimd_point["cells"][0]["steps"] > 0
+        assert validate_report(
+            {
+                "schema": SCHEMA,
+                "benchmark": BENCHMARK,
+                "points": [mimd_point],
+            }
+        ) == []
+        # a pmimd point never gates against lockstep points
+        assert point_signature(mimd_point) != point_signature(point)
+
 
 class TestBaseline:
     def test_identical_points_pass(self, point):

@@ -93,3 +93,118 @@ class TestLifecycle:
         arena.close()
         with pytest.raises(Exception):
             attach(spec)
+
+
+class TestAbnormalTeardown:
+    """Arena hygiene when a pmimd run dies instead of finishing.
+
+    The arena lives in ``PMIMDExecutor.run``'s finally block, so a
+    supervisor abort (non-retryable program fault) and a mid-run worker
+    kill must both unlink every segment — leaked POSIX shm survives the
+    process and eats /dev/shm until reboot.
+    """
+
+    SOURCE = """
+SUBROUTINE MAIN()
+  INTEGER I, N
+  REAL BIG(600)
+  N = 600
+  DO 10 I = 1, N
+    BIG(I) = BIG(I) + I
+10 CONTINUE
+END
+"""
+
+    BAD_SOURCE = """
+SUBROUTINE MAIN()
+  INTEGER I
+  REAL BIG(600)
+  I = 700
+  BIG(I) = 1.0
+END
+"""
+
+    @pytest.fixture()
+    def recording_arena(self, monkeypatch):
+        from repro.exec import pmimd as pmimd_mod
+
+        instances = []
+        segment_names = []
+
+        class RecordingArena(ShmArena):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                instances.append(self)
+
+            def share_array(self, name, array):
+                spec = super().share_array(name, array)
+                segment_names.append(spec.segment)
+                return spec
+
+        monkeypatch.setattr(pmimd_mod, "ShmArena", RecordingArena)
+        return instances, segment_names
+
+    def _run(self, source, plan=None):
+        from repro.reliability.supervisor import SupervisionPolicy
+        from repro.runtime import BackendConfig, Engine
+
+        config = BackendConfig(
+            workers=2,
+            supervision=SupervisionPolicy(
+                wedge_timeout=0.75,
+                backoff_base_seconds=0.01,
+                backoff_max_seconds=0.05,
+                straggler_floor_seconds=0.2,
+            ),
+        )
+        # 4800 bytes >= the shm threshold: the binding must travel
+        # through the arena, not the pickle.
+        bindings = {"big": np.zeros(600, dtype=np.float64)}
+        return Engine().run(
+            source,
+            bindings,
+            nproc=4,
+            backend="pmimd",
+            config=config,
+            fault_plan=plan,
+        )
+
+    def _assert_unlinked(self, instances, segment_names):
+        assert instances, "pmimd run never built an arena"
+        assert segment_names, "large binding never moved to shared memory"
+        assert all(arena._closed for arena in instances)
+        for name in segment_names:
+            with pytest.raises(FileNotFoundError):
+                attach(
+                    type(
+                        "Spec",
+                        (),
+                        {
+                            "segment": name,
+                            "name": "big",
+                            "shape": (600,),
+                            "dtype": "<f8",
+                        },
+                    )()
+                )
+
+    def test_supervisor_abort_unlinks_all_segments(self, recording_arena):
+        from repro.reliability.errors import ReliabilityError
+
+        instances, segment_names = recording_arena
+        with pytest.raises(ReliabilityError):
+            self._run(self.BAD_SOURCE)
+        self._assert_unlinked(instances, segment_names)
+
+    def test_worker_kill_recovery_unlinks_all_segments(self, recording_arena):
+        from repro.reliability.faults import FaultPlan
+
+        instances, segment_names = recording_arena
+        result = self._run(
+            self.SOURCE, plan=FaultPlan(worker_kill=(0,), backends=("pmimd",))
+        )
+        assert any(e.get("event") == "worker-dead" for e in result.events)
+        expected = np.zeros(600) + np.arange(1, 601)
+        for env in result.envs:
+            assert np.array_equal(np.asarray(env["big"].data), expected)
+        self._assert_unlinked(instances, segment_names)

@@ -40,6 +40,10 @@ def test_pmimd_chaos_campaign():
     assert report.checked == 200
     assert report.ok, report.summary()
     assert report.leg_stats.get("none/pmimd-chaos", 0) >= 195
+    # durable-execution chaos: shard 0 killed mid-attempt between
+    # checkpoint boundaries; the replay resumes from the per-processor
+    # store and must stay observationally invisible
+    assert report.leg_stats.get("none/pmimd-ckpt", 0) >= 195
 
 
 def test_oracle_rejects_tiny_pools():

@@ -25,3 +25,8 @@ def test_fuzz_smoke_campaign():
     # program of the campaign
     assert report.leg_stats.get("none/vm-fuse") == 200
     assert report.leg_stats.get("flatten/auto/vm-fuse") == 200
+    # durable-execution legs: interrupt at a seeded random step +
+    # resume from the last checkpoint must be bit-identical to the
+    # uninterrupted run (env and exact counters) on every program
+    assert report.leg_stats.get("none/vm-ckpt") == 200
+    assert report.leg_stats.get("none/interp-ckpt") == 200

@@ -476,3 +476,107 @@ class TestPolicyValidation:
         supervisor = WorkerSupervisor(broken_factory, 2)
         with pytest.raises(BackendFault, match="spawn"):
             supervisor.run([Shard(0, (1,))])
+
+
+class TestBackoffJitter:
+    """Decorrelated jitter on retry backoff (thundering-herd control)."""
+
+    POLICY = SupervisionPolicy(
+        backoff_base_seconds=0.1, backoff_factor=3.0, backoff_max_seconds=0.5
+    )
+
+    def test_no_rng_is_the_pure_schedule(self):
+        # rng=None must keep the exact capped-exponential values that
+        # FakeClock-driven tests (and operators reading logs) rely on.
+        assert self.POLICY.backoff_seconds(1, rng=None) == pytest.approx(0.1)
+        assert self.POLICY.backoff_seconds(2, rng=None) == pytest.approx(0.3)
+        assert self.POLICY.backoff_seconds(3, rng=None) == 0.5
+
+    def test_deterministic_given_seed(self):
+        import random
+
+        a = [self.POLICY.backoff_seconds(k, rng=random.Random(7)) for k in (1, 2, 3)]
+        b = [self.POLICY.backoff_seconds(k, rng=random.Random(7)) for k in (1, 2, 3)]
+        assert a == b
+
+    def test_floor_and_ceiling(self):
+        import random
+
+        rng = random.Random(0)
+        for attempt in range(1, 8):
+            for _ in range(50):
+                delay = self.POLICY.backoff_seconds(attempt, rng=rng)
+                # never below the base (a retry storm still spreads out,
+                # but a single retry is never faster than the schedule's
+                # first step) and never above the cap
+                assert 0.1 <= delay <= 0.5
+
+    def test_attempt_zero_is_immediate(self):
+        import random
+
+        assert self.POLICY.backoff_seconds(0, rng=random.Random(1)) == 0.0
+
+    def test_supervisor_jitter_is_seeded(self):
+        policy = SupervisionPolicy(jitter_seed=42)
+        sup_a = make_supervisor([succeed, succeed], policy=policy)[0]
+        sup_b = make_supervisor([succeed, succeed], policy=policy)[0]
+        a = [sup_a.policy.backoff_seconds(k, rng=sup_a._backoff_rng) for k in (1, 2)]
+        b = [sup_b.policy.backoff_seconds(k, rng=sup_b._backoff_rng) for k in (1, 2)]
+        assert a == b
+
+    def test_jitter_seed_none_disables(self):
+        policy = SupervisionPolicy(jitter_seed=None)
+        supervisor = make_supervisor([succeed, succeed], policy=policy)[0]
+        assert supervisor._backoff_rng is None
+
+
+class TestDumpHardening:
+    """Malformed / forward-version dumps degrade, never KeyError."""
+
+    def test_empty_dump(self):
+        error = error_from_dump({})
+        assert isinstance(error, BackendFault)
+        assert error.retryable is True
+
+    def test_non_dict_dump(self):
+        error = error_from_dump(None)
+        assert isinstance(error, BackendFault)
+        assert error.retryable is True
+
+    def test_unhashable_error_key(self):
+        error = error_from_dump({"error": ["BackendFault"], "message": "x"})
+        assert isinstance(error, BackendFault)
+        assert error.retryable is True
+
+    def test_wrong_typed_snapshot_fields(self):
+        # mask_stack of non-iterables would TypeError inside the
+        # snapshot rebuild; the dump must still classify.
+        dump = {
+            "error": "DivergenceFault",
+            "message": "lanes disagree",
+            "backend": "vm",
+            "pc": 3,
+            "mask_stack": [1, 2],
+        }
+        error = error_from_dump(dump)
+        assert isinstance(error, DivergenceFault)
+        assert error.snapshot is None
+
+    def test_forward_version_layout(self):
+        # A future worker build ships fields this parent has never
+        # seen, with shapes it cannot parse — degrade, don't crash.
+        dump = {
+            "error": "HologramFault",
+            "message": 0xBEEF,
+            "retryable": "maybe",
+            "backend": {"kind": "quantum"},
+            "pc": "entangled",
+            "schema": 99,
+        }
+        error = error_from_dump(dump)
+        assert isinstance(error, BackendFault)
+
+    def test_snapshot_from_malformed_dump_is_none(self):
+        assert snapshot_from_dump({"backend": "vm", "pc": 0, "env": 7}) is None
+        assert snapshot_from_dump("not a dict") is None
+        assert snapshot_from_dump({"backend": "vm", "pc": 0, "mask_stack": 3}) is None
