@@ -16,6 +16,7 @@ from .baseline import (
     DEFAULT_THRESHOLD,
     check_trajectory,
     compare_points,
+    describe_signature,
     point_signature,
 )
 from .runner import (
@@ -47,6 +48,7 @@ __all__ = [
     "validate_point",
     "validate_report",
     "point_signature",
+    "describe_signature",
     "compare_points",
     "check_trajectory",
 ]

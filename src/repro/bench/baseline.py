@@ -37,6 +37,21 @@ def point_signature(point: dict) -> tuple:
     )
 
 
+def describe_signature(point: dict) -> str:
+    """The workload identity rendered for gate output.
+
+    When the gate trips, CI logs need to say *which* point regressed
+    without the reader diffing JSON by hand — this is the one-line
+    rendering of :func:`point_signature`.
+    """
+    cells = point.get("cells") or []
+    return (
+        f"backend={point.get('backend')} nproc={point.get('nproc')} "
+        f"nmax={point.get('nmax')} n_atoms={point.get('n_atoms')} "
+        f"grid={len(cells)} cell(s)"
+    )
+
+
 def compare_points(
     baseline: dict, candidate: dict, threshold: float = DEFAULT_THRESHOLD
 ) -> list[str]:
@@ -71,8 +86,10 @@ def compare_points(
         problems.append(
             f"wall-clock regression: candidate {candidate.get('label')!r} "
             f"total {cand_total:.3f}s is {ratio:.2f}x baseline "
-            f"{baseline.get('label')!r} ({base_total:.3f}s); "
-            f"threshold is {1.0 + threshold:.2f}x"
+            f"{baseline.get('label')!r} ({base_total:.3f}s), "
+            f"delta +{cand_total - base_total:.3f}s; "
+            f"threshold is {1.0 + threshold:.2f}x; "
+            f"point signature: {describe_signature(candidate)}"
         )
     return problems
 
@@ -103,6 +120,7 @@ def check_trajectory(
 __all__ = [
     "DEFAULT_THRESHOLD",
     "point_signature",
+    "describe_signature",
     "compare_points",
     "check_trajectory",
 ]

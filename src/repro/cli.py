@@ -497,6 +497,52 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import ServeConfig, TenantPolicy, serve
+
+    tenants = []
+    if args.max_steps is not None or args.deadline is not None or args.fallback:
+        chain = tuple(
+            b.strip() for b in (args.fallback or "").split(",") if b.strip()
+        )
+        tenants.append(
+            TenantPolicy(
+                name="default",
+                max_steps=args.max_steps,
+                deadline_seconds=args.deadline,
+                fallback=chain,
+            )
+        )
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        store_dir=args.store_dir,
+        store_max_entries=args.store_max_entries,
+        store_max_bytes=args.store_max_bytes,
+        cache_size=args.cache_size,
+        max_inflight=args.max_inflight,
+        pool_workers=args.pool_workers,
+        tenants=tuple(tenants),
+    )
+
+    def ready(app):
+        store = args.store_dir or "<memory only>"
+        print(
+            f"repro serve listening on http://{args.host}:{app.port} "
+            f"(store: {store})",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(serve(config, ready=ready))
+    except KeyboardInterrupt:
+        pass
+    print("repro serve: shutdown complete", flush=True)
+    return 0
+
+
 def cmd_paper(args) -> int:
     from . import eval as evaluation
 
@@ -691,6 +737,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threshold", type=float, default=0.20,
                    help="relative regression tolerance (default: 0.20)")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "serve",
+        help="async compile-and-run HTTP service with a persistent "
+             "sharded artifact cache (POST /v1/compile, /v1/run, "
+             "/v1/lint; GET /healthz, /metrics)",
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument("--port", type=int, default=8642,
+                   help="bind port (0 picks a free port, printed on boot)")
+    p.add_argument("--store-dir", metavar="DIR",
+                   help="persistent artifact-store root shared across "
+                        "processes; omit for in-memory caching only")
+    p.add_argument("--store-max-entries", type=int, default=None,
+                   help="LRU eviction ceiling on stored artifacts")
+    p.add_argument("--store-max-bytes", type=int, default=None,
+                   help="LRU eviction ceiling on stored bytes")
+    p.add_argument("--cache-size", type=int, default=128,
+                   help="in-memory compile-cache entries (default 128)")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   help="global concurrent-request ceiling; beyond it "
+                        "requests are rejected with 429 (default 64)")
+    p.add_argument("--pool-workers", type=int, default=4,
+                   help="execution thread-pool size (default 4)")
+    p.add_argument("--max-steps", type=int, default=None,
+                   help="per-run step budget applied to every tenant")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="per-run wall-clock budget applied to every tenant")
+    p.add_argument("--fallback", metavar="CHAIN",
+                   help="backend fallback chain for served runs, e.g. "
+                        "'vm,interpreter'")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("paper", help="regenerate a paper exhibit")
     p.add_argument("exhibit",

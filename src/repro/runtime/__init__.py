@@ -29,8 +29,11 @@ from .engine import (
     reset_default_engine,
 )
 from .result import RunResult
+from .store import ArtifactError, ArtifactStore, artifact_digest
 
 __all__ = [
+    "ArtifactError",
+    "ArtifactStore",
     "Attempt",
     "BackendConfig",
     "BackendFault",
@@ -46,6 +49,7 @@ __all__ = [
     "OutOfBoundsFault",
     "ReliabilityError",
     "RunResult",
+    "artifact_digest",
     "default_engine",
     "reset_default_engine",
 ]

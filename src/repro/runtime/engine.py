@@ -29,6 +29,7 @@ never changes what a cost model sees.
 from __future__ import annotations
 
 import hashlib
+import pickle
 import threading
 import time
 from collections import Counter, OrderedDict
@@ -88,22 +89,34 @@ class CompileOptions:
 
 @dataclass
 class EngineStats:
-    """Cache and dispatch counters for one :class:`Engine`."""
+    """Cache and dispatch counters for one :class:`Engine`.
+
+    ``hits`` counts in-memory LRU hits; ``disk_hits`` counts artifacts
+    served from the persistent :class:`~repro.runtime.store.ArtifactStore`
+    tier (a disk hit skips the transform pipeline but still pays one
+    load+unpickle); ``misses`` counts full compiles.
+    """
 
     compiles: int = 0
     hits: int = 0
     misses: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    store_saves: int = 0
     runs: Counter = field(default_factory=Counter)
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.compiles if self.compiles else 0.0
+        return (self.hits + self.disk_hits) / self.compiles if self.compiles else 0.0
 
     def snapshot(self) -> dict:
         return {
             "compiles": self.compiles,
             "hits": self.hits,
             "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "disk_misses": self.disk_misses,
+            "store_saves": self.store_saves,
             "runs": dict(self.runs),
         }
 
@@ -133,6 +146,7 @@ class CompiledProgram:
         self.source_sha = source_sha
         self.stage_seconds = stage_seconds
         self.cache_hit = False  # provenance of the *latest* compile() call
+        self.cache_tier = "miss"  # "memory" | "disk" | "miss", same provenance
         self._lock = threading.Lock()
         self._bytecode = None
         self._bytecode_error: str | None = None
@@ -758,15 +772,37 @@ class CompiledProgram:
 class Engine:
     """Compiles MiniF programs once and runs them many times.
 
+    Caching is two-tier: an in-process LRU of live
+    :class:`CompiledProgram` objects, optionally backed by a persistent
+    on-disk :class:`~repro.runtime.store.ArtifactStore` shared between
+    processes (and, behind ``repro serve``, between cluster restarts).
+    A memory miss falls through to the store before the transform
+    pipeline runs; a full compile publishes its artifact back.
+
     Args:
         cache_size: Maximum number of distinct (source, options)
-            artifacts to retain (LRU eviction).
+            artifacts to retain in memory (LRU eviction).
+        store: A ready :class:`~repro.runtime.store.ArtifactStore`
+            to use as the persistent tier (wins over ``store_dir``).
+        store_dir: Convenience — build an
+            :class:`~repro.runtime.store.ArtifactStore` rooted here.
     """
 
-    def __init__(self, cache_size: int = 128):
+    def __init__(
+        self,
+        cache_size: int = 128,
+        *,
+        store=None,
+        store_dir: str | None = None,
+    ):
         if cache_size < 1:
             raise ValueError(f"cache_size must be >= 1, got {cache_size}")
         self.cache_size = cache_size
+        if store is None and store_dir is not None:
+            from .store import ArtifactStore
+
+            store = ArtifactStore(store_dir)
+        self.store = store
         self.stats = EngineStats()
         self._cache: OrderedDict[tuple, CompiledProgram] = OrderedDict()
         self._lock = threading.Lock()
@@ -824,8 +860,66 @@ class Engine:
 
         Returns:
             A cached :class:`CompiledProgram`; its ``cache_hit``
-            attribute tells whether this call was served from cache.
+            attribute tells whether this call was served from cache and
+            ``cache_tier`` which tier served it
+            (``"memory"``/``"disk"``/``"miss"``).
         """
+        text, sha, options = self._normalize(
+            source,
+            transform=transform,
+            variant=variant,
+            simd=simd,
+            assume_min_trips=assume_min_trips,
+            assume_parallel=assume_parallel,
+            routine=routine,
+            nest_index=nest_index,
+            layout=layout,
+            width=width,
+        )
+        key = (sha, options)
+        with self._lock:
+            self.stats.compiles += 1
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                self._cache.move_to_end(key)
+                cached.cache_hit = True
+                cached.cache_tier = "memory"
+                return self._checked(cached, strict)
+        program = self._load_from_store(sha, key, options)
+        tier = "disk"
+        if program is None:
+            tier = "miss"
+            with self._lock:
+                self.stats.misses += 1
+            program = self._build(text, sha, key, options)
+            self._publish(sha, options, program)
+        with self._lock:
+            # a racing compile may have inserted the same key; keep the
+            # first artifact so callers share one entry
+            winner = self._cache.setdefault(key, program)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        winner.cache_hit = winner is not program or tier == "disk"
+        winner.cache_tier = "memory" if winner is not program else tier
+        return self._checked(winner, strict)
+
+    def _normalize(
+        self,
+        source: ast.SourceFile | str,
+        *,
+        transform=None,
+        variant="auto",
+        simd=True,
+        assume_min_trips=False,
+        assume_parallel=False,
+        routine=None,
+        nest_index=0,
+        layout="block",
+        width=None,
+    ) -> tuple[str, str, CompileOptions]:
+        """``(text, source SHA, normalized options)`` of a compile request."""
         options = CompileOptions(
             transform=normalize_transform(transform),
             variant=normalize_variant(variant),
@@ -847,26 +941,78 @@ class Engine:
                 f"got {type(source).__name__}"
             )
         sha = hashlib.sha256(text.encode()).hexdigest()
-        key = (sha, options)
+        return text, sha, options
+
+    def cache_key(self, source: ast.SourceFile | str, **options) -> str:
+        """The store digest of a compile request, without compiling.
+
+        The same identity :meth:`compile` caches under — usable as a
+        deduplication key (``repro.serve`` single-flights identical
+        in-flight compiles on it) and as the
+        :class:`~repro.runtime.store.ArtifactStore` address.
+        """
+        from .store import artifact_digest
+
+        _text, sha, normalized = self._normalize(source, **options)
+        return artifact_digest(sha, normalized)
+
+    def _load_from_store(self, sha, key, options) -> "CompiledProgram | None":
+        """Persistent-tier lookup: rebuild a CompiledProgram from disk."""
+        if self.store is None:
+            return None
+        from .store import artifact_digest
+
+        start = time.perf_counter()
+        payload = self.store.load(artifact_digest(sha, options))
+        if (
+            payload is None
+            or payload.get("source_sha") != sha
+            or payload.get("options") != options
+            or not isinstance(payload.get("tree"), ast.SourceFile)
+        ):
+            # A digest collision or a doctored entry surfaces as an
+            # identity mismatch: treat as a miss, never trust the tree.
+            with self._lock:
+                self.stats.disk_misses += 1
+            return None
+        stage_seconds = dict(payload.get("stage_seconds") or {})
+        stage_seconds["store_load"] = time.perf_counter() - start
         with self._lock:
-            self.stats.compiles += 1
-            cached = self._cache.get(key)
-            if cached is not None:
-                self.stats.hits += 1
-                self._cache.move_to_end(key)
-                cached.cache_hit = True
-                return self._checked(cached, strict)
-            self.stats.misses += 1
-        program = self._build(text, sha, key, options)
+            self.stats.disk_hits += 1
+        return CompiledProgram(
+            self, key, payload["tree"], options, sha, stage_seconds
+        )
+
+    def _publish(self, sha, options, program: "CompiledProgram") -> None:
+        """Publish a freshly-built artifact to the persistent tier.
+
+        Publish failures (full disk, permissions) never fail the
+        compile — the in-memory artifact is already usable.
+        """
+        if self.store is None:
+            return
+        from .store import artifact_digest
+
+        payload = {
+            "source_sha": sha,
+            "options": options,
+            "tree": program._tree,
+            "stage_seconds": {
+                name: seconds
+                for name, seconds in program.stage_seconds.items()
+                if name in ("parse", "transform")
+            },
+        }
+        try:
+            self.store.save(
+                artifact_digest(sha, options),
+                payload,
+                meta={"source_sha": sha, "transform": options.transform},
+            )
+        except (OSError, pickle.PicklingError):
+            return
         with self._lock:
-            # a racing compile may have inserted the same key; keep the
-            # first artifact so callers share one entry
-            winner = self._cache.setdefault(key, program)
-            self._cache.move_to_end(key)
-            while len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
-        winner.cache_hit = winner is not program
-        return self._checked(winner, strict)
+            self.stats.store_saves += 1
 
     @staticmethod
     def _checked(program: CompiledProgram, strict: bool) -> CompiledProgram:

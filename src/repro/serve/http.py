@@ -1,0 +1,153 @@
+"""A minimal HTTP/1.1 layer on ``asyncio.start_server``.
+
+No aiohttp, no ``http.server``: the service speaks just enough HTTP
+for JSON APIs — request line, headers, ``Content-Length`` bodies,
+JSON responses, ``Connection: close`` semantics (one exchange per
+connection keeps the state machine trivial; the clients that matter —
+curl, urllib, load balancers — all handle it).
+
+Hard limits guard the parser: oversized request lines, header blocks,
+or bodies are rejected with 431/413 instead of buffering unbounded
+attacker input.  Anything unparsable is a 400; chunked uploads are
+declined with 411 (the API has no streaming endpoint).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+#: Parser ceilings.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(Exception):
+    """Parse-level failure carrying the status to answer with."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed request."""
+
+    method: str
+    path: str
+    headers: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        """The body as a JSON object; :class:`HTTPError` 400 otherwise."""
+        if not self.body:
+            return {}
+        try:
+            decoded = json.loads(self.body.decode())
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise HTTPError(400, f"body is not valid JSON: {exc}") from exc
+        if not isinstance(decoded, dict):
+            raise HTTPError(
+                400, f"body must be a JSON object, got {type(decoded).__name__}"
+            )
+        return decoded
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request off the stream; None on a clean EOF.
+
+    Raises :class:`HTTPError` for anything malformed or oversized.
+    """
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close before a request
+        raise HTTPError(400, "truncated request line") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HTTPError(431, "request line too long") from exc
+    if len(line) > MAX_REQUEST_LINE:
+        raise HTTPError(431, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+        raise HTTPError(400, f"malformed request line: {line!r}")
+    method, target, _version = parts
+    path = target.split("?", 1)[0]
+
+    headers: dict = {}
+    total = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+            raise HTTPError(400, "truncated headers") from exc
+        if line in (b"\r\n", b"\n"):
+            break
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise HTTPError(431, "header block too large")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HTTPError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding"):
+        raise HTTPError(411, "chunked bodies are not supported; send "
+                             "Content-Length")
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise HTTPError(400, f"bad Content-Length: {length_text!r}") from exc
+        if length < 0:
+            raise HTTPError(400, f"bad Content-Length: {length}")
+        if length > MAX_BODY_BYTES:
+            raise HTTPError(413, f"body over {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HTTPError(400, "truncated body") from exc
+    return Request(method=method, path=path, headers=headers, body=body)
+
+
+def response_bytes(status: int, payload) -> bytes:
+    """A complete JSON response, ready to write."""
+    body = json.dumps(payload, default=str).encode()
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+__all__ = [
+    "HTTPError",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "MAX_REQUEST_LINE",
+    "Request",
+    "read_request",
+    "response_bytes",
+]

@@ -1,0 +1,119 @@
+"""Service counters and latency percentiles for ``/metrics``.
+
+Everything is plain JSON-able integers/floats — no Prometheus client,
+no external deps.  Latency percentiles come from a bounded ring of the
+most recent samples per endpoint, which is exact for small services
+and a fine (recency-weighted) estimate under load; p50/p95 are
+computed on demand by sorting the ring, never on the hot path.
+
+Thread-safety: handlers run on the event loop but compiles/runs
+complete on worker threads, so every mutation takes one small lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+
+
+class LatencyWindow:
+    """Ring buffer of recent latency samples with percentile queries."""
+
+    def __init__(self, size: int = 512):
+        self.samples: deque[float] = deque(maxlen=size)
+
+    def observe(self, seconds: float) -> None:
+        self.samples.append(float(seconds))
+
+    def percentile(self, fraction: float) -> float | None:
+        """The ``fraction`` (0..1) percentile of the window, or None."""
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+    def summary(self) -> dict:
+        return {
+            "count": len(self.samples),
+            "p50_seconds": self.percentile(0.50),
+            "p95_seconds": self.percentile(0.95),
+        }
+
+
+class ServeMetrics:
+    """All service-level counters behind ``GET /metrics``.
+
+    Cache hits are counted *by tier* — ``memory`` (in-process LRU),
+    ``disk`` (persistent :class:`~repro.runtime.store.ArtifactStore`),
+    ``miss`` (full compile) — plus ``inflight`` for requests that
+    coalesced onto another request's compile via single-flight.
+    """
+
+    def __init__(self, window: int = 512):
+        self._lock = threading.Lock()
+        self.started = time.monotonic()
+        self.requests: Counter = Counter()
+        self.responses: Counter = Counter()  # by status code
+        self.cache_tiers: Counter = Counter()
+        self.runs_by_backend: Counter = Counter()
+        self.singleflight_deduped = 0
+        self.admission_rejected = 0
+        self.inflight = 0
+        self._latency: dict[str, LatencyWindow] = {}
+        self._window = window
+
+    # -- recording -------------------------------------------------------------
+
+    def request_started(self, endpoint: str) -> None:
+        with self._lock:
+            self.requests[endpoint] += 1
+            self.inflight += 1
+
+    def request_finished(self, endpoint: str, status: int, seconds: float) -> None:
+        with self._lock:
+            self.responses[str(status)] += 1
+            self.inflight = max(0, self.inflight - 1)
+            window = self._latency.get(endpoint)
+            if window is None:
+                window = self._latency[endpoint] = LatencyWindow(self._window)
+            window.observe(seconds)
+
+    def cache_tier(self, tier: str) -> None:
+        with self._lock:
+            self.cache_tiers[tier] += 1
+
+    def deduped(self) -> None:
+        with self._lock:
+            self.singleflight_deduped += 1
+
+    def rejected(self) -> None:
+        with self._lock:
+            self.admission_rejected += 1
+
+    def ran(self, backend: str) -> None:
+        with self._lock:
+            self.runs_by_backend[backend] += 1
+
+    # -- reporting -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "uptime_seconds": time.monotonic() - self.started,
+                "inflight": self.inflight,
+                "requests": dict(self.requests),
+                "responses": dict(self.responses),
+                "cache_hits": dict(self.cache_tiers),
+                "runs_by_backend": dict(self.runs_by_backend),
+                "singleflight_deduped": self.singleflight_deduped,
+                "admission_rejected": self.admission_rejected,
+                "latency": {
+                    endpoint: window.summary()
+                    for endpoint, window in self._latency.items()
+                },
+            }
+
+
+__all__ = ["LatencyWindow", "ServeMetrics"]

@@ -1,0 +1,124 @@
+"""The bounded worker pool run execution is dispatched to.
+
+Two jobs:
+
+* **Bounded dispatch.**  The asyncio front end never executes MiniF on
+  the event loop; compiles and runs go through
+  :meth:`RunnerPool.submit` onto a fixed-size thread pool, so a burst
+  of heavy runs queues instead of starving ``/healthz``.  The Engine
+  and its backends are thread-safe (PR 1's cache lock), and the
+  numpy-heavy hot paths release the GIL enough for the pool to
+  overlap real work.
+
+* **pmimd executor reuse (the PR 7 leftover).**  A
+  :class:`~repro.exec.pmimd.PMIMDExecutor` owns the parsed SPMD tree
+  and its shard plan; rebuilding one per request re-clones the tree
+  every time.  The pool keeps an LRU of executors keyed by (program,
+  machine shape) so repeated pmimd requests for the same kernel reuse
+  the executor object — construction cost is paid once per (kernel,
+  shape) instead of once per request.  Worker *processes* are still
+  per-run: pmimd inherits bindings via fork, so process lifetime
+  cannot outlive the bindings it was forked with.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+
+
+class RunnerPool:
+    """Bounded thread-pool executor with pmimd executor reuse.
+
+    Args:
+        max_workers: Thread-pool size — the service's execution
+            concurrency ceiling.
+        executor_cache: Distinct (program, shape) pmimd executors kept
+            for reuse (LRU eviction).
+    """
+
+    def __init__(self, max_workers: int = 4, executor_cache: int = 8):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if executor_cache < 1:
+            raise ValueError(f"executor_cache must be >= 1, got {executor_cache}")
+        self.max_workers = max_workers
+        self._threads = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-serve"
+        )
+        self._executors: OrderedDict[tuple, object] = OrderedDict()
+        self._executor_cache = executor_cache
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.pmimd_created = 0
+        self.pmimd_reused = 0
+
+    async def submit(self, fn, *args, **kwargs):
+        """Run ``fn(*args, **kwargs)`` on the pool; await its result."""
+        with self._lock:
+            self.submitted += 1
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._threads, lambda: fn(*args, **kwargs)
+        )
+
+    def pmimd_executor(self, program, config):
+        """A (possibly reused) PMIMDExecutor for this program + shape.
+
+        Args:
+            program: A :class:`~repro.runtime.CompiledProgram` whose
+                tree the executor will run.
+            config: The :class:`~repro.runtime.BackendConfig` naming
+                the machine shape (``nproc``, ``workers``, ``shards``,
+                ``shard_layout``).
+
+        Returns:
+            ``(executor, reused)`` — the executor plus whether it came
+            from the reuse cache.
+        """
+        from ..exec.pmimd import PMIMDExecutor
+
+        key = (
+            program.source_sha,
+            program.options,
+            config.nproc,
+            config.workers,
+            config.shards,
+            config.shard_layout,
+        )
+        with self._lock:
+            cached = self._executors.get(key)
+            if cached is not None:
+                self._executors.move_to_end(key)
+                self.pmimd_reused += 1
+                return cached, True
+        executor = PMIMDExecutor.from_config(program.tree, config)
+        with self._lock:
+            winner = self._executors.setdefault(key, executor)
+            self._executors.move_to_end(key)
+            while len(self._executors) > self._executor_cache:
+                self._executors.popitem(last=False)
+            if winner is not executor:
+                self.pmimd_reused += 1
+                return winner, True
+            self.pmimd_created += 1
+        return executor, False
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "max_workers": self.max_workers,
+                "submitted": self.submitted,
+                "pmimd_executors_created": self.pmimd_created,
+                "pmimd_executors_reused": self.pmimd_reused,
+                "pmimd_executors_cached": len(self._executors),
+            }
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the thread pool; queued work is cancelled on ``wait=False``."""
+        self._threads.shutdown(wait=wait, cancel_futures=not wait)
+
+
+__all__ = ["RunnerPool"]

@@ -1,0 +1,68 @@
+"""Single-flight deduplication of identical in-flight work.
+
+When N requests ask for the same compile (same source SHA + options)
+while the first is still running, the engine would happily burn N
+worker threads producing one artifact.  :class:`SingleFlight` keys
+in-flight work by the Engine's cache digest: the first caller (the
+*leader*) runs the thunk, everyone else awaits the leader's future and
+shares its result — or its exception, which propagates to every
+waiter (each caller may then retry independently; the failed key is
+already retired).
+
+The key is retired *before* waiters are woken, so a follow-up request
+after a failure starts a fresh flight instead of joining a dead one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+
+class SingleFlight:
+    """Coalesces concurrent calls for the same key onto one execution."""
+
+    def __init__(self):
+        self._inflight: dict[Any, asyncio.Future] = {}
+        self.deduped = 0
+        self.flights = 0
+
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    async def do(
+        self, key: Any, thunk: Callable[[], Awaitable]
+    ) -> tuple[Any, bool]:
+        """Run ``thunk`` once per in-flight ``key``.
+
+        Returns ``(result, shared)`` — ``shared`` is True when this
+        caller rode an already-in-flight execution instead of starting
+        its own.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.deduped += 1
+            # shield: one waiter's cancellation must not kill the
+            # leader's shared future
+            return await asyncio.shield(existing), True
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.flights += 1
+        try:
+            result = await thunk()
+        except BaseException as exc:
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_exception(exc)
+                # the leader re-raises below; mark the shared future's
+                # exception as observed so no "never retrieved" warning
+                # fires when there were no waiters
+                future.exception()
+            raise
+        self._inflight.pop(key, None)
+        if not future.done():
+            future.set_result(result)
+        return result, False
+
+
+__all__ = ["SingleFlight"]

@@ -118,6 +118,25 @@ class TestBaseline:
         problems = compare_points(point, slow, threshold=0.20)
         assert any("regression" in p for p in problems)
 
+    def test_regression_message_names_the_point(self, point):
+        """The gate must say *which* point regressed and by how much."""
+        slow = copy.deepcopy(point)
+        slow["total_seconds"] = point["total_seconds"] * 1.5
+        problems = compare_points(point, slow, threshold=0.20)
+        message = next(p for p in problems if "regression" in p)
+        assert "point signature:" in message
+        assert f"backend={point['backend']}" in message
+        assert f"nproc={point['nproc']}" in message
+        assert "delta +" in message
+
+    def test_describe_signature_renders_workload(self, point):
+        from repro.bench import describe_signature
+
+        rendered = describe_signature(point)
+        assert f"backend={point['backend']}" in rendered
+        assert f"nmax={point['nmax']}" in rendered
+        assert f"grid={len(point['cells'])} cell(s)" in rendered
+
     def test_within_threshold_passes(self, point):
         near = copy.deepcopy(point)
         near["total_seconds"] = point["total_seconds"] * 1.1

@@ -1,0 +1,1 @@
+"""Tests for :mod:`repro.serve` — the async compile-and-run service."""

@@ -1,0 +1,138 @@
+"""The handcrafted HTTP layer: parsing, limits, response framing."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY_BYTES,
+    HTTPError,
+    Request,
+    read_request,
+    response_bytes,
+)
+
+
+def parse(raw: bytes):
+    """Feed raw bytes through read_request via an in-memory stream."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+def test_parses_simple_post():
+    body = b'{"x": 1}'
+    raw = (
+        b"POST /v1/compile HTTP/1.1\r\n"
+        b"Host: localhost\r\n"
+        b"Content-Length: " + str(len(body)).encode() + b"\r\n"
+        b"\r\n" + body
+    )
+    request = parse(raw)
+    assert request.method == "POST"
+    assert request.path == "/v1/compile"
+    assert request.headers["host"] == "localhost"
+    assert request.json() == {"x": 1}
+
+
+def test_get_without_body():
+    request = parse(b"GET /healthz HTTP/1.1\r\n\r\n")
+    assert request.method == "GET"
+    assert request.body == b""
+    assert request.json() == {}
+
+
+def test_clean_eof_returns_none():
+    assert parse(b"") is None
+
+
+def test_oversized_request_line_431():
+    with pytest.raises(HTTPError) as exc:
+        parse(b"GET /" + b"a" * 9000 + b" HTTP/1.1\r\n\r\n")
+    assert exc.value.status == 431
+
+
+def test_oversized_headers_431():
+    headers = b"".join(
+        b"X-Pad-%d: %s\r\n" % (n, b"v" * 900) for n in range(40)
+    )
+    with pytest.raises(HTTPError) as exc:
+        parse(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+    assert exc.value.status == 431
+
+
+def test_garbled_request_line_400():
+    with pytest.raises(HTTPError) as exc:
+        parse(b"NONSENSE\r\n\r\n")
+    assert exc.value.status == 400
+
+
+def test_bad_content_length_400():
+    with pytest.raises(HTTPError) as exc:
+        parse(b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n")
+    assert exc.value.status == 400
+
+
+def test_chunked_upload_411():
+    with pytest.raises(HTTPError) as exc:
+        parse(
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            b"4\r\nbody\r\n0\r\n\r\n"
+        )
+    assert exc.value.status == 411
+
+
+def test_oversized_body_413():
+    raw = (
+        b"POST / HTTP/1.1\r\nContent-Length: "
+        + str(MAX_BODY_BYTES + 1).encode()
+        + b"\r\n\r\n"
+    )
+    with pytest.raises(HTTPError) as exc:
+        parse(raw)
+    assert exc.value.status == 413
+
+
+def test_truncated_body_400():
+    with pytest.raises(HTTPError) as exc:
+        parse(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\nshort")
+    assert exc.value.status == 400
+
+
+def test_request_json_rejects_garbage():
+    request = Request(method="POST", path="/", body=b"{not json")
+    with pytest.raises(HTTPError) as exc:
+        request.json()
+    assert exc.value.status == 400
+
+
+def test_request_json_rejects_non_object():
+    request = Request(method="POST", path="/", body=b"[1, 2]")
+    with pytest.raises(HTTPError) as exc:
+        request.json()
+    assert exc.value.status == 400
+
+
+def test_response_bytes_framing():
+    raw = response_bytes(200, {"ok": True})
+    head, _, body = raw.partition(b"\r\n\r\n")
+    lines = head.split(b"\r\n")
+    assert lines[0] == b"HTTP/1.1 200 OK"
+    headers = dict(
+        line.split(b": ", 1) for line in lines[1:]
+    )
+    assert headers[b"Content-Type"] == b"application/json"
+    assert headers[b"Connection"] == b"close"
+    assert int(headers[b"Content-Length"]) == len(body)
+    assert json.loads(body) == {"ok": True}
+
+
+def test_response_bytes_unknown_status_has_reason():
+    raw = response_bytes(418, {})
+    assert raw.startswith(b"HTTP/1.1 418 ")

@@ -1,0 +1,176 @@
+"""Single-flight dedup under asyncio load, plus admission control."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.admission import AdmissionController, AdmissionError, TenantPolicy
+from repro.serve.singleflight import SingleFlight
+
+
+class TestSingleFlight:
+    def test_concurrent_callers_share_one_execution(self):
+        async def go():
+            flight = SingleFlight()
+            calls = []
+            release = asyncio.Event()
+
+            async def slow_compile():
+                calls.append(1)
+                await release.wait()
+                return "artifact"
+
+            async def request():
+                return await flight.do("key", slow_compile)
+
+            tasks = [asyncio.create_task(request()) for _ in range(20)]
+            await asyncio.sleep(0)  # let every task reach do()
+            release.set()
+            return await asyncio.gather(*tasks), calls, flight
+
+        results, calls, flight = asyncio.run(go())
+        assert len(calls) == 1  # the work ran once
+        assert all(value == "artifact" for value, _shared in results)
+        shared = [s for _v, s in results]
+        assert shared.count(False) == 1  # exactly one leader
+        assert shared.count(True) == 19
+        assert flight.deduped == 19
+        assert flight.flights == 1
+        assert flight.inflight_count() == 0  # key retired
+
+    def test_different_keys_do_not_coalesce(self):
+        async def go():
+            flight = SingleFlight()
+            calls = []
+
+            async def work(tag):
+                calls.append(tag)
+                return tag
+
+            a, b = await asyncio.gather(
+                flight.do("a", lambda: work("a")),
+                flight.do("b", lambda: work("b")),
+            )
+            return a, b, calls
+
+        (va, sa), (vb, sb), calls = asyncio.run(go())
+        assert (va, vb) == ("a", "b")
+        assert sa is False and sb is False
+        assert sorted(calls) == ["a", "b"]
+
+    def test_leader_failure_propagates_to_waiters(self):
+        async def go():
+            flight = SingleFlight()
+            release = asyncio.Event()
+
+            async def doomed():
+                await release.wait()
+                raise RuntimeError("compile exploded")
+
+            tasks = [
+                asyncio.create_task(flight.do("key", doomed)) for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            release.set()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            return results, flight
+
+        results, flight = asyncio.run(go())
+        assert len(results) == 3
+        for result in results:
+            assert isinstance(result, RuntimeError)
+        assert flight.inflight_count() == 0
+
+    def test_key_retired_before_next_flight(self):
+        async def go():
+            flight = SingleFlight()
+            calls = []
+
+            async def work():
+                calls.append(1)
+                return len(calls)
+
+            first, _ = await flight.do("key", work)
+            second, shared = await flight.do("key", work)
+            return first, second, shared
+
+        first, second, shared = asyncio.run(go())
+        assert (first, second) == (1, 2)  # sequential calls both ran
+        assert shared is False
+
+    def test_waiter_cancellation_does_not_kill_leader(self):
+        async def go():
+            flight = SingleFlight()
+            release = asyncio.Event()
+
+            async def slow():
+                await release.wait()
+                return "done"
+
+            leader = asyncio.create_task(flight.do("key", slow))
+            await asyncio.sleep(0)
+            waiter = asyncio.create_task(flight.do("key", slow))
+            await asyncio.sleep(0)
+            waiter.cancel()
+            await asyncio.sleep(0)
+            release.set()
+            value, shared = await leader
+            return value, shared
+
+        value, shared = asyncio.run(go())
+        assert value == "done" and shared is False
+
+
+class TestAdmission:
+    def test_global_ceiling_429(self):
+        controller = AdmissionController(max_inflight=2)
+        first = controller.admit("a").__enter__()
+        second = controller.admit("b").__enter__()
+        with pytest.raises(AdmissionError, match="capacity"):
+            controller.admit("c")
+        first.__exit__(None, None, None)
+        second.__exit__(None, None, None)
+        with controller.admit("c"):
+            pass  # capacity returned after release
+
+    def test_per_tenant_ceiling(self):
+        controller = AdmissionController(max_inflight=None)
+        controller.register(TenantPolicy(name="small", max_inflight=1))
+        ticket = controller.admit("small").__enter__()
+        with pytest.raises(AdmissionError) as exc:
+            controller.admit("small")
+        assert exc.value.tenant == "small"
+        # other tenants are unaffected
+        with controller.admit("other"):
+            pass
+        ticket.__exit__(None, None, None)
+
+    def test_ticket_released_on_exception(self):
+        controller = AdmissionController(max_inflight=1)
+        with pytest.raises(ValueError):
+            with controller.admit("a"):
+                raise ValueError("handler blew up")
+        with controller.admit("a"):
+            pass  # slot came back
+
+    def test_snapshot_counts(self):
+        controller = AdmissionController(max_inflight=8)
+        with controller.admit("a"), controller.admit("a"), controller.admit("b"):
+            snap = controller.snapshot()
+            assert snap["total_inflight"] == 3
+            assert snap["max_inflight"] == 8
+        assert controller.snapshot()["total_inflight"] == 0
+
+    def test_policy_budget_and_fallback(self):
+        policy = TenantPolicy(
+            name="t",
+            max_steps=100,
+            deadline_seconds=1.5,
+            fallback=("pmimd", "vm"),
+        )
+        budget = policy.budget()
+        assert budget is not None and budget.max_steps == 100
+        chain = policy.policy()
+        assert chain is not None and chain.chain == ("pmimd", "vm")
+        assert TenantPolicy().budget() is None
+        assert TenantPolicy().policy() is None
