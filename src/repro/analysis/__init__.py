@@ -17,11 +17,16 @@ from .dataflow import (
     stmt_defs,
     stmt_uses,
 )
-from .dependence import (
+from .dep import (
+    AffineExpr,
     AffineTerm,
+    DependenceEdge,
+    DependenceGraph,
     ParallelismReport,
     analyze_outer_parallelism,
+    build_dependence_graph,
     parse_affine,
+    parse_affine_expr,
 )
 from .loopnest import (
     LoopNode,
@@ -55,7 +60,12 @@ __all__ = [
     "analyze_outer_parallelism",
     "ParallelismReport",
     "parse_affine",
+    "parse_affine_expr",
     "AffineTerm",
+    "AffineExpr",
+    "build_dependence_graph",
+    "DependenceGraph",
+    "DependenceEdge",
     "evaluate_flattening",
     "FlatteningReport",
     "FlatteningCost",

@@ -26,7 +26,7 @@ from ..transform.flatten import (
     flatten_done,
     flatten_optimized,
 )
-from .dependence import ParallelismReport, analyze_outer_parallelism
+from .dep import ParallelismReport, analyze_outer_parallelism
 from .sideeffects import referenced_names
 
 

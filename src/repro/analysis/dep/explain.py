@@ -1,0 +1,155 @@
+"""Human- and machine-readable dependence graph dumps.
+
+Backs ``repro lint --explain-deps``: every outermost counted loop in
+every routine is analyzed with :func:`build_dependence_graph` and
+summarized — edges with their kind, direction/distance vectors and
+carrying level, plus the derived legality verdicts (``is_parallel``,
+``can_interchange``, fission partitions).
+"""
+
+from __future__ import annotations
+
+from ...lang import ast
+from .graph import DependenceEdge, DependenceGraph, build_dependence_graph
+
+
+def outer_loops(body: list[ast.Stmt]) -> list[ast.Do | ast.Forall]:
+    """Outermost counted loops in a body, in source order.
+
+    Descends into IF/WHERE/WHILE bodies but not into counted loops
+    (those are the nest roots being reported).
+    """
+    found: list[ast.Do | ast.Forall] = []
+    for stmt in body:
+        if isinstance(stmt, (ast.Do, ast.Forall)):
+            found.append(stmt)
+        elif isinstance(stmt, (ast.If, ast.Where)):
+            found.extend(outer_loops(stmt.then_body))
+            found.extend(outer_loops(stmt.else_body))
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            found.extend(outer_loops(stmt.body))
+    return found
+
+
+def _loc_line(loc) -> int | None:
+    line = getattr(loc, "line", None)
+    return line or None
+
+
+def _access_dict(access) -> dict:
+    return {
+        "access": access.describe(),
+        "name": access.name,
+        "write": access.is_write,
+        "line": _loc_line(access.loc),
+        "statement": access.top_index,
+    }
+
+
+def edge_dict(edge: DependenceEdge) -> dict:
+    """JSON-ready summary of one dependence edge."""
+    return {
+        "kind": edge.kind,
+        "src": _access_dict(edge.src),
+        "dst": _access_dict(edge.dst),
+        "direction": list(edge.vector),
+        "distance": list(edge.distance),
+        "carried_level": edge.carried_level,
+        "scalar": edge.scalar,
+        "privatizable": edge.privatizable,
+        "reduction": edge.reduction,
+        "unknown": edge.unknown,
+    }
+
+
+def graph_dict(
+    routine: ast.Routine, graph: DependenceGraph
+) -> dict:
+    """JSON-ready summary of one nest's dependence graph."""
+    out = {
+        "routine": routine.name,
+        "loop": graph.loop.var,
+        "line": _loc_line(graph.loop.loc),
+        "depth": graph.depth,
+        "statements": graph.n_top,
+        "is_parallel": graph.is_parallel(1),
+        "fission_partitions": graph.fission_partitions(),
+        "edges": [edge_dict(edge) for edge in graph.edges],
+    }
+    if graph.depth >= 2:
+        out["can_interchange"] = graph.can_interchange(1, 2)
+    return out
+
+
+def explain_routine(routine: ast.Routine) -> list[dict]:
+    """Dependence-graph summaries for each outermost nest."""
+    return [
+        graph_dict(routine, build_dependence_graph(loop))
+        for loop in outer_loops(routine.body)
+    ]
+
+
+def explain_source(text: str) -> list[dict]:
+    """Parse ``text`` and explain every routine's nests.
+
+    Parse/semantic failures yield an empty list — the lint driver
+    reports those as P001/P002 diagnostics already.
+    """
+    from ...lang import parse_source
+    from ...lang.errors import LexError, ParseError, SemanticError
+
+    try:
+        tree = parse_source(text)
+    except (LexError, ParseError, SemanticError):
+        return []
+    nests: list[dict] = []
+    for routine in tree.units:
+        nests.extend(explain_routine(routine))
+    return nests
+
+
+def render_explanations(nests: list[dict]) -> list[str]:
+    """Text rendering of :func:`explain_source` output."""
+    lines: list[str] = []
+    for nest in nests:
+        where = f":{nest['line']}" if nest.get("line") else ""
+        head = (
+            f"{nest['routine']}{where}: DO {nest['loop']} "
+            f"(depth {nest['depth']}, {nest['statements']} statements)"
+        )
+        lines.append(head)
+        verdicts = [
+            "parallel" if nest["is_parallel"] else "serial",
+            f"fission partitions {nest['fission_partitions']}",
+        ]
+        if "can_interchange" in nest:
+            verdicts.append(
+                "interchange(1,2) legal"
+                if nest["can_interchange"]
+                else "interchange(1,2) illegal"
+            )
+        lines.append("  " + "; ".join(verdicts))
+        if not nest["edges"]:
+            lines.append("  no dependences")
+        for edge in nest["edges"]:
+            vec = "(" + ", ".join(edge["direction"]) + ")"
+            dist = "(" + ", ".join(
+                "?" if d is None else str(d) for d in edge["distance"]
+            ) + ")"
+            flags = [
+                flag
+                for flag in ("scalar", "privatizable", "reduction", "unknown")
+                if edge[flag]
+            ]
+            suffix = f" [{', '.join(flags)}]" if flags else ""
+            carried = (
+                f" carried at level {edge['carried_level']}"
+                if edge["carried_level"]
+                else " loop-independent"
+            )
+            lines.append(
+                f"  {edge['kind']}: {edge['src']['access']} -> "
+                f"{edge['dst']['access']} direction {vec} distance "
+                f"{dist}{carried}{suffix}"
+            )
+    return lines

@@ -1,0 +1,351 @@
+"""The dependence test ladder: ZIV → SIV → GCD → Banerjee.
+
+Given one ordered pair of subscripted accesses, :func:`solve_pair`
+answers: for which *direction vectors* over the common enclosing
+loops can a source instance and a sink instance touch the same array
+element?  A direction vector relates the two iteration vectors in
+execution time, one entry per common loop level:
+
+* ``'<'`` — the source instance runs in an earlier iteration,
+* ``'='`` — the same iteration,
+* ``'>'`` — a later iteration (such vectors are never *returned*:
+  they are the mirrored pair's ``'<'`` and are pruned here),
+* ``'*'`` — unknown / any (conservative).
+
+The solver enumerates candidate vectors hierarchically and kills each
+candidate with the classic ladder, one subscript dimension at a time:
+
+* **ZIV** — both subscripts constant and unequal: no dependence at
+  all (every candidate dies).
+* **strong/weak SIV** and general **MIV** fall out of the same two
+  machines run per dimension:
+
+  - the **GCD test**: the linear Diophantine equation
+    ``sum(a_l*x_l - b_l*y_l) = Δ`` has integer solutions only when
+    ``gcd`` of the coefficients divides ``Δ``;
+  - the **Banerjee bounds**: under the candidate's per-level order
+    constraints, ``Δ`` must lie between the extreme values the
+    left-hand side can reach given the loop bounds (±∞ when a bound
+    is unknown).
+
+Distances are recovered per level when a dimension pins the
+difference exactly (the strong-SIV shape ``a*i + c1`` vs
+``a*i + c2``).
+
+Free symbols must cancel between the two sides before a dimension may
+prune anything; a symbol tagged ``varies_below = d`` cancels only for
+candidates whose entries at levels ``1..d`` are all ``'='`` (the two
+instances then agree on every loop the symbol's value may depend on).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import product
+
+from .affine import AffineExpr
+
+#: Direction-vector entries.
+DIRECTIONS = ("<", "=", ">")
+
+#: Levels beyond this many are not enumerated; their entries are '*'.
+MAX_ENUM_LEVELS = 4
+
+
+@dataclass(frozen=True)
+class LevelInfo:
+    """One counted loop on a nest path.
+
+    Attributes:
+        var: Source-level loop variable name.
+        name: Unique induction-variable name used in affine forms
+            (distinct per loop *instance*, so sibling loops sharing a
+            variable name stay distinct).
+        lo: Smallest value the variable takes, when known.
+        hi: Largest value, when known.
+        order: +1 when the value increases with execution time
+            (positive stride), -1 when it decreases, 0 when unknown.
+    """
+
+    var: str
+    name: str
+    lo: int | None
+    hi: int | None
+    order: int = 1
+
+
+def _vector_sign(vector: tuple[str, ...]) -> int:
+    """Time orientation of a direction vector.
+
+    +1 when the first non-'=' entry is '<' (source precedes sink),
+    -1 when it is '>' (the mirrored pair will report it), 0 when all
+    entries are '=' (loop-independent).  '*' counts as forward — it
+    includes '<', so the edge must be kept.
+    """
+    for entry in vector:
+        if entry == "=":
+            continue
+        return -1 if entry == ">" else 1
+    return 0
+
+
+def _scale_interval(coeff: int, lo: float, hi: float) -> tuple[float, float]:
+    if coeff == 0:
+        return (0.0, 0.0)
+    if coeff > 0:
+        return (coeff * lo, coeff * hi)
+    return (coeff * hi, coeff * lo)
+
+
+def _lt_bounds(
+    a: int, b: int, lo: float, hi: float
+) -> tuple[float, float] | None:
+    """Extremes of ``a*x - b*y`` over ``lo <= x < y <= hi`` (integers).
+
+    Returns None when the constraint is infeasible (the level has
+    fewer than two values).  The feasible region is a (possibly
+    unbounded) triangle; a linear objective peaks at a vertex or grows
+    along an extreme ray.
+    """
+    if lo > hi - 1:
+        return None
+    vertices: list[tuple[float, float]] = []
+    rays: list[tuple[int, int]] = []
+    lo_finite = not math.isinf(lo)
+    hi_finite = not math.isinf(hi)
+    if lo_finite and hi_finite:
+        vertices = [(lo, lo + 1), (lo, hi), (hi - 1, hi)]
+    elif lo_finite:
+        vertices = [(lo, lo + 1)]
+        rays = [(1, 1), (0, 1)]
+    elif hi_finite:
+        vertices = [(hi - 1, hi)]
+        rays = [(-1, 0), (-1, -1)]
+    else:
+        vertices = [(0, 1)]
+        rays = [(1, 1), (0, 1), (-1, 0), (-1, -1)]
+    values = [a * x - b * y for x, y in vertices]
+    mn, mx = min(values), max(values)
+    for dx, dy in rays:
+        slope = a * dx - b * dy
+        if slope > 0:
+            mx = math.inf
+        elif slope < 0:
+            mn = -math.inf
+    return mn, mx
+
+
+def _term_bounds(
+    a: int, b: int, level: LevelInfo, value_dir: str
+) -> tuple[float, float] | None:
+    """Extremes of ``a*x - b*y`` for one common level under a
+    *value-space* direction constraint; None when infeasible."""
+    lo = -math.inf if level.lo is None else float(level.lo)
+    hi = math.inf if level.hi is None else float(level.hi)
+    if lo > hi:
+        return None  # zero-trip loop: no instances at all
+    if value_dir == "=":
+        return _scale_interval(a - b, lo, hi)
+    if value_dir == "*":
+        alo, ahi = _scale_interval(a, lo, hi)
+        blo, bhi = _scale_interval(-b, lo, hi)
+        return (alo + blo, ahi + bhi)
+    if value_dir == "<":
+        return _lt_bounds(a, b, lo, hi)
+    # '>' : swap roles — a*x - b*y with x > y is -(b*u - a*w), u < w.
+    bounds = _lt_bounds(b, a, lo, hi)
+    if bounds is None:
+        return None
+    return (-bounds[1], -bounds[0])
+
+
+def _value_direction(time_dir: str, order: int) -> str:
+    """Translate a time-space direction into value space for a level
+    whose variable runs with (+1), against (-1), or in unknown (0)
+    relation to execution order."""
+    if time_dir == "=" or time_dir == "*":
+        return time_dir
+    if order > 0:
+        return time_dir
+    if order < 0:
+        return ">" if time_dir == "<" else "<"
+    return "*"
+
+
+@dataclass
+class _Dimension:
+    """One subscript dimension, pre-digested for the solver."""
+
+    usable: bool
+    # (a_l, b_l) per common level:
+    common: tuple[tuple[int, int], ...] = ()
+    # one-sided induction variables: (coeff, level, on_source_side)
+    onesided: tuple[tuple[int, LevelInfo, bool], ...] = ()
+    # symbols needing '=' down to this level before they cancel:
+    cancel_depth: int = 0
+    delta: int = 0
+
+
+def _digest_dimension(
+    src: AffineExpr | None,
+    dst: AffineExpr | None,
+    common: tuple[LevelInfo, ...],
+    levels_by_name: dict[str, LevelInfo],
+    src_ivs: frozenset[str],
+    symbol_varies: dict[str, int],
+) -> _Dimension:
+    if src is None or dst is None:
+        return _Dimension(usable=False)
+    common_names = {level.name: pos for pos, level in enumerate(common)}
+    pairs = [[0, 0] for _ in common]
+    onesided: list[tuple[int, LevelInfo, bool]] = []
+    cancel_depth = 0
+    for expr, side in ((src, 0), (dst, 1)):
+        for name, coeff in expr.coeffs:
+            pos = common_names.get(name)
+            if pos is not None:
+                pairs[pos][side] = coeff
+                continue
+            level = levels_by_name.get(name)
+            if level is not None:
+                onesided.append((coeff, level, name in src_ivs))
+                continue
+            # free symbol: must cancel between the two sides
+            if src.coeff(name) != dst.coeff(name):
+                return _Dimension(usable=False)
+            varies = symbol_varies.get(name, 0)
+            cancel_depth = max(cancel_depth, varies)
+    # symbols appearing on the dst side only were covered above (the
+    # src side's coeff lookup returns 0, forcing the mismatch branch)
+    return _Dimension(
+        usable=True,
+        common=tuple((a, b) for a, b in pairs),
+        onesided=tuple(onesided),
+        cancel_depth=cancel_depth,
+        delta=dst.const - src.const,
+    )
+
+
+def _gcd_refutes(dim: _Dimension) -> bool:
+    """The GCD test: no integer solution in the induction variables."""
+    gcd = 0
+    for a, b in dim.common:
+        gcd = math.gcd(gcd, abs(a))
+        gcd = math.gcd(gcd, abs(b))
+    for coeff, _level, _src in dim.onesided:
+        gcd = math.gcd(gcd, abs(coeff))
+    if gcd == 0:
+        return dim.delta != 0  # ZIV: constants on both sides
+    return dim.delta % gcd != 0
+
+
+def _vector_feasible(
+    vector: tuple[str, ...],
+    dims: list[_Dimension],
+    common: tuple[LevelInfo, ...],
+) -> bool:
+    for dim in dims:
+        if not dim.usable:
+            continue
+        if dim.cancel_depth and any(
+            entry != "=" for entry in vector[: dim.cancel_depth]
+        ):
+            continue  # symbols do not cancel here: no information
+        if _gcd_refutes(dim):
+            return False
+        mn, mx = 0.0, 0.0
+        infeasible = False
+        for pos, (a, b) in enumerate(dim.common):
+            value_dir = _value_direction(vector[pos], common[pos].order)
+            bounds = _term_bounds(a, b, common[pos], value_dir)
+            if bounds is None:
+                infeasible = True
+                break
+            mn += bounds[0]
+            mx += bounds[1]
+        if infeasible:
+            return False
+        for coeff, level, on_src in dim.onesided:
+            lo = -math.inf if level.lo is None else float(level.lo)
+            hi = math.inf if level.hi is None else float(level.hi)
+            if lo > hi:
+                return False  # the access sits in a zero-trip loop
+            tlo, thi = _scale_interval(coeff if on_src else -coeff, lo, hi)
+            mn += tlo
+            mx += thi
+        if not (mn <= dim.delta <= mx):
+            return False
+    return True
+
+
+def _distances(
+    vector: tuple[str, ...],
+    dims: list[_Dimension],
+    common: tuple[LevelInfo, ...],
+) -> tuple[int | None, ...]:
+    """Per-level exact distances (sink iteration − source iteration)
+    where some dimension pins them; None elsewhere."""
+    out: list[int | None] = [None] * len(common)
+    for pos, level in enumerate(common):
+        if level.order == 0:
+            continue
+        for dim in dims:
+            if not dim.usable or dim.cancel_depth:
+                continue
+            a, b = dim.common[pos]
+            if a == 0 or a != b:
+                continue
+            if any(
+                other != pos and (oa or ob)
+                for other, (oa, ob) in enumerate(dim.common)
+            ):
+                continue
+            if dim.onesided:
+                continue
+            # value-space distance y - x = -delta / a; orient to time
+            if (-dim.delta) % a:
+                continue
+            out[pos] = ((-dim.delta) // a) * level.order
+            break
+    return tuple(out)
+
+
+def solve_pair(
+    src_subs: tuple[AffineExpr | None, ...],
+    dst_subs: tuple[AffineExpr | None, ...],
+    common: tuple[LevelInfo, ...],
+    levels_by_name: dict[str, LevelInfo],
+    src_ivs: frozenset[str],
+    symbol_varies: dict[str, int],
+    keep_equal: bool,
+) -> list[tuple[tuple[str, ...], tuple[int | None, ...]]] | None:
+    """All surviving (direction vector, distance vector) pairs.
+
+    Returns None when the accesses are provably independent (every
+    candidate vector was refuted).  Only forward vectors are returned;
+    the all-'=' vector is included when ``keep_equal`` is set.
+    """
+    if len(src_subs) != len(dst_subs):
+        # rank mismatch: cannot reason — everything is possible
+        star = ("*",) * len(common)
+        return [(star, (None,) * len(common))]
+    dims = [
+        _digest_dimension(
+            s, d, common, levels_by_name, src_ivs, symbol_varies
+        )
+        for s, d in zip(src_subs, dst_subs)
+    ]
+    n = len(common)
+    n_enum = min(n, MAX_ENUM_LEVELS)
+    tail = ("*",) * (n - n_enum)
+    survivors: list[tuple[tuple[str, ...], tuple[int | None, ...]]] = []
+    for head in product(DIRECTIONS, repeat=n_enum):
+        vector = head + tail
+        sign = _vector_sign(vector)
+        if sign < 0 or (sign == 0 and not keep_equal):
+            continue
+        if not _vector_feasible(vector, dims, common):
+            continue
+        survivors.append((vector, _distances(vector, dims, common)))
+    return survivors or None

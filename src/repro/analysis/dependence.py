@@ -1,230 +1,63 @@
-"""Loop-parallelism dependence testing.
+"""Deprecated shim over :mod:`repro.analysis.dep`.
 
-The paper's safety condition (Section 6): "A sufficient condition is
-that the loop into which we lift an inner loop body can be
-parallelized, which might be hard to detect, especially if indirect
-addressing occurs.  However, this is already a necessary condition for
-parallelizing loops in general."
-
-This module implements the standard machinery at a level adequate for
-the paper's kernels:
-
-* affine single-index-variable (SIV) subscript tests on arrays — a
-  write ``A(i + c1)`` and an access ``A(i + c2)`` with ``c1 ≠ c2``
-  carry a cross-iteration dependence;
-* scalar privatization analysis via liveness — a scalar both assigned
-  in the body and live on entry to an iteration carries a dependence;
-* reduction recognition (``s = s + e``) reported separately;
-* indirect subscripts (subscripted subscripts) are flagged as
-  *unknown*, requiring user assertion or "heroic dependence analysis".
+The single-variable SIV test that lived here has been replaced by the
+full dependence framework in :mod:`repro.analysis.dep` — affine forms
+over all enclosing induction variables, the ZIV/SIV/GCD/Banerjee test
+ladder, and distance/direction vectors on a queryable
+:class:`~repro.analysis.dep.DependenceGraph`.  The public names keep
+working (same signatures, same or strictly refined answers); import
+them from :mod:`repro.analysis` or :mod:`repro.analysis.dep` instead.
+This shim will be removed in version 2.0.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..lang import ast
-from .cfg import build_cfg
-from .dataflow import live_variables, stmt_defs
+from .dep import (
+    AffineTerm,
+    ParallelismReport,
+)
+from .dep import analyze_outer_parallelism as _analyze_outer_parallelism
+from .dep import parse_affine as _parse_affine
+
+__all__ = [
+    "AccessInfo",
+    "AffineTerm",
+    "ParallelismReport",
+    "analyze_outer_parallelism",
+    "parse_affine",
+]
 
 
-@dataclass
-class AffineTerm:
-    """``coeff * var + const`` subscript form."""
+def _warn(name: str) -> None:
+    import warnings
 
-    coeff: int
-    const: int
-
-
-def parse_affine(expr: ast.Expr, var: str) -> AffineTerm | None:
-    """Parse a subscript as affine in ``var``; None when it is not."""
-    if isinstance(expr, ast.IntLit):
-        return AffineTerm(0, expr.value)
-    if isinstance(expr, ast.Var):
-        if expr.name == var:
-            return AffineTerm(1, 0)
-        return None
-    if isinstance(expr, ast.UnOp) and expr.op == "-":
-        inner = parse_affine(expr.operand, var)
-        if inner is None:
-            return None
-        return AffineTerm(-inner.coeff, -inner.const)
-    if isinstance(expr, ast.BinOp):
-        left = parse_affine(expr.left, var)
-        right = parse_affine(expr.right, var)
-        if left is None or right is None:
-            return None
-        if expr.op == "+":
-            return AffineTerm(left.coeff + right.coeff, left.const + right.const)
-        if expr.op == "-":
-            return AffineTerm(left.coeff - right.coeff, left.const - right.const)
-        if expr.op == "*":
-            if left.coeff == 0:
-                return AffineTerm(left.const * right.coeff, left.const * right.const)
-            if right.coeff == 0:
-                return AffineTerm(left.coeff * right.const, left.const * right.const)
-            return None
-    return None
+    warnings.warn(
+        f"repro.analysis.dependence.{name} is deprecated; use "
+        f"repro.analysis.dep.{name} — removal planned for 2.0",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass
 class AccessInfo:
-    """One array access inside the loop body."""
+    """One array access inside the loop body (legacy helper shape)."""
 
     name: str
     subs: list[ast.Expr]
     is_write: bool
 
 
-@dataclass
-class ParallelismReport:
-    """Outcome of the outer-loop dependence test.
-
-    Attributes:
-        parallel: True when no dependence blocks parallel execution.
-        unknown: True when indirect addressing defeated the analysis
-            (the paper's "heroic dependence analysis" case) — the loop
-            may still be parallel if the user asserts it.
-        reductions: Scalars recognized as reduction accumulators.
-        reasons: Human-readable findings.
-    """
-
-    parallel: bool
-    unknown: bool = False
-    reductions: set[str] = field(default_factory=set)
-    reasons: list[str] = field(default_factory=list)
-
-
-def _collect_accesses(body: list[ast.Stmt]) -> list[AccessInfo]:
-    accesses: list[AccessInfo] = []
-    write_ids: set[int] = set()
-    for node in ast.walk_body(body):
-        if isinstance(node, ast.Assign) and isinstance(node.target, ast.ArrayRef):
-            accesses.append(AccessInfo(node.target.name, node.target.subs, True))
-            write_ids.add(id(node.target))
-    # Reads: every ArrayRef that is not an assignment target.
-    for node in ast.walk_body(body):
-        if isinstance(node, ast.ArrayRef) and id(node) not in write_ids:
-            accesses.append(AccessInfo(node.name, node.subs, False))
-    return accesses
-
-
-def _has_indirect_subscript(access: AccessInfo) -> bool:
-    for sub in access.subs:
-        for node in ast.walk(sub):
-            if isinstance(node, ast.ArrayRef):
-                return True
-    return False
-
-
-def _is_reduction(stmt: ast.Assign, name: str) -> bool:
-    value = stmt.value
-    if isinstance(value, ast.BinOp) and value.op in ("+", "*"):
-        for side in (value.left, value.right):
-            if isinstance(side, ast.Var) and side.name == name:
-                return True
-    return False
+def parse_affine(expr: ast.Expr, var: str) -> AffineTerm | None:
+    """Deprecated: see :func:`repro.analysis.dep.parse_affine`."""
+    _warn("parse_affine")
+    return _parse_affine(expr, var)
 
 
 def analyze_outer_parallelism(loop: ast.Do | ast.Forall) -> ParallelismReport:
-    """Test whether an outer counted loop is parallelizable.
-
-    FORALL loops are parallel by user assertion (their report still
-    notes indirect addressing, for diagnostics).
-    """
-    var = loop.var
-    body = loop.body
-    report = ParallelismReport(parallel=True)
-    if isinstance(loop, ast.Forall):
-        report.reasons.append("FORALL header: parallelism asserted by the user")
-        return report
-
-    # --- array dependence ----------------------------------------------------
-    accesses = _collect_accesses(body)
-    by_name: dict[str, list[AccessInfo]] = {}
-    for access in accesses:
-        by_name.setdefault(access.name, []).append(access)
-    for name, group in sorted(by_name.items()):
-        writes = [a for a in group if a.is_write]
-        if not writes:
-            continue
-        if any(_has_indirect_subscript(a) for a in group):
-            report.unknown = True
-            report.parallel = False
-            report.reasons.append(
-                f"'{name}': indirect addressing defeats the dependence test"
-            )
-            continue
-        # Find a dimension where every access is affine in the loop var
-        # with coefficient != 0 and equal offsets (the owner-computes
-        # pattern); absence of such a dimension is a dependence.
-        ranks = {len(a.subs) for a in group}
-        if len(ranks) != 1:
-            report.parallel = False
-            report.reasons.append(f"'{name}': inconsistent subscript ranks")
-            continue
-        rank = ranks.pop()
-        ok = False
-        for dim in range(rank):
-            terms = [parse_affine(a.subs[dim], var) for a in group]
-            if any(t is None for t in terms):
-                continue
-            coeffs = {t.coeff for t in terms}
-            consts = {t.const for t in terms}
-            if 0 not in coeffs and len(coeffs) == 1 and len(consts) == 1:
-                ok = True
-                break
-        if not ok:
-            report.parallel = False
-            report.reasons.append(
-                f"'{name}': no dimension indexes all accesses identically by "
-                f"'{var}' — possible cross-iteration dependence"
-            )
-
-    # --- scalar dependence ----------------------------------------------------
-    cfg = build_cfg(body)
-    liveness = live_variables(cfg)
-    assigned: set[str] = set()
-    array_names = set(by_name)
-    for node in cfg.statements():
-        assigned |= stmt_defs(node.stmt)
-    live_at_entry: set[str] = set()
-    for succ in cfg.nodes[cfg.ENTRY].succs:
-        live_at_entry |= liveness.live_in[succ]
-    call_touched: set[str] = set()
-    for node in ast.walk_body(body):
-        if isinstance(node, ast.CallStmt):
-            for arg in node.args:
-                if isinstance(arg, ast.Var):
-                    call_touched.add(arg.name)
-    carried = (assigned & live_at_entry) - array_names - {var}
-    for name in sorted(carried):
-        reduction = any(
-            isinstance(node, ast.Assign)
-            and isinstance(node.target, ast.Var)
-            and node.target.name == name
-            and _is_reduction(node, name)
-            for node in ast.walk_body(body)
-        )
-        if reduction:
-            report.reductions.add(name)
-            report.reasons.append(
-                f"scalar '{name}' is a reduction accumulator "
-                "(parallelizable with reduction support)"
-            )
-        elif name in call_touched:
-            # The only evidence is a CALL argument: without the callee's
-            # interface we cannot tell an output argument (private, e.g.
-            # the force routine's result) from a genuine carried value.
-            report.unknown = True
-            report.parallel = False
-            report.reasons.append(
-                f"scalar '{name}' is passed to a CALL — needs "
-                "interprocedural analysis or user assertion"
-            )
-        else:
-            report.parallel = False
-            report.reasons.append(
-                f"scalar '{name}' is carried across iterations"
-            )
-    return report
+    """Deprecated: see :func:`repro.analysis.dep.analyze_outer_parallelism`."""
+    _warn("analyze_outer_parallelism")
+    return _analyze_outer_parallelism(loop)

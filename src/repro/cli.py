@@ -104,10 +104,15 @@ def cmd_lint(args) -> int:
 
     report = DiagnosticReport()
     sources = 0
+    dependence: dict[str, list] = {}
     for path in args.files:
         for label, text in _iter_minif_sources(path):
             sources += 1
             report.extend(lint_source(text, filename=label))
+            if args.explain_deps:
+                from .analysis.dep import explain_source
+
+                dependence[label] = explain_source(text)
             if not args.no_verify:
                 try:
                     code = compile_program(parse_source(text, filename=label))
@@ -118,11 +123,24 @@ def cmd_lint(args) -> int:
     if args.format == "json":
         import json
 
-        print(json.dumps({"sources": sources, **report.to_dict()}, indent=2))
+        payload = {"sources": sources, **report.to_dict()}
+        if args.explain_deps:
+            payload["dependence"] = dependence
+        print(json.dumps(payload, indent=2))
     else:
         if report:
             for diag in report:
                 print(diag.render())
+        if args.explain_deps:
+            from .analysis.dep import render_explanations
+
+            for label, nests in dependence.items():
+                print(f"== dependence graphs: {label}")
+                lines = render_explanations(nests)
+                for line in lines:
+                    print(line)
+                if not lines:
+                    print("  no counted loops")
         print(f"{sources} source(s): {report.summary()}")
     threshold = Severity.ERROR if args.fail_on == "error" else Severity.WARNING
     return 1 if report.at_least(threshold) else 0
@@ -599,6 +617,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "severity exist (default: error)")
     p.add_argument("--no-verify", action="store_true",
                    help="skip bytecode verification of compiled programs")
+    p.add_argument("--explain-deps", action="store_true",
+                   help="also print each loop nest's dependence graph "
+                        "(direction/distance vectors, parallel / fission "
+                        "/ interchange verdicts)")
     p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("report", help="Section 6 applicability report per nest")

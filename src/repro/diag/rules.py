@@ -9,6 +9,9 @@ stable; severities are fixed per rule:
 R001    error     lane-varying value stored to a scalar array element
                   (the runtime ``DivergenceFault`` race, caught early)
 R002    error     subscript provably outside the declared extent
+R003    error     transform applied despite carried dependence — a
+                  FORALL asserts parallel iterations but the dependence
+                  graph proves a loop-carried flow/anti/output edge
 W101    warning   SIMD divergence blowup — the Eq.2−Eq.1 gap of an
                   unflattened nest, bounded from the inner trip-count
                   interval
@@ -17,6 +20,9 @@ W102    warning   WHERE mask provably uniform (the construct never
 W103    warning   optimized-flattening preconditions not established
                   (side effects / inner trip count may be 0): only the
                   Fig. 10 general form applies
+W104    warning   loop serial only due to unknown indirect subscripts —
+                  every blocking dependence edge is an unanalyzable
+                  ``a(b(i))`` pattern: an ``assume_parallel`` candidate
 ======  ========  ====================================================
 
 Frontend failures surface as ``P001`` (parse) / ``P002`` (semantic)
@@ -32,6 +38,8 @@ from typing import Callable, Iterator
 
 from ..analysis.abstract import AbstractInterpreter, Uniformity, analyze_routine
 from ..analysis.applicability import evaluate_flattening
+from ..analysis.dep import build_dependence_graph
+from ..analysis.dep.explain import outer_loops
 from ..analysis.sideeffects import stmts_have_side_effects
 from ..lang import ast, parse_source
 from ..lang.errors import LexError, ParseError, SemanticError, UNKNOWN_LOCATION
@@ -198,6 +206,98 @@ def _r002(ctx: LintContext) -> Iterator[Diagnostic]:
                         f"1..{declared}",
                         node.loc if node.loc.line else stmt.loc,
                     )
+
+
+# ---------------------------------------------------------------------------
+# R003 / W104 — dependence-graph rules
+# ---------------------------------------------------------------------------
+
+
+def _at_line(access) -> str:
+    loc = access.loc
+    line = getattr(loc, "line", 0) if loc is not None else 0
+    where = f" at line {line}" if line else ""
+    return f"{access.describe()}{where}"
+
+
+@rule("R003", Severity.ERROR, "transform applied despite carried dependence")
+def _r003(ctx: LintContext) -> Iterator[Diagnostic]:
+    for stmt in ctx.statements():
+        if not isinstance(stmt, ast.Forall):
+            continue
+        try:
+            graph = build_dependence_graph(stmt)
+        except Exception:  # the graph must never kill the lint
+            continue
+        for edge in graph.carried_edges(1):
+            if edge.scalar or edge.unknown or edge.ignorable:
+                continue
+            if edge.vector[0] != "<":
+                continue  # '*' is a may-dependence, not a proof
+            dist = ", ".join(
+                "?" if d is None else str(d) for d in edge.distance
+            )
+            yield _diag(
+                ctx,
+                "R003",
+                f"FORALL asserts parallel iterations of '{stmt.var}' but "
+                f"'{edge.src.name}' carries a {edge.kind} dependence with "
+                f"distance vector ({dist})",
+                stmt.loc,
+                notes=(
+                    f"source: {_at_line(edge.src)}; "
+                    f"sink: {_at_line(edge.dst)}; "
+                    f"direction ({', '.join(edge.vector)})",
+                    "iterations of the FORALL race on these elements — "
+                    "use a DO loop, or restructure so iterations are "
+                    "independent",
+                ),
+            )
+            break  # one finding per FORALL is enough
+
+
+@rule(
+    "W104",
+    Severity.WARNING,
+    "loop serial only due to unknown indirect subscripts",
+)
+def _w104(ctx: LintContext) -> Iterator[Diagnostic]:
+    for stmt in outer_loops(ctx.routine.body):
+        if not isinstance(stmt, ast.Do):
+            continue
+        try:
+            graph = build_dependence_graph(stmt)
+        except Exception:
+            continue
+        if graph.irregular or graph.call_touched:
+            continue
+        if graph.is_parallel(1):
+            continue
+        blocking = [e for e in graph.carried_edges(1) if not e.ignorable]
+        if not blocking:
+            continue
+        if any(e.scalar or not e.unknown for e in blocking):
+            continue  # a genuine (or scalar) dependence serializes it
+        if not all(e.src.indirect or e.dst.indirect for e in blocking):
+            continue  # some other unknown shape, not indirection
+        edge = blocking[0]
+        arrays = sorted({e.src.name for e in blocking} | {e.dst.name for e in blocking})
+        yield _diag(
+            ctx,
+            "W104",
+            f"DO loop over '{stmt.var}' is serial only because subscripts "
+            f"of {', '.join(repr(a) for a in arrays)} are indirect — the "
+            "dependence tests cannot analyze a(b(i)) patterns",
+            stmt.loc,
+            notes=(
+                f"first blocking edge: {_at_line(edge.src)} -> "
+                f"{_at_line(edge.dst)}, direction "
+                f"({', '.join(edge.vector)})",
+                "if the index map is known to be a permutation, this loop "
+                "is an assume_parallel candidate (FORALL, or "
+                "spmd_program(..., assume_parallel=True))",
+            ),
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -26,6 +26,12 @@ flatten done          vm + interpreter             same as optimized +
 flatten auto          vm + interpreter             always (falls back)
 flatten auto          fused vm + unfused vm        always
 coalesce              scalar                       rectangular nests
+fission               scalar (F77 form)            dependence SCCs split
+fission               vm + interpreter             dependence SCCs split
+interchange           scalar (F77 form)            perfect rectangular
+                                                   2-nest, no ``(<, >)``
+                                                   direction vector
+interchange           vm + interpreter             same
 simdize (Sec. 3)      vm + interpreter             partitionable outer
 spmd (Fig. 15)        vm + interpreter             partitionable outer
 ====================  ===========================  ====================
@@ -272,6 +278,7 @@ class DifferentialOracle:
         self._fused_legs(prog, verdict)
         self._flatten_legs(prog, ref_env, verdict)
         self._coalesce_leg(prog, ref_env, verdict)
+        self._dep_legs(prog, ref_env, verdict)
         if prog.partitionable and report is not None and report.safe is True:
             self._partitioned_legs(prog, ref_env, verdict)
         else:
@@ -1045,6 +1052,35 @@ class DifferentialOracle:
             {"transform": "coalesce"},
             mode="scalar",
         )
+
+    def _dep_legs(self, prog, ref_env, verdict) -> None:
+        """Dependence-framework legs: fission and interchange.
+
+        Both transforms consult :func:`repro.analysis.dep.
+        build_dependence_graph` for legality, so every accepted program
+        is a soundness claim about the distance/direction vectors: a
+        dependence the tests wrongly refute reorders statement
+        instances and shows up here as an env divergence against the
+        sequential reference.  Rejections (``TransformError``) are the
+        expected outcome on serializing shapes and are recorded as
+        ``rejected`` legs, not failures.
+        """
+        for transform in ("fission", "interchange"):
+            self._run_and_compare(
+                prog,
+                ref_env,
+                verdict,
+                f"none/{transform}/f77",
+                {"transform": transform},
+                mode="scalar",
+            )
+            self._run_and_compare(
+                prog,
+                ref_env,
+                verdict,
+                f"none/{transform}",
+                {"transform": transform},
+            )
 
     def _partitioned_legs(self, prog, ref_env, verdict) -> None:
         self._run_and_compare(

@@ -1077,6 +1077,8 @@ class Engine:
         from ..transform.pipeline import (
             _flatten_program_uncached,
             coalesce_program,
+            fission_program,
+            interchange_program,
             naive_simd_program,
             spmd_program,
         )
@@ -1122,6 +1124,14 @@ class Engine:
             )
         elif options.transform == "coalesce":
             tree = coalesce_program(
+                tree, routine=options.routine, nest_index=options.nest_index
+            )
+        elif options.transform == "fission":
+            tree = fission_program(
+                tree, routine=options.routine, nest_index=options.nest_index
+            )
+        elif options.transform == "interchange":
+            tree = interchange_program(
                 tree, routine=options.routine, nest_index=options.nest_index
             )
         stage_seconds["transform"] = time.perf_counter() - start

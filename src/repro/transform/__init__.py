@@ -22,10 +22,15 @@ from .normalize import (
     raise_counted_loops,
     raise_goto_loops,
 )
+from .fission import fission_loop
+from .interchange import interchange_loops
 from .pipeline import (
     NestSite,
+    find_loop_sites,
     find_nest_sites,
+    fission_program,
     flatten_program,
+    interchange_program,
     naive_simd_program,
     spmd_program,
     structurize_program,
@@ -57,8 +62,13 @@ __all__ = [
     "simplify_program",
     "coalesce_nest",
     "find_nest_sites",
+    "find_loop_sites",
     "NestSite",
+    "fission_loop",
+    "fission_program",
     "flatten_program",
+    "interchange_loops",
+    "interchange_program",
     "naive_simd_program",
     "spmd_program",
     "structurize_program",

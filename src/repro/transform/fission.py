@@ -1,0 +1,155 @@
+"""Loop fission (distribution) along the dependence graph's SCCs.
+
+Splits one counted loop into a sequence of loops, one per strongly
+connected component of its statement-level dependence graph, in a
+topological order of the condensation (Aubert et al.'s ICC-inspired
+legality condition: statements on a dependence cycle stay together;
+acyclic dependences only constrain the order of the split loops).
+
+Distribution preserves semantics because for every remaining
+dependence the source statement's loop runs entirely before the sink
+statement's loop, which preserves every instance-level source-before-
+sink pair; the dependence graph's '*' edges constrain both orders and
+therefore force a shared component.
+"""
+
+from __future__ import annotations
+
+from ..analysis.dep import build_dependence_graph
+from ..lang import ast
+from ..lang.errors import TransformError
+
+
+def _control_rejections(loop: ast.Do) -> None:
+    for node in ast.walk_body(loop.body):
+        if isinstance(node, ast.Goto):
+            raise TransformError(
+                "cannot fission: GOTO in the loop body (structurize first)",
+                loop.loc,
+            )
+        if isinstance(node, (ast.Return, ast.Stop)):
+            raise TransformError(
+                "cannot fission: the loop body may terminate early "
+                "(RETURN/STOP)",
+                loop.loc,
+            )
+        if isinstance(node, ast.CallStmt):
+            raise TransformError(
+                "cannot fission: CALL side effects cannot be ordered "
+                "across split loops",
+                loop.loc,
+            )
+    # EXIT/CYCLE addressing *this* loop couple every statement to the
+    # iteration in which they fire; inside a nested loop they are local.
+    def check_exits(body: list[ast.Stmt]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.ExitStmt, ast.CycleStmt)):
+                raise TransformError(
+                    "cannot fission: EXIT/CYCLE terminates the loop "
+                    "being distributed",
+                    loop.loc,
+                )
+            if isinstance(stmt, (ast.If, ast.Where)):
+                check_exits(stmt.then_body)
+                check_exits(stmt.else_body)
+
+    check_exits(loop.body)
+
+
+def _data_rejections(loop: ast.Do) -> None:
+    arrays = {
+        node.name
+        for node in ast.walk_body(loop.body)
+        if isinstance(node, ast.ArrayRef)
+    }
+    assigned: set[str] = set()
+    for node in ast.walk_body(loop.body):
+        if isinstance(node, ast.Assign) and isinstance(node.target, ast.Var):
+            assigned.add(node.target.name)
+            if node.target.name in arrays:
+                raise TransformError(
+                    f"cannot fission: whole-array assignment to "
+                    f"'{node.target.name}' is not modeled element-wise",
+                    node.loc,
+                )
+        elif isinstance(node, (ast.Do, ast.Forall)):
+            assigned.add(node.var)
+        elif isinstance(node, ast.Var) and node.name in arrays:
+            # A whole-array read (intrinsic arg, etc.) the element-wise
+            # dependence graph does not see.
+            raise TransformError(
+                f"cannot fission: whole-array reference to '{node.name}'",
+                node.loc,
+            )
+    if loop.var in assigned:
+        raise TransformError(
+            f"cannot fission: loop variable '{loop.var}' is assigned "
+            "in the body",
+            loop.loc,
+        )
+    bound_names: set[str] = set()
+    bounds = [loop.lo, loop.hi] + (
+        [loop.stride] if loop.stride is not None else []
+    )
+    for bound in bounds:
+        for node in ast.walk(bound):
+            if isinstance(node, (ast.Var, ast.ArrayRef)):
+                bound_names.add(node.name)
+    clobbered = bound_names & (assigned | arrays_written(loop))
+    if clobbered:
+        raise TransformError(
+            "cannot fission: loop bounds read "
+            f"{sorted(clobbered)}, which the body writes — each split "
+            "loop would re-evaluate different bounds",
+            loop.loc,
+        )
+
+
+def arrays_written(loop: ast.Do) -> set[str]:
+    return {
+        node.target.name
+        for node in ast.walk_body(loop.body)
+        if isinstance(node, ast.Assign)
+        and isinstance(node.target, ast.ArrayRef)
+    }
+
+
+def fission_loop(loop: ast.Stmt) -> list[ast.Stmt]:
+    """Distribute one counted loop; returns the replacement loops.
+
+    Raises :class:`TransformError` when distribution is illegal
+    (irregular control flow, unmodeled whole-array effects) or
+    pointless (the dependence graph is one big cycle).
+    """
+    if not isinstance(loop, ast.Do):
+        raise TransformError(
+            "loop fission requires a counted DO loop", loop.loc
+        )
+    if len(loop.body) < 2:
+        raise TransformError(
+            "cannot fission: the loop body is a single statement",
+            loop.loc,
+        )
+    _control_rejections(loop)
+    _data_rejections(loop)
+    graph = build_dependence_graph(loop)
+    partitions = graph.fission_partitions()
+    if len(partitions) < 2:
+        raise TransformError(
+            "cannot fission: all statements share one dependence cycle",
+            loop.loc,
+        )
+    out: list[ast.Stmt] = []
+    for group in partitions:
+        body = [ast.clone(loop.body[index]) for index in group]
+        out.append(
+            ast.Do(
+                loop.var,
+                ast.clone(loop.lo),
+                ast.clone(loop.hi),
+                ast.clone(loop.stride) if loop.stride is not None else None,
+                body,
+                loc=loop.loc,
+            )
+        )
+    return out

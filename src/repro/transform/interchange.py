@@ -1,0 +1,166 @@
+"""Loop interchange for perfect rectangular 2-nests.
+
+Swaps the two outer loops of a perfect nest when the dependence graph
+proves it legal: interchange reverses the (l1, l2) traversal order,
+so it is illegal exactly when some dependence carries a ``(<, >)``
+direction vector — the swapped order would run the sink before its
+source.  '*' entries are treated as possibly-``<``/possibly-``>``
+(conservative).
+"""
+
+from __future__ import annotations
+
+from ..analysis.dep import build_dependence_graph, describe_carried_edge
+from ..lang import ast
+from ..lang.errors import TransformError
+
+
+def _unit_stride(loop: ast.Do) -> bool:
+    return loop.stride is None or (
+        isinstance(loop.stride, ast.IntLit) and loop.stride.value == 1
+    )
+
+
+def _names_in(expr: ast.Expr) -> set[str]:
+    return {
+        node.name
+        for node in ast.walk(expr)
+        if isinstance(node, (ast.Var, ast.ArrayRef))
+    }
+
+
+def _check_rectangular(outer: ast.Do, inner: ast.Do) -> None:
+    for loop, other in ((outer, inner), (inner, outer)):
+        for bound in (loop.lo, loop.hi):
+            for node in ast.walk(bound):
+                if isinstance(node, (ast.ArrayRef, ast.Call)):
+                    raise TransformError(
+                        "cannot interchange: loop bound is not a "
+                        "loop-invariant scalar expression",
+                        loop.loc,
+                    )
+            if other.var in _names_in(bound) or loop.var in _names_in(bound):
+                raise TransformError(
+                    "cannot interchange: the nest is not rectangular "
+                    f"(a bound references '{loop.var}' or '{other.var}')",
+                    loop.loc,
+                )
+
+
+def interchange_loops(loop: ast.Stmt) -> list[ast.Stmt]:
+    """Swap the two outermost loops of a perfect nest.
+
+    Raises :class:`TransformError` when the nest is not a perfect
+    rectangular unit-stride 2-nest, or when a dependence with a
+    ``(<, >)`` direction vector makes the swap illegal.
+    """
+    if not isinstance(loop, ast.Do):
+        raise TransformError(
+            "loop interchange requires a counted DO loop", loop.loc
+        )
+    if len(loop.body) != 1 or not isinstance(loop.body[0], ast.Do):
+        raise TransformError(
+            "cannot interchange: not a perfect nest (the outer body "
+            "must be exactly the inner DO loop)",
+            loop.loc,
+        )
+    inner = loop.body[0]
+    if not (_unit_stride(loop) and _unit_stride(inner)):
+        raise TransformError(
+            "cannot interchange: only unit-stride loops are supported",
+            loop.loc,
+        )
+    if inner.var == loop.var:
+        raise TransformError(
+            "cannot interchange: the loops share one variable", loop.loc
+        )
+    _check_rectangular(loop, inner)
+    assigned: set[str] = set()
+    for node in ast.walk_body(inner.body):
+        if isinstance(node, ast.Goto):
+            raise TransformError(
+                "cannot interchange: GOTO in the loop body "
+                "(structurize first)",
+                loop.loc,
+            )
+        if isinstance(node, (ast.Return, ast.Stop, ast.CallStmt)):
+            raise TransformError(
+                "cannot interchange: the body has unmodeled control or "
+                "call effects",
+                loop.loc,
+            )
+        if isinstance(node, ast.Assign) and isinstance(node.target, ast.Var):
+            assigned.add(node.target.name)
+        elif isinstance(node, (ast.Do, ast.Forall)):
+            assigned.add(node.var)
+    for stmt in inner.body:
+        if isinstance(stmt, (ast.ExitStmt, ast.CycleStmt)):
+            raise TransformError(
+                "cannot interchange: EXIT/CYCLE changes meaning under "
+                "a swapped iteration order",
+                loop.loc,
+            )
+    arrays = {
+        node.name
+        for node in ast.walk_body(inner.body)
+        if isinstance(node, ast.ArrayRef)
+    }
+    for node in ast.walk_body(inner.body):
+        if isinstance(node, ast.Var) and node.name in arrays:
+            raise TransformError(
+                f"cannot interchange: whole-array reference to "
+                f"'{node.name}'",
+                node.loc,
+            )
+        if isinstance(node, ast.Assign) and isinstance(
+            node.target, ast.Var
+        ) and node.target.name in arrays:
+            raise TransformError(
+                f"cannot interchange: whole-array assignment to "
+                f"'{node.target.name}'",
+                node.loc,
+            )
+    bound_names = (
+        _names_in(loop.lo)
+        | _names_in(loop.hi)
+        | _names_in(inner.lo)
+        | _names_in(inner.hi)
+    )
+    if bound_names & (assigned | {loop.var, inner.var}):
+        raise TransformError(
+            "cannot interchange: a loop bound depends on a value "
+            "assigned in the nest",
+            loop.loc,
+        )
+    if loop.var in assigned or inner.var in assigned:
+        raise TransformError(
+            "cannot interchange: a loop variable is assigned in the body",
+            loop.loc,
+        )
+
+    graph = build_dependence_graph(loop)
+    witness = graph.interchange_witness(1, 2)
+    if witness is not None:
+        raise TransformError(
+            "cannot interchange: dependence with a (<, >) direction "
+            f"vector — {describe_carried_edge(witness)}",
+            loop.loc,
+        )
+    swapped = ast.Do(
+        loop.var,
+        ast.clone(loop.lo),
+        ast.clone(loop.hi),
+        ast.clone(loop.stride) if loop.stride is not None else None,
+        [ast.clone(stmt) for stmt in inner.body],
+        loc=loop.loc,
+    )
+    return [
+        ast.Do(
+            inner.var,
+            ast.clone(inner.lo),
+            ast.clone(inner.hi),
+            ast.clone(inner.stride) if inner.stride is not None else None,
+            [swapped],
+            loc=inner.loc,
+        )
+    ]

@@ -10,9 +10,14 @@ speak the same names:
     ``"none"`` (run the program as written), ``"flatten"`` (the
     paper's loop flattening, Figs. 10-12), ``"simdize"`` (the naive
     Section 3 SIMDization baseline), ``"coalesce"`` (the related-work
-    loop-coalescing baseline), or ``"spmd"`` (partition the outer loop
+    loop-coalescing baseline), ``"spmd"`` (partition the outer loop
     across the PEs, then flatten and SIMDize — the full Fig. 15
-    pipeline of :func:`repro.transform.parallel.flatten_spmd`).
+    pipeline of :func:`repro.transform.parallel.flatten_spmd`),
+    ``"fission"`` (distribute one loop along its dependence graph's
+    SCC condensation, :func:`repro.transform.fission.fission_loop`),
+    or ``"interchange"`` (swap a perfect rectangular 2-nest when no
+    ``(<, >)`` direction vector forbids it,
+    :func:`repro.transform.interchange.interchange_loops`).
 
 ``variant``
     Flattening strength: ``"general"`` (Fig. 10), ``"optimized"``
@@ -43,7 +48,15 @@ VARIANTS = ("general", "optimized", "done", "auto")
 LAYOUTS = ("block", "cyclic")
 
 #: Canonical nest transforms understood by the Engine and CLI.
-TRANSFORMS = ("none", "flatten", "simdize", "coalesce", "spmd")
+TRANSFORMS = (
+    "none",
+    "flatten",
+    "simdize",
+    "coalesce",
+    "spmd",
+    "fission",
+    "interchange",
+)
 
 #: Deprecated spelling -> canonical variant.
 _VARIANT_ALIASES = {
@@ -73,6 +86,8 @@ _TRANSFORM_ALIASES = {
     "coalesced": "coalesce",
     "flatten-spmd": "spmd",
     "partition": "spmd",
+    "distribute": "fission",
+    "swap": "interchange",
 }
 
 

@@ -47,6 +47,20 @@ def find_nest_sites(source: ast.SourceFile) -> list[NestSite]:
     return sites
 
 
+def find_loop_sites(source: ast.SourceFile) -> list[NestSite]:
+    """Find every top-level counted loop, per routine.
+
+    Unlike :func:`find_nest_sites` this does not require a nested
+    loop — loop fission applies to flat bodies too.
+    """
+    sites: list[NestSite] = []
+    for unit in source.units:
+        for index, stmt in enumerate(unit.body):
+            if isinstance(stmt, (ast.Do, ast.Forall)):
+                sites.append(NestSite(unit.name, index, stmt))
+    return sites
+
+
 def _replace_stmt(
     source: ast.SourceFile, routine: str, index: int, replacement: list[ast.Stmt]
 ) -> ast.SourceFile:
@@ -166,6 +180,56 @@ def coalesce_program(
     """Coalesce one loop nest (the related-work baseline transform)."""
     structured, site = _locate_nest(source, routine, nest_index, "coalescible")
     replacement = coalesce_nest(site.stmt)
+    return _replace_stmt(structured, site.routine, site.index, replacement)
+
+
+def fission_program(
+    source: ast.SourceFile,
+    routine: str | None = None,
+    nest_index: int = 0,
+) -> ast.SourceFile:
+    """Distribute one counted loop along its dependence SCCs.
+
+    The target loop is chosen like the other passes (``nest_index``-th
+    top-level counted loop after structurization, optionally
+    restricted to ``routine``); :func:`repro.transform.fission.
+    fission_loop` performs the legality checks and raises
+    :class:`TransformError` when distribution would change meaning.
+    """
+    from .fission import fission_loop
+
+    structured = structurize_program(source)
+    sites = find_loop_sites(structured)
+    if routine is not None:
+        sites = [site for site in sites if site.routine == routine]
+    if not sites:
+        raise TransformError("no distributable loop found")
+    if not 0 <= nest_index < len(sites):
+        raise TransformError(
+            f"loop index {nest_index} out of range (found {len(sites)} loops)"
+        )
+    site = sites[nest_index]
+    replacement = fission_loop(site.stmt)
+    return _replace_stmt(structured, site.routine, site.index, replacement)
+
+
+def interchange_program(
+    source: ast.SourceFile,
+    routine: str | None = None,
+    nest_index: int = 0,
+) -> ast.SourceFile:
+    """Interchange the two outer loops of one perfect nest.
+
+    :func:`repro.transform.interchange.interchange_loops` performs the
+    structural and dependence legality checks (no ``(<, >)`` direction
+    vector) and raises :class:`TransformError` otherwise.
+    """
+    from .interchange import interchange_loops
+
+    structured, site = _locate_nest(
+        source, routine, nest_index, "interchangeable"
+    )
+    replacement = interchange_loops(site.stmt)
     return _replace_stmt(structured, site.routine, site.index, replacement)
 
 

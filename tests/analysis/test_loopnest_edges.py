@@ -1,0 +1,120 @@
+"""Edge cases for the loop-tree analysis (`repro.analysis.loopnest`)."""
+
+from repro.analysis.loopnest import (
+    build_loop_tree,
+    flattenable_nests,
+    loop_tree_of,
+    max_nest_depth,
+)
+from repro.lang import ast, parse_source, parse_statements
+
+
+def routine_of(text):
+    return parse_source(text).units[0]
+
+
+class TestImperfectNests:
+    def test_siblings_break_single_nesting(self):
+        routine = routine_of(
+            "PROGRAM p\n"
+            "INTEGER i, j, x(9, 9)\n"
+            "DO i = 1, 9\n"
+            "  DO j = 1, 9\n    x(i, j) = 1\n  ENDDO\n"
+            "  DO j = 1, 9\n    x(i, j) = x(i, j) + 1\n  ENDDO\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        [node] = loop_tree_of(routine)
+        assert len(node.children) == 2
+        assert not node.singly_nested()
+        assert flattenable_nests(routine) == []
+
+    def test_interleaved_statements_still_single(self):
+        routine = routine_of(
+            "PROGRAM p\n"
+            "INTEGER i, j, s, x(9, 9)\n"
+            "DO i = 1, 9\n"
+            "  s = i\n"
+            "  DO j = 1, 9\n    x(i, j) = s\n  ENDDO\n"
+            "  s = s + 1\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        [node] = loop_tree_of(routine)
+        assert node.singly_nested()
+        assert node.body_stmts == 2
+        assert [n.stmt.var for n in flattenable_nests(routine)] == ["i"]
+
+    def test_loops_under_if_stay_on_their_level(self):
+        [stmt] = parse_statements(
+            "IF (n .GT. 0) THEN\n"
+            "  DO i = 1, 9\n    x(i) = i\n  ENDDO\n"
+            "ELSE\n"
+            "  DO j = 1, 9\n    x(j) = 0\n  ENDDO\n"
+            "ENDIF"
+        )
+        nodes = build_loop_tree([stmt])
+        assert [n.stmt.var for n in nodes] == ["i", "j"]
+        assert all(n.depth == 1 for n in nodes)
+
+    def test_triple_nest_height(self):
+        routine = routine_of(
+            "PROGRAM p\n"
+            "INTEGER i, j, k, x(5, 5, 5)\n"
+            "DO i = 1, 5\n"
+            "  DO j = 1, 5\n"
+            "    DO k = 1, 5\n      x(i, j, k) = 1\n    ENDDO\n"
+            "  ENDDO\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        assert max_nest_depth(routine) == 3
+        [nest] = flattenable_nests(routine)
+        assert nest.height() == 3
+
+
+class TestDegenerateShapes:
+    def test_zero_trip_loop_still_in_tree(self):
+        routine = routine_of(
+            "PROGRAM p\nINTEGER i, x(9)\n"
+            "DO i = 5, 1\n  x(i) = i\nENDDO\nEND\n"
+        )
+        [node] = loop_tree_of(routine)
+        assert node.is_leaf
+        assert node.height() == 1
+
+    def test_loop_free_routine(self):
+        routine = routine_of("PROGRAM p\nINTEGER s\ns = 1\nEND\n")
+        assert loop_tree_of(routine) == []
+        assert max_nest_depth(routine) == 0
+        assert flattenable_nests(routine) == []
+
+    def test_while_counts_as_loop_level(self):
+        routine = routine_of(
+            "PROGRAM p\nINTEGER i, s\n"
+            "s = 0\n"
+            "WHILE (s .LT. 5)\n"
+            "  DO i = 1, 3\n    s = s + 1\n  ENDDO\n"
+            "ENDWHILE\n"
+            "END\n"
+        )
+        [node] = loop_tree_of(routine)
+        assert isinstance(node.stmt, ast.While)
+        assert node.height() == 2
+
+
+class TestCallBearingBodies:
+    def test_call_is_a_body_statement_not_a_loop(self):
+        routine = routine_of(
+            "PROGRAM p\n"
+            "INTEGER i, j, s, x(9, 9)\n"
+            "DO i = 1, 9\n"
+            "  CALL helper(s)\n"
+            "  DO j = 1, 9\n    x(i, j) = s\n  ENDDO\n"
+            "ENDDO\n"
+            "END\n"
+        )
+        [node] = loop_tree_of(routine)
+        assert node.body_stmts == 1
+        assert node.singly_nested()
+        assert len(node.children) == 1

@@ -1,0 +1,121 @@
+"""The dependence-graph lint rules R003 and W104."""
+
+from repro.diag import lint_source
+
+
+def codes_of(text):
+    return [d.code for d in lint_source(text).diagnostics]
+
+
+def findings(text, code):
+    return [d for d in lint_source(text).diagnostics if d.code == code]
+
+
+RACING_FORALL = """PROGRAM p
+INTEGER i
+INTEGER x(10)
+FORALL (i = 2:9)
+  x(i) = x(i - 1) + 1
+ENDFORALL
+END
+"""
+
+CLEAN_FORALL = """PROGRAM p
+INTEGER i
+INTEGER x(10)
+FORALL (i = 1:10)
+  x(i) = x(i) * 2
+ENDFORALL
+END
+"""
+
+INDIRECT_ONLY = """PROGRAM q
+INTEGER i
+INTEGER x(10), idx(10)
+DO i = 1, 10
+  x(idx(i)) = i
+ENDDO
+END
+"""
+
+CONCRETE_SERIAL = """PROGRAM r
+INTEGER i
+INTEGER x(10)
+DO i = 2, 10
+  x(i) = x(i - 1) + 1
+ENDDO
+END
+"""
+
+
+class TestR003:
+    def test_fires_on_racing_forall(self):
+        [diag] = findings(RACING_FORALL, "R003")
+        assert "distance vector (1)" in diag.message
+        assert "'x'" in diag.message
+        # both endpoints are located in the notes
+        assert any("line 5" in note for note in diag.notes)
+
+    def test_clean_forall_passes(self):
+        assert "R003" not in codes_of(CLEAN_FORALL)
+
+    def test_serial_do_is_not_flagged(self):
+        # a DO loop executes in order — carried dependences are fine
+        assert "R003" not in codes_of(CONCRETE_SERIAL)
+
+    def test_indirect_forall_is_not_flagged(self):
+        # unknown edges are a W104 concern, not a provable race
+        text = INDIRECT_ONLY.replace("DO i = 1, 10", "FORALL (i = 1:10)").replace(
+            "ENDDO", "ENDFORALL"
+        )
+        assert "R003" not in codes_of(text)
+
+    def test_r003_is_an_error(self):
+        report = lint_source(RACING_FORALL)
+        assert [d.code for d in report.errors] == ["R003"]
+
+
+class TestW104:
+    def test_fires_on_indirect_only_serialization(self):
+        [diag] = findings(INDIRECT_ONLY, "W104")
+        assert "'x'" in diag.message
+        assert any("assume_parallel" in note for note in diag.notes)
+        # it is a warning: the default error gate stays green
+        assert not lint_source(INDIRECT_ONLY).errors
+
+    def test_concrete_dependence_suppresses_it(self):
+        assert "W104" not in codes_of(CONCRETE_SERIAL)
+
+    def test_parallel_loop_is_silent(self):
+        text = (
+            "PROGRAM s\nINTEGER i\nINTEGER x(10)\n"
+            "DO i = 1, 10\n  x(i) = i\nENDDO\nEND\n"
+        )
+        assert "W104" not in codes_of(text)
+
+    def test_mixed_concrete_and_indirect_suppressed(self):
+        text = (
+            "PROGRAM t\nINTEGER i\nINTEGER x(10), y(12), idx(10)\n"
+            "DO i = 2, 10\n  x(idx(i)) = i\n  y(i) = y(i - 1)\nENDDO\nEND\n"
+        )
+        # the y recurrence serializes the loop regardless of idx
+        assert "W104" not in codes_of(text)
+
+
+class TestKernelsStayClean:
+    def test_bundled_kernels_have_no_dependence_findings(self):
+        import repro.kernels as kernels
+
+        mods = ("example", "mandelbrot", "nbforce", "region_growing", "spmv")
+        for mod_name in mods:
+            mod = getattr(kernels, mod_name)
+            for name, text in vars(mod).items():
+                if not isinstance(text, str) or name.startswith("_"):
+                    continue
+                if "PROGRAM" not in text.upper():
+                    continue
+                codes = {
+                    d.code
+                    for d in lint_source(text, filename=name).diagnostics
+                }
+                assert not codes & {"R003", "W104"}, (mod_name, name, codes)

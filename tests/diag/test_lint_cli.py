@@ -105,3 +105,58 @@ def test_bundled_kernels_are_error_clean(capsys):
     files = sorted(glob.glob("src/repro/kernels/*.py"))
     assert files, "bundled kernels not found (run from the repo root)"
     assert main(["lint", *files, "--fail-on", "error"]) == 0
+
+
+DEPS = """PROGRAM deps
+  INTEGER i, j
+  INTEGER x(12, 12), y(12)
+  DO i = 2, 11
+    DO j = 1, 11
+      x(i, j) = x(i - 1, j + 1) + 1
+    ENDDO
+  ENDDO
+  DO i = 2, 10
+    y(i) = y(i - 2) * 2
+  ENDDO
+END
+"""
+
+
+@pytest.fixture()
+def deps_file(tmp_path):
+    path = tmp_path / "deps.f"
+    path.write_text(DEPS)
+    return str(path)
+
+
+def test_explain_deps_text(deps_file, capsys):
+    assert main(["lint", deps_file, "--explain-deps"]) == 0
+    out = capsys.readouterr().out
+    assert "dependence graphs" in out
+    assert "direction (<, >) distance (1, -1)" in out
+    assert "interchange(1,2) illegal" in out
+    assert "distance (2)" in out
+
+
+def test_explain_deps_json(deps_file, capsys):
+    assert main(["lint", deps_file, "--explain-deps", "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    nests = payload["dependence"][deps_file]
+    assert len(nests) == 2
+    assert nests[0]["can_interchange"] is False
+    assert nests[0]["is_parallel"] is False
+    flows = [
+        e for e in nests[0]["edges"] if e["kind"] == "flow" and not e["scalar"]
+    ]
+    assert flows[0]["direction"] == ["<", ">"]
+    assert flows[0]["distance"] == [1, -1]
+    assert nests[1]["fission_partitions"] == [[0]]
+
+
+def test_explain_deps_respects_fail_on(deps_file, tmp_path, capsys):
+    # explanations are informational: they never trip the gate
+    assert main(["lint", deps_file, "--explain-deps", "--fail-on",
+                 "warning"]) == 0
+    path = tmp_path / "race.f"
+    path.write_text(RACE)
+    assert main(["lint", str(path), "--explain-deps"]) == 1

@@ -53,6 +53,37 @@ class TestPlantedTransformBug:
         assert "invariant" in kinds
 
 
+class TestPlantedDependenceBug:
+    def test_direction_vector_sign_flip_is_caught_and_shrunk(
+        self, monkeypatch
+    ):
+        import repro.analysis.dep.tests as dep_tests
+
+        real = dep_tests._vector_sign
+
+        def mutant(vector):
+            # planted bug: flip the time orientation of every direction
+            # vector — forward-carried ('<'-leading) dependences are
+            # pruned as "covered by the mirrored pair" and the graph
+            # goes blind to genuine cross-iteration flow
+            return -real(vector)
+
+        monkeypatch.setattr(dep_tests, "_vector_sign", mutant)
+        report = run_fuzz(seed=20260805, iterations=40, nproc=4,
+                          shrink=True, max_failures=2)
+        assert not report.ok
+        entry = report.failures[0]
+        # The blinded graph either lets fission/interchange reorder a
+        # serializing loop (wrong answer vs the reference) or makes the
+        # dependence test call a serial outer loop parallel.
+        assert entry.divergence.kind in ("env-divergence", "checker-gap")
+        assert entry.divergence.config.startswith(
+            ("none/fission", "none/interchange", "analysis/dependence")
+        )
+        assert entry.shrunk is not None
+        assert entry.shrunk.line_count() <= 15
+
+
 class TestPlantedCheckerBug:
     def test_disabled_precondition_check_is_caught(self, monkeypatch):
         monkeypatch.setattr(

@@ -30,3 +30,11 @@ def test_fuzz_smoke_campaign():
     # uninterrupted run (env and exact counters) on every program
     assert report.leg_stats.get("none/vm-ckpt") == 200
     assert report.leg_stats.get("none/interp-ckpt") == 200
+    # dependence-framework legs: the graph's legality verdicts must
+    # accept a healthy share of the corpus (fission distributes about
+    # half the generated loops, interchange the perfect rectangular
+    # 2-nests) and every accepted program must match the reference
+    assert report.leg_stats.get("none/fission", 0) > 60
+    assert report.leg_stats.get("none/fission/f77", 0) > 60
+    assert report.leg_stats.get("none/interchange", 0) > 5
+    assert report.leg_stats.get("none/interchange/f77", 0) > 5
